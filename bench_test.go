@@ -1,0 +1,408 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, one testing.B target per experiment, plus
+// micro-benchmarks for the hot paths (IKJT conversion, jagged index
+// select, DWRF IO, collectives). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench reports its headline metric(s) via b.ReportMetric
+// so `-bench` output reads like the paper's results. The experiment
+// implementations are in internal/experiments; cmd/recd-bench prints the
+// full row sets.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/experiments"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
+	"repro/internal/tensor"
+	"repro/internal/trainer"
+)
+
+// runExperiment executes one registered experiment per iteration and
+// reports the requested cells as benchmark metrics.
+func runExperiment(b *testing.B, id string, metrics map[string][2]string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = r.Run(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for name, addr := range metrics {
+		if v, ok := res.Value(addr[0], addr[1]); ok {
+			b.ReportMetric(v, name)
+		} else {
+			b.Fatalf("%s: missing %s/%s", id, addr[0], addr[1])
+		}
+	}
+}
+
+// BenchmarkFig3SessionHistogram regenerates Figure 3 (samples/session in
+// a partition vs in a 4096 batch).
+func BenchmarkFig3SessionHistogram(b *testing.B) {
+	runExperiment(b, "fig3", map[string][2]string{
+		"partition_S": {"partition", "mean_s"},
+		"batch_S":     {"batch4096 (interleaved)", "mean_s"},
+	})
+}
+
+// BenchmarkFig4Duplication regenerates Figure 4 (exact/partial duplicate
+// percentages; paper 80.0/83.9, byte-weighted 81.6/89.4).
+func BenchmarkFig4Duplication(b *testing.B) {
+	runExperiment(b, "fig4", map[string][2]string{
+		"exact_pct":   {"all features (mean)", "exact"},
+		"partial_pct": {"all features (mean)", "partial"},
+	})
+}
+
+// BenchmarkFig7EndToEnd regenerates Figure 7 (trainer/reader/storage
+// gains; paper RM1 2.48/1.79/3.71x).
+func BenchmarkFig7EndToEnd(b *testing.B) {
+	runExperiment(b, "fig7", map[string][2]string{
+		"rm1_trainer_x": {"RM1", "trainer"},
+		"rm1_reader_x":  {"RM1", "reader"},
+		"rm1_storage_x": {"RM1", "storage"},
+	})
+}
+
+// BenchmarkFig8IterationBreakdown regenerates Figure 8 (A2A roughly
+// halves; totals drop 23-44%).
+func BenchmarkFig8IterationBreakdown(b *testing.B) {
+	runExperiment(b, "fig8", map[string][2]string{
+		"rm1_recd_total": {"RM1 recd", "total"},
+		"rm1_recd_a2a":   {"RM1 recd", "a2a"},
+		"rm1_base_a2a":   {"RM1 baseline", "a2a"},
+	})
+}
+
+// BenchmarkFig9Ablation regenerates Figure 9 (paper ladder 1.0 / 1.0 /
+// 1.34 / 2.42 / 2.48).
+func BenchmarkFig9Ablation(b *testing.B) {
+	r, ok := experiments.ByID("fig9")
+	if !ok {
+		b.Fatal("fig9 not registered")
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = r.Run(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, row := range res.Rows {
+		b.ReportMetric(row.Values[0].Value, row.Label[:3]+string(rune('0'+i))+"_x")
+	}
+}
+
+// BenchmarkTable2ResourceUtilization regenerates Table 2 (QPS, memory
+// utilization, compute efficiency).
+func BenchmarkTable2ResourceUtilization(b *testing.B) {
+	runExperiment(b, "table2", map[string][2]string{
+		"recd_qps_x":   {"recd", "norm_qps"},
+		"recd_maxmem":  {"recd", "max_mem"},
+		"base_maxmem":  {"baseline", "max_mem"},
+		"recd_eff_x":   {"recd", "comp_eff"},
+		"batch3_qps_x": {"recd + 3x batch", "norm_qps"},
+	})
+}
+
+// BenchmarkTable3ReaderBytes regenerates Table 3 (read/send bytes; paper
+// 538/837 -> 179/837 -> 179/713 GB).
+func BenchmarkTable3ReaderBytes(b *testing.B) {
+	runExperiment(b, "table3", map[string][2]string{
+		"base_read_MB":  {"baseline", "read"},
+		"clust_read_MB": {"with cluster (O2)", "read"},
+		"ikjt_send_MB":  {"with IKJT (O3/O4)", "send"},
+	})
+}
+
+// BenchmarkTable4OptimizationSummary regenerates Table 4 (per-optimization
+// impacts for RM1).
+func BenchmarkTable4OptimizationSummary(b *testing.B) {
+	runExperiment(b, "table4", map[string][2]string{
+		"o2_compression_x": {"O2 table compression", "value"},
+		"trainer_x":        {"O5-O7 trainer throughput", "value"},
+	})
+}
+
+// BenchmarkFig10ReaderBreakdown regenerates Figure 10 (reader CPU
+// fill/convert/process; paper fill -50/-33/-46%).
+func BenchmarkFig10ReaderBreakdown(b *testing.B) {
+	runExperiment(b, "fig10", map[string][2]string{
+		"rm1_base_fill": {"RM1 baseline", "fill"},
+		"rm1_recd_fill": {"RM1 recd", "fill"},
+	})
+}
+
+// BenchmarkScribeSharding regenerates the §6.1 Scribe result (1.50x ->
+// 2.25x).
+func BenchmarkScribeSharding(b *testing.B) {
+	runExperiment(b, "scribe", map[string][2]string{
+		"improvement_x": {"improvement", "ratio"},
+	})
+}
+
+// BenchmarkSingleNode regenerates §6.2 single-node training (2.18x).
+func BenchmarkSingleNode(b *testing.B) {
+	runExperiment(b, "singlenode", map[string][2]string{
+		"speedup_x": {"single-node (8 GPUs)", "speedup"},
+	})
+}
+
+// BenchmarkDedupeFactorModel regenerates the §4.2 analytic-vs-measured
+// sweep.
+func BenchmarkDedupeFactorModel(b *testing.B) {
+	runExperiment(b, "dedupefactor", map[string][2]string{
+		"analytic_x": {"d=0.95 S=16.5", "analytic"},
+		"measured_x": {"d=0.95 S=16.5", "measured"},
+	})
+}
+
+// BenchmarkPartialIKJT regenerates the §7 partial-dedup extension.
+func BenchmarkPartialIKJT(b *testing.B) {
+	runExperiment(b, "partial", map[string][2]string{
+		"exact_x":   {"exact IKJT", "factor"},
+		"partial_x": {"partial IKJT", "factor"},
+	})
+}
+
+// BenchmarkDownsampling regenerates the §7 per-session downsampling
+// argument.
+func BenchmarkDownsampling(b *testing.B) {
+	runExperiment(b, "downsample", map[string][2]string{
+		"per_sample_S":  {"per-sample 50%", "S"},
+		"per_session_S": {"per-session 50%", "S"},
+	})
+}
+
+// BenchmarkAccuracyImpact regenerates the §6.2 accuracy observation
+// (clustering improves generalization by avoiding repeated sparse
+// updates on duplicate values).
+func BenchmarkAccuracyImpact(b *testing.B) {
+	runExperiment(b, "accuracy", map[string][2]string{
+		"interleaved_auc": {"interleaved (baseline)", "auc"},
+		"clustered_auc":   {"clustered (O2)", "auc"},
+	})
+}
+
+// --- Micro-benchmarks for the hot paths ---
+
+func benchBatch(b *testing.B, sessions, batch int) (*datagen.Schema, []tensor.Jagged, []string) {
+	b.Helper()
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: sessions, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	if len(samples) < batch {
+		b.Fatalf("only %d samples for batch %d", len(samples), batch)
+	}
+	keys := schema.SparseKeys()
+	tensors := make([]tensor.Jagged, len(keys))
+	for fi := range keys {
+		lists := make([][]tensor.Value, batch)
+		for i := 0; i < batch; i++ {
+			lists[i] = samples[i].Sparse[fi]
+		}
+		tensors[fi] = tensor.NewJagged(lists)
+	}
+	return schema, tensors, keys
+}
+
+// BenchmarkIKJTConversion measures the reader-side dedup cost the paper
+// reports as a 21% convert-time increase (§6.3).
+func BenchmarkIKJTConversion(b *testing.B) {
+	_, tensors, keys := benchBatch(b, 200, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.DedupJagged(keys[:3], tensors[:3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJaggedIndexSelect measures the O6 primitive.
+func BenchmarkJaggedIndexSelect(b *testing.B) {
+	_, tensors, keys := benchBatch(b, 200, 1024)
+	ik, err := tensor.DedupJagged(keys[:3], tensors[:3])
+	if err != nil {
+		b.Fatal(err)
+	}
+	dd, _ := ik.Deduped(keys[0])
+	inv := ik.InverseLookup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.JaggedIndexSelect(dd, inv)
+	}
+}
+
+// BenchmarkIKJTToKJTRoundTrip measures full expansion.
+func BenchmarkIKJTToKJTRoundTrip(b *testing.B) {
+	_, tensors, keys := benchBatch(b, 200, 1024)
+	ik, err := tensor.DedupJagged(keys, tensors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ik.ToKJT()
+	}
+}
+
+// BenchmarkDWRFWriteClustered measures columnar encode+compress.
+func BenchmarkDWRFWriteClustered(b *testing.B) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := dwrf.NewFileWriter(schema, dwrf.WriterOptions{StripeRows: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteRows(samples); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReaderTier measures the fill→convert→process pipeline.
+func BenchmarkReaderTier(b *testing.B) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 256,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	files, _ := catalog.AllFiles("t")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := reader.NewReader(store, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run(files, func(*reader.Batch) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStepBaseline and BenchmarkTrainStepRecD measure the
+// numeric DLRM step in both modes on identical batches.
+func benchTrainStep(b *testing.B, mode trainer.Mode) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 128,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	r, err := reader.NewReader(store, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	files, _ := catalog.AllFiles("t")
+	var batches []*reader.Batch
+	if err := r.Run(files, func(bb *reader.Batch) error {
+		batches = append(batches, bb)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	model, err := trainer.New(trainer.Config{
+		EmbDim: 8, DenseIn: 2, BottomHidden: []int{16}, TopHidden: []int{16},
+		Features: []trainer.FeatureConfig{
+			{Key: "user_seq_0", Pool: trainer.AttentionPool, TableRows: 1 << 10},
+			{Key: "user_seq_1", Pool: trainer.SumPool, TableRows: 1 << 10},
+			{Key: "user_seq_2", Pool: trainer.SumPool, TableRows: 1 << 10},
+			{Key: "user_elem_0", Pool: trainer.MeanPool, TableRows: 1 << 10},
+			{Key: "user_elem_1", Pool: trainer.MaxPool, TableRows: 1 << 10},
+			{Key: "user_elem_2", Pool: trainer.SumPool, TableRows: 1 << 10},
+			{Key: "item_0", Pool: trainer.SumPool, TableRows: 1 << 10},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := model.TrainStep(batches[i%len(batches)], mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainStepBaseline(b *testing.B) { benchTrainStep(b, trainer.Baseline) }
+func BenchmarkTrainStepRecD(b *testing.B)     { benchTrainStep(b, trainer.RecD) }
+
+// BenchmarkAllToAll measures the collective cost model itself.
+func BenchmarkAllToAll(b *testing.B) {
+	top := comm.ZionEX(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := top.UniformAllToAll(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures a complete small pipeline run.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	rm := core.RM1()
+	rm.GenCfg.Sessions = 30
+	rm.BaselineBatch, rm.RecDBatch = 128, 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunRecD(rm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

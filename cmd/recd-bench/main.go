@@ -1,0 +1,77 @@
+// Command recd-bench regenerates every table and figure of the paper's
+// evaluation from the synthetic pipeline. Each experiment prints
+// paper-style rows plus a note quoting the paper's reported values, so
+// the reproduction can be compared at a glance (EXPERIMENTS.md records
+// both sides).
+//
+// Usage:
+//
+//	recd-bench -list
+//	recd-bench -exp fig7
+//	recd-bench -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = flag.String("scale", "full", "run scale: full or small")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-14s %s\n", r.ID, r.Brief)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.Full
+	case "small":
+		sc = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "recd-bench: unknown scale %q (want full or small)\n", *scale)
+		os.Exit(2)
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "recd-bench: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recd-bench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(res)
+		fmt.Printf("  (%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

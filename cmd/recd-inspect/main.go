@@ -1,0 +1,122 @@
+// Command recd-inspect dumps the structure and deduplication statistics
+// of DWRF files written by recd-datagen: per-column compression, samples
+// per session, and the analytic DedupeFactor each feature would get at a
+// given batch size.
+//
+// Usage:
+//
+//	recd-inspect -batch 2048 /tmp/recd-table/part-00000.dwrf ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/dwrf"
+	"repro/internal/tensor"
+)
+
+func main() {
+	batch := flag.Int("batch", 2048, "batch size for DedupeFactor estimates")
+	topN := flag.Int("top", 15, "show the top-N features by DedupeFactor")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: recd-inspect [-batch N] file.dwrf ...")
+		os.Exit(2)
+	}
+
+	var samples []datagen.Sample
+	var keys []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fr, err := dwrf.OpenReader(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		ss, err := fr.ReadAll()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: %d rows, %d stripes, %d sparse features, %d dense\n",
+			path, fr.NumRows(), fr.NumStripes(), len(fr.SparseKeys()), fr.DenseCount())
+		samples = append(samples, ss...)
+		keys = fr.SparseKeys()
+	}
+
+	s := datagen.MeasuredS(samples)
+	fmt.Printf("\ntotal rows: %d, measured samples/session S = %.2f\n", len(samples), s)
+
+	// Per-feature duplicate measurement + analytic DedupeFactor at the
+	// requested batch size (using measured d(f) and l(f)).
+	type featStat struct {
+		key    string
+		avgLen float64
+		exact  float64
+		factor float64
+	}
+	stats := make([]featStat, len(keys))
+	for fi, key := range keys {
+		var totalIDs int64
+		var rows int64
+		for _, smp := range samples {
+			totalIDs += int64(len(smp.Sparse[fi]))
+			rows++
+		}
+		avgLen := float64(totalIDs) / float64(rows)
+
+		// Exact duplicate fraction across adjacent same-session rows.
+		var dup, pairs int64
+		for i := 1; i < len(samples); i++ {
+			if samples[i].SessionID != samples[i-1].SessionID {
+				continue
+			}
+			pairs++
+			if listEqual(samples[i].Sparse[fi], samples[i-1].Sparse[fi]) {
+				dup++
+			}
+		}
+		d := 0.0
+		if pairs > 0 {
+			d = float64(dup) / float64(pairs)
+		}
+		m := tensor.FeatureModel{S: s, B: float64(*batch), D: d, L: avgLen}
+		stats[fi] = featStat{key: key, avgLen: avgLen, exact: d * 100, factor: m.DedupeFactor()}
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].factor > stats[j].factor })
+
+	fmt.Printf("\n%-20s %10s %10s %12s %8s\n", "feature", "avg_len", "dup%", "DedupeFactor", "dedup?")
+	n := *topN
+	if n > len(stats) {
+		n = len(stats)
+	}
+	for _, st := range stats[:n] {
+		worth := ""
+		if st.factor > tensor.DefaultDedupeThreshold {
+			worth = "yes"
+		}
+		fmt.Printf("%-20s %10.1f %10.1f %12.2f %8s\n", st.key, st.avgLen, st.exact, st.factor, worth)
+	}
+}
+
+func listEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recd-inspect:", err)
+	os.Exit(1)
+}

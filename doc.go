@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "RecD: Deduplication
+// for End-to-End Deep Learning Recommendation Model Training
+// Infrastructure" (Zhao et al., MLSys 2023).
+//
+// The public surface lives in the command-line tools (cmd/recd-bench,
+// cmd/recd-datagen, cmd/recd-inspect) and the runnable examples
+// (examples/...); the library packages are under internal/. See README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// substitution table, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation.
+package repro

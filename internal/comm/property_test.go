@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyAllToAllConservation: the stats' byte totals equal the sum
+// of the send matrix (excluding self-sends), split correctly by link
+// class, for arbitrary matrices.
+func TestPropertyAllToAllConservation(t *testing.T) {
+	top := ZionEX(3) // 24 ranks
+	n := top.NumGPUs()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		send := make([][]int64, n)
+		var wantIntra, wantInter int64
+		for g := range send {
+			send[g] = make([]int64, n)
+			for p := range send[g] {
+				b := rng.Int63n(1 << 16)
+				send[g][p] = b
+				if p == g {
+					continue
+				}
+				if top.SameNode(g, p) {
+					wantIntra += b
+				} else {
+					wantInter += b
+				}
+			}
+		}
+		st, err := top.AllToAll(send)
+		if err != nil {
+			return false
+		}
+		return st.IntraBytes == wantIntra && st.InterBytes == wantInter
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTimeMonotoneInBytes: growing any rank's payload never makes
+// the collective faster.
+func TestPropertyTimeMonotoneInBytes(t *testing.T) {
+	top := ZionEX(2)
+	prop := func(seed int64, extra uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := rng.Int63n(1 << 18)
+		small, err := top.UniformAllToAll(base)
+		if err != nil {
+			return false
+		}
+		big, err := top.UniformAllToAll(base + int64(extra))
+		if err != nil {
+			return false
+		}
+		return big.Time >= small.Time
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAllReduceScalesLinearly: above the latency floor, doubling
+// the buffer roughly doubles all-reduce time.
+func TestPropertyAllReduceScalesLinearly(t *testing.T) {
+	top := ZionEX(4)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bytes := (rng.Int63n(64) + 64) << 20 // 64MB..128MB, far above α
+		one, err := top.AllReduce(bytes)
+		if err != nil {
+			return false
+		}
+		two, err := top.AllReduce(2 * bytes)
+		if err != nil {
+			return false
+		}
+		ratio := float64(two.Time) / float64(one.Time)
+		return ratio > 1.8 && ratio < 2.2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/tensor"
+)
+
+// FeatureDecision records the dedup heuristic's verdict for one feature.
+type FeatureDecision struct {
+	Key string
+	// Factor is the analytic DedupeFactor(f) from the paper's §4.2 model.
+	Factor float64
+	// Dedup is whether the feature clears the threshold.
+	Dedup bool
+	// Group is the IKJT group the feature lands in when deduplicated:
+	// its schema SyncGroup, or a singleton group named after the key.
+	Group string
+}
+
+// SelectDedupFeatures applies the paper's heuristic (§7): compute
+// DedupeFactor(f) for every sparse feature from the measured
+// samples-per-session S and the per-feature d(f) and l(f), and
+// deduplicate those above the threshold (typically 1.5). Features sharing
+// a schema SyncGroup are deduplicated together or not at all (grouped
+// IKJTs require synchronous updates), decided on the group's mean factor.
+func SelectDedupFeatures(schema *datagen.Schema, s float64, batch int, threshold float64) []FeatureDecision {
+	if threshold <= 0 {
+		threshold = tensor.DefaultDedupeThreshold
+	}
+	decisions := make([]FeatureDecision, len(schema.Sparse))
+	groupSum := map[string]float64{}
+	groupCount := map[string]int{}
+
+	for i, f := range schema.Sparse {
+		m := datagen.FeatureModelFor(f, s, batch)
+		d := FeatureDecision{Key: f.Key, Factor: m.DedupeFactor()}
+		if f.SyncGroup != "" {
+			d.Group = f.SyncGroup
+			groupSum[f.SyncGroup] += d.Factor
+			groupCount[f.SyncGroup]++
+		} else {
+			d.Group = f.Key
+		}
+		decisions[i] = d
+	}
+
+	for i := range decisions {
+		f := schema.Sparse[i]
+		if f.SyncGroup != "" {
+			mean := groupSum[f.SyncGroup] / float64(groupCount[f.SyncGroup])
+			decisions[i].Dedup = mean > threshold
+		} else {
+			decisions[i].Dedup = decisions[i].Factor > threshold
+		}
+	}
+	return decisions
+}
+
+// DedupGroups folds positive decisions into the reader spec's
+// dedup_sparse_features shape: one group per Group tag, members in schema
+// order, groups ordered by first appearance.
+func DedupGroups(decisions []FeatureDecision) [][]string {
+	order := []string{}
+	members := map[string][]string{}
+	for _, d := range decisions {
+		if !d.Dedup {
+			continue
+		}
+		if _, ok := members[d.Group]; !ok {
+			order = append(order, d.Group)
+		}
+		members[d.Group] = append(members[d.Group], d.Key)
+	}
+	out := make([][]string, 0, len(order))
+	for _, g := range order {
+		out = append(out, members[g])
+	}
+	return out
+}
+
+// MeanDedupFactor averages the analytic factor over deduplicated features,
+// the number the paper quotes per RM ("DedupeFactor was ≈4–15 for
+// deduplicated features").
+func MeanDedupFactor(decisions []FeatureDecision) float64 {
+	var sum float64
+	var n int
+	for _, d := range decisions {
+		if d.Dedup {
+			sum += d.Factor
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// TopFactors returns the k highest-factor decisions, for reporting.
+func TopFactors(decisions []FeatureDecision, k int) []FeatureDecision {
+	out := append([]FeatureDecision(nil), decisions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Factor > out[j].Factor })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

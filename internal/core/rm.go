@@ -1,0 +1,235 @@
+// Package core orchestrates the full RecD pipeline end-to-end: synthetic
+// data generation → Scribe log aggregation → ETL join/clustering → DWRF
+// tables on the blob store → the reader tier → numeric DLRM training with
+// the cluster cost model. It defines scaled-down equivalents of the
+// paper's three evaluation models (RM1/RM2/RM3, §6.1) and the
+// feature-deduplication selection heuristic (§7), and is the engine
+// behind every table/figure reproduction in cmd/recd-bench.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/reader"
+	"repro/internal/trainer"
+)
+
+// RMSpec is a scaled-down stand-in for one of the paper's representative
+// recommendation models. The paper's RMs carry O(10⁹)–O(10¹¹) parameters
+// on 48–64 GPUs; these specs keep the architectural shape (sequence
+// features with attention pooling for RM1, element-wise pooling
+// elsewhere, relative dataset session richness) at laptop scale.
+type RMSpec struct {
+	Name string
+
+	// SchemaCfg shapes the sparse feature population.
+	SchemaCfg datagen.StandardSchemaConfig
+	// GenCfg shapes the session/sample distribution.
+	GenCfg datagen.GeneratorConfig
+
+	// BaselineBatch and RecDBatch are the per-iteration global batch
+	// sizes (the paper raises RM1 2048→6144 and RM3 1152→2048 with RecD).
+	BaselineBatch int
+	RecDBatch     int
+	// Nodes is the ZionEX node count (8 GPUs each).
+	Nodes int
+
+	// EmbDim is the numeric model's embedding dimension.
+	EmbDim int
+	// BottomHidden/TopHidden are MLP widths.
+	BottomHidden []int
+	TopHidden    []int
+	// TableRows is the numeric embedding-table height per feature.
+	TableRows int
+	// SimEmbParamBytes is the simulated total embedding state for the
+	// cluster memory model (the paper's O(10GB)–O(100GB) tables).
+	SimEmbParamBytes int64
+	// AttentionGroups is how many sequence sync groups are pooled with
+	// transformers (RM1's distinguishing trait, §6.2); the paper's RM1
+	// transformers are expensive but a bounded share of total compute
+	// (dedup cut GEMM time ≈12%).
+	AttentionGroups int
+
+	// Production-scale calibration for the cluster cost model (see
+	// trainer.SimInput and DESIGN.md): laptop tensors are rescaled so
+	// byte-dependent collective costs dominate fixed message latency the
+	// way they do on a real ZionEX fleet.
+	SimByteScale      float64
+	SimPoolFlopScale  float64
+	SimDenseFlopScale float64
+	SimParamScale     float64
+	SimActMemScale    float64
+}
+
+// RM1 is the sequence-heavy model: many transformer-pooled user history
+// features, the largest RecD gains (2.48× trainer, 1.79× reader, 3.71×
+// compression).
+func RM1() RMSpec {
+	return RMSpec{
+		Name: "RM1",
+		SchemaCfg: datagen.StandardSchemaConfig{
+			UserSeq: 9, UserElem: 12, Item: 4, Dense: 8,
+			SeqLen: 24, SeqGroupSize: 3, Seed: 101,
+		},
+		GenCfg: datagen.GeneratorConfig{
+			Sessions: 120, MeanSamplesPerSession: 16.5, Seed: 1001,
+		},
+		BaselineBatch: 512,
+		RecDBatch:     1536,
+		Nodes:         6,
+		EmbDim:        16,
+		BottomHidden:  []int{64},
+		TopHidden:     []int{128, 64},
+		TableRows:     1 << 12,
+		// O(10GB) embedding state.
+		SimEmbParamBytes:  10 << 30,
+		AttentionGroups:   1,
+		SimByteScale:      512,
+		SimPoolFlopScale:  7000,
+		SimDenseFlopScale: 25000,
+		SimParamScale:     16,
+		SimActMemScale:    50,
+	}
+}
+
+// RM2 shares RM1's table (same GenCfg/SchemaCfg shape, same session
+// richness) but pools element-wise only and cannot grow its batch
+// (paper: 1.25× trainer gain, batch stays 2048).
+func RM2() RMSpec {
+	return RMSpec{
+		Name: "RM2",
+		SchemaCfg: datagen.StandardSchemaConfig{
+			UserSeq: 3, UserElem: 12, Item: 4, Dense: 8,
+			SeqLen: 48, SeqGroupSize: 3, Seed: 101,
+		},
+		GenCfg: datagen.GeneratorConfig{
+			Sessions: 120, MeanSamplesPerSession: 16.5, Seed: 1001,
+		},
+		BaselineBatch: 512,
+		RecDBatch:     512,
+		Nodes:         6,
+		EmbDim:        16,
+		BottomHidden:  []int{64},
+		TopHidden:     []int{64, 32},
+		TableRows:     1 << 12,
+		// O(100GB) embedding state.
+		SimEmbParamBytes:  60 << 30,
+		SimByteScale:      512,
+		SimPoolFlopScale:  7000,
+		SimDenseFlopScale: 25000,
+		SimParamScale:     16,
+		SimActMemScale:    50,
+	}
+}
+
+// RM3 uses a session-poorer table (lower S), so clustering helps its
+// compression less (2.06× vs 3.71×), and moderate dedup gains (1.43×
+// trainer with batch 1152→2048).
+func RM3() RMSpec {
+	return RMSpec{
+		Name: "RM3",
+		SchemaCfg: datagen.StandardSchemaConfig{
+			UserSeq: 6, UserElem: 10, Item: 5, Dense: 8,
+			SeqLen: 32, SeqGroupSize: 6, Seed: 202,
+		},
+		GenCfg: datagen.GeneratorConfig{
+			Sessions: 220, MeanSamplesPerSession: 6, Seed: 2002,
+		},
+		BaselineBatch:     384,
+		RecDBatch:         768,
+		Nodes:             8,
+		EmbDim:            16,
+		BottomHidden:      []int{64},
+		TopHidden:         []int{64, 32},
+		TableRows:         1 << 12,
+		SimEmbParamBytes:  60 << 30,
+		SimByteScale:      512,
+		SimPoolFlopScale:  7000,
+		SimDenseFlopScale: 25000,
+		SimParamScale:     16,
+		SimActMemScale:    50,
+	}
+}
+
+// AllRMs returns the three evaluation models in paper order.
+func AllRMs() []RMSpec { return []RMSpec{RM1(), RM2(), RM3()} }
+
+// Schema instantiates the RM's dataset schema.
+func (r RMSpec) Schema() *datagen.Schema {
+	return datagen.StandardSchema(r.SchemaCfg)
+}
+
+// ModelConfig builds the numeric trainer configuration for this RM over
+// its schema: sequence features get attention pooling when AttentionSeq
+// is set, element-wise features rotate through sum/mean/max, item
+// features sum-pool.
+func (r RMSpec) ModelConfig(schema *datagen.Schema) trainer.Config {
+	cfg := trainer.Config{
+		EmbDim:       r.EmbDim,
+		DenseIn:      schema.Dense,
+		BottomHidden: r.BottomHidden,
+		TopHidden:    r.TopHidden,
+		LR:           0.01,
+		Seed:         4242,
+	}
+	elemPools := []trainer.PoolKind{trainer.SumPool, trainer.MeanPool, trainer.MaxPool}
+	elemIdx := 0
+	groupSize := r.SchemaCfg.SeqGroupSize
+	if groupSize <= 0 {
+		groupSize = 3
+	}
+	seqIdx := 0
+	for _, f := range schema.Sparse {
+		fc := trainer.FeatureConfig{Key: f.Key, TableRows: r.TableRows}
+		switch {
+		case f.Class == datagen.UserFeature && f.Update == datagen.ShiftAppend:
+			if seqIdx/groupSize < r.AttentionGroups {
+				fc.Pool = trainer.AttentionPool
+			} else {
+				fc.Pool = trainer.SumPool
+			}
+			seqIdx++
+		case f.Class == datagen.UserFeature:
+			fc.Pool = elemPools[elemIdx%len(elemPools)]
+			elemIdx++
+		default:
+			fc.Pool = trainer.SumPool
+		}
+		cfg.Features = append(cfg.Features, fc)
+	}
+	return cfg
+}
+
+// ReaderSpec builds the DataLoader spec for this RM. With dedup enabled,
+// the groups come from the selection heuristic; otherwise every feature
+// is consumed as a plain KJT.
+func (r RMSpec) ReaderSpec(table string, batch int, dedupGroups [][]string) (reader.Spec, error) {
+	schema := r.Schema()
+	spec := reader.Spec{Table: table, BatchSize: batch}
+	inGroup := map[string]bool{}
+	for _, g := range dedupGroups {
+		for _, k := range g {
+			if _, ok := schema.FeatureIndex(k); !ok {
+				return reader.Spec{}, fmt.Errorf("core: dedup group references unknown feature %q", k)
+			}
+			inGroup[k] = true
+		}
+	}
+	spec.DedupSparseFeatures = dedupGroups
+	for _, f := range schema.Sparse {
+		if !inGroup[f.Key] {
+			spec.SparseFeatures = append(spec.SparseFeatures, f.Key)
+		}
+	}
+	// Preprocessing: hash every consumed feature into the model's table
+	// space, then enforce ID bounds — a two-stage stand-in for the
+	// readers' TorchScript transform chains (§4.3). Transforms over dedup
+	// groups run on deduplicated values only (O4).
+	all := spec.ConsumedFeatures()
+	spec.SparseTransforms = []reader.SparseTransform{
+		reader.HashMod{Features: all, TableSize: int64(r.TableRows)},
+		reader.Clamp{Features: all, Min: 0, Max: int64(r.TableRows) - 1},
+	}
+	return spec, spec.Validate()
+}

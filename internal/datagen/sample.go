@@ -1,0 +1,196 @@
+package datagen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Sample is one training sample: an impression and its outcome, carrying
+// the full feature snapshot logged at inference time (inference servers log
+// features per request to avoid data leakage, paper §2.1).
+type Sample struct {
+	SessionID int64
+	UserID    int64
+	RequestID int64
+	// Timestamp is microseconds since the partition start; the raw log
+	// stream is ordered by this inference time, which interleaves sessions
+	// (paper §3).
+	Timestamp int64
+	// Sparse holds one ID list per schema sparse feature, indexed in
+	// schema order.
+	Sparse [][]int64
+	// Dense holds the dense float features.
+	Dense []float32
+	// Label is the impression outcome (e.g. click).
+	Label int8
+}
+
+// Clone deep-copies the sample.
+func (s Sample) Clone() Sample {
+	out := s
+	out.Sparse = make([][]int64, len(s.Sparse))
+	for i, l := range s.Sparse {
+		out.Sparse[i] = append([]int64(nil), l...)
+	}
+	out.Dense = append([]float32(nil), s.Dense...)
+	return out
+}
+
+// SparseBytes reports the payload bytes attributable to sparse features.
+func (s Sample) SparseBytes() int {
+	n := 0
+	for _, l := range s.Sparse {
+		n += 8 * len(l)
+	}
+	return n
+}
+
+// EncodedSize reports the serialized size of the sample without encoding
+// it (upper bound; varints may shrink it).
+func (s Sample) EncodedSize() int {
+	return 8*4 + 1 + s.SparseBytes() + 8*len(s.Sparse) + 4*len(s.Dense) + 16
+}
+
+// Encode serializes the sample in the raw-log wire format used by the
+// inference→Scribe path. The format is deliberately value-dense so that
+// black-box compression behaves like it does on production logs: duplicate
+// feature values across co-located samples compress away.
+func (s Sample) Encode(w io.Writer) error {
+	var hdr [8]byte
+	writeI64 := func(v int64) error {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(v))
+		_, err := w.Write(hdr[:])
+		return err
+	}
+	for _, v := range []int64{s.SessionID, s.UserID, s.RequestID, s.Timestamp} {
+		if err := writeI64(v); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write([]byte{byte(s.Label)}); err != nil {
+		return err
+	}
+	if err := writeI64(int64(len(s.Sparse))); err != nil {
+		return err
+	}
+	for _, list := range s.Sparse {
+		if err := writeI64(int64(len(list))); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(list))
+		for i, v := range list {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := writeI64(int64(len(s.Dense))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(s.Dense))
+	for i, v := range s.Dense {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeSample reads one sample from r in the Encode format.
+func DecodeSample(r io.Reader) (Sample, error) {
+	var s Sample
+	var hdr [8]byte
+	readI64 := func() (int64, error) {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(hdr[:])), nil
+	}
+	var err error
+	if s.SessionID, err = readI64(); err != nil {
+		return s, err // io.EOF here means a clean end of stream
+	}
+	if s.UserID, err = readI64(); err != nil {
+		return s, fmt.Errorf("datagen: decode user id: %w", err)
+	}
+	if s.RequestID, err = readI64(); err != nil {
+		return s, fmt.Errorf("datagen: decode request id: %w", err)
+	}
+	if s.Timestamp, err = readI64(); err != nil {
+		return s, fmt.Errorf("datagen: decode timestamp: %w", err)
+	}
+	var lbl [1]byte
+	if _, err := io.ReadFull(r, lbl[:]); err != nil {
+		return s, fmt.Errorf("datagen: decode label: %w", err)
+	}
+	s.Label = int8(lbl[0])
+	nSparse, err := readI64()
+	if err != nil {
+		return s, fmt.Errorf("datagen: decode sparse count: %w", err)
+	}
+	if nSparse < 0 || nSparse > 1<<20 {
+		return s, fmt.Errorf("datagen: implausible sparse count %d", nSparse)
+	}
+	s.Sparse = make([][]int64, nSparse)
+	for i := range s.Sparse {
+		n, err := readI64()
+		if err != nil {
+			return s, fmt.Errorf("datagen: decode list len: %w", err)
+		}
+		if n < 0 || n > 1<<24 {
+			return s, fmt.Errorf("datagen: implausible list len %d", n)
+		}
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return s, fmt.Errorf("datagen: decode list: %w", err)
+		}
+		list := make([]int64, n)
+		for c := range list {
+			list[c] = int64(binary.LittleEndian.Uint64(buf[c*8:]))
+		}
+		s.Sparse[i] = list
+	}
+	nDense, err := readI64()
+	if err != nil {
+		return s, fmt.Errorf("datagen: decode dense count: %w", err)
+	}
+	if nDense < 0 || nDense > 1<<20 {
+		return s, fmt.Errorf("datagen: implausible dense count %d", nDense)
+	}
+	buf := make([]byte, 4*nDense)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return s, fmt.Errorf("datagen: decode dense: %w", err)
+	}
+	s.Dense = make([]float32, nDense)
+	for i := range s.Dense {
+		s.Dense[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return s, nil
+}
+
+// EncodeSamples serializes a slice of samples back to back.
+func EncodeSamples(w io.Writer, samples []Sample) error {
+	for i := range samples {
+		if err := samples[i].Encode(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSamples reads samples until EOF.
+func DecodeSamples(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	for {
+		s, err := DecodeSample(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}

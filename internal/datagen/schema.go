@@ -1,0 +1,216 @@
+// Package datagen synthesizes session-centric DLRM training data with the
+// duplication structure the paper characterizes in §3: each user session
+// produces many samples (mean 16.5 in the paper's hourly partition, with a
+// tail beyond 1000), and sparse user features rarely change across a
+// session's samples while item features change nearly every sample.
+//
+// The generator stands in for Meta's production inference logs (repro band:
+// no access to production traces). Duplication statistics are fully
+// determined by the (samples-per-session, per-feature change probability,
+// list length) parameters, so every downstream dedup code path observes the
+// same distributional shape as the paper's dataset.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FeatureClass distinguishes user from item sparse features. User features
+// (e.g. last-N liked post IDs) are largely static within a session; item
+// features (e.g. the candidate item ID) change almost every impression
+// (paper §3).
+type FeatureClass int
+
+const (
+	// UserFeature reflects user traits; highly duplicated within sessions.
+	UserFeature FeatureClass = iota
+	// ItemFeature reflects the ranked item; low duplication.
+	ItemFeature
+)
+
+// String implements fmt.Stringer.
+func (c FeatureClass) String() string {
+	switch c {
+	case UserFeature:
+		return "user"
+	case ItemFeature:
+		return "item"
+	default:
+		return fmt.Sprintf("FeatureClass(%d)", int(c))
+	}
+}
+
+// UpdateKind describes how a feature's value evolves when it changes.
+type UpdateKind int
+
+const (
+	// Resample draws a completely new list (e.g. a recomputed ranking
+	// signal). Changes produce no partial overlap.
+	Resample UpdateKind = iota
+	// ShiftAppend appends one new ID and slides the window (e.g. last-N
+	// engagement history). Changes are shifts, so partial IKJTs can still
+	// deduplicate them (paper §7).
+	ShiftAppend
+)
+
+// FeatureSpec describes one sparse feature.
+type FeatureSpec struct {
+	Key   string
+	Class FeatureClass
+	// ChangeProb is the probability the feature's value changes between
+	// adjacent samples of the same session; d(f) in the paper's model is
+	// 1 - ChangeProb.
+	ChangeProb float64
+	// MeanLen is the average list length l(f).
+	MeanLen int
+	// MaxLen bounds the list length (sequence window size).
+	MaxLen int
+	// Update selects how changes are applied.
+	Update UpdateKind
+	// Cardinality is the ID space size for this feature.
+	Cardinality int64
+	// SyncGroup, when non-empty, names a set of features that update
+	// synchronously across a session's samples (one change draw shared by
+	// the whole group) — the property grouped IKJTs rely on (paper §4.2:
+	// "features updated synchronously across samples", e.g. item-ID and
+	// seller-ID of the same cart sequence).
+	SyncGroup string
+}
+
+// D returns the paper's d(f): probability the value is unchanged across
+// adjacent rows.
+func (f FeatureSpec) D() float64 { return 1 - f.ChangeProb }
+
+// Schema is the dataset schema: an ordered list of sparse features plus a
+// count of dense float features.
+type Schema struct {
+	Sparse []FeatureSpec
+	Dense  int
+	index  map[string]int
+}
+
+// NewSchema builds a schema, validating feature specs.
+func NewSchema(sparse []FeatureSpec, dense int) (*Schema, error) {
+	s := &Schema{Sparse: append([]FeatureSpec(nil), sparse...), Dense: dense, index: map[string]int{}}
+	for i, f := range s.Sparse {
+		if f.Key == "" {
+			return nil, fmt.Errorf("datagen: feature %d has empty key", i)
+		}
+		if _, dup := s.index[f.Key]; dup {
+			return nil, fmt.Errorf("datagen: duplicate feature key %q", f.Key)
+		}
+		if f.ChangeProb < 0 || f.ChangeProb > 1 {
+			return nil, fmt.Errorf("datagen: feature %q change prob %v out of [0,1]", f.Key, f.ChangeProb)
+		}
+		if f.MeanLen <= 0 || f.MaxLen < f.MeanLen {
+			return nil, fmt.Errorf("datagen: feature %q bad lengths mean=%d max=%d", f.Key, f.MeanLen, f.MaxLen)
+		}
+		if f.Cardinality <= 0 {
+			return nil, fmt.Errorf("datagen: feature %q cardinality %d", f.Key, f.Cardinality)
+		}
+		s.index[f.Key] = i
+	}
+	return s, nil
+}
+
+// FeatureIndex returns the position of key in the sparse feature list.
+func (s *Schema) FeatureIndex(key string) (int, bool) {
+	i, ok := s.index[key]
+	return i, ok
+}
+
+// SparseKeys returns the ordered sparse feature keys.
+func (s *Schema) SparseKeys() []string {
+	out := make([]string, len(s.Sparse))
+	for i, f := range s.Sparse {
+		out[i] = f.Key
+	}
+	return out
+}
+
+// StandardSchemaConfig parameterizes StandardSchema.
+type StandardSchemaConfig struct {
+	// UserSeq is the number of long user sequence features (ShiftAppend,
+	// high d(f), long lists) — the features the paper's RM1 deduplicates
+	// in transformer-pooled groups.
+	UserSeq int
+	// UserElem is the number of element-wise pooled user features
+	// (Resample, high d(f), short-to-medium lists) — the ~100 additional
+	// deduplicated features per RM.
+	UserElem int
+	// Item is the number of item features (low d(f)).
+	Item int
+	// Dense is the number of dense float features.
+	Dense int
+	// SeqLen is the mean length of sequence features.
+	SeqLen int
+	// SeqGroupSize is how many user sequence features share one sync
+	// group (and thus one grouped IKJT); the paper's RM1 deduplicates 16
+	// sequence features in 5 groups. Defaults to 3.
+	SeqGroupSize int
+	// Seed drives the per-feature parameter draws.
+	Seed int64
+}
+
+// StandardSchema builds a schema shaped like the paper's characterization:
+// user features dominate dataset volume and have high d(f) (the left mass
+// of Fig 4); item features sit right of the knee with low d(f).
+func StandardSchema(cfg StandardSchemaConfig) *Schema {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sparse []FeatureSpec
+	if cfg.SeqLen == 0 {
+		cfg.SeqLen = 200
+	}
+	if cfg.SeqGroupSize <= 0 {
+		cfg.SeqGroupSize = 3
+	}
+	// Sequence features are drawn in sync groups: every member of a group
+	// shares one ChangeProb and one SyncGroup tag, so its values update
+	// synchronously and the group deduplicates as one IKJT.
+	groupProb := 0.0
+	for i := 0; i < cfg.UserSeq; i++ {
+		if i%cfg.SeqGroupSize == 0 {
+			groupProb = 0.02 + 0.10*rng.Float64() // d(f) in [0.88, 0.98]
+		}
+		sparse = append(sparse, FeatureSpec{
+			Key:         fmt.Sprintf("user_seq_%d", i),
+			Class:       UserFeature,
+			ChangeProb:  groupProb,
+			MeanLen:     cfg.SeqLen,
+			MaxLen:      cfg.SeqLen * 2,
+			Update:      ShiftAppend,
+			Cardinality: 1 << 40,
+			SyncGroup:   fmt.Sprintf("seq_group_%d", i/cfg.SeqGroupSize),
+		})
+	}
+	for i := 0; i < cfg.UserElem; i++ {
+		meanLen := 4 + rng.Intn(28)
+		sparse = append(sparse, FeatureSpec{
+			Key:         fmt.Sprintf("user_elem_%d", i),
+			Class:       UserFeature,
+			ChangeProb:  0.02 + 0.18*rng.Float64(), // d(f) in [0.80, 0.98]
+			MeanLen:     meanLen,
+			MaxLen:      meanLen * 3,
+			Update:      Resample,
+			Cardinality: 1 << 32,
+		})
+	}
+	for i := 0; i < cfg.Item; i++ {
+		meanLen := 1 + rng.Intn(4)
+		sparse = append(sparse, FeatureSpec{
+			Key:         fmt.Sprintf("item_%d", i),
+			Class:       ItemFeature,
+			ChangeProb:  0.85 + 0.15*rng.Float64(), // d(f) in [0, 0.15]
+			MeanLen:     meanLen,
+			MaxLen:      meanLen * 2,
+			Update:      Resample,
+			Cardinality: 1 << 28,
+		})
+	}
+	s, err := NewSchema(sparse, cfg.Dense)
+	if err != nil {
+		panic(err) // unreachable: constructed specs are valid
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package dwrf
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Column stream encodings. Every stream is a byte slice produced by one of
+// the putX helpers and consumed by the matching readX helper; streams are
+// then individually flate-compressed per stripe.
+
+// putUvarint appends v to b as an unsigned varint.
+func putUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// putVarint appends v to b as a zigzag-encoded signed varint.
+func putVarint(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// putFloat32 appends the little-endian IEEE bits of f.
+func putFloat32(b []byte, f float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
+}
+
+// byteReader adapts a slice for the binary varint readers while tracking
+// position.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func (r *byteReader) varint() (int64, error) {
+	return binary.ReadVarint(r)
+}
+
+func (r *byteReader) float32() (float32, error) {
+	if r.pos+4 > len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return math.Float32frombits(v), nil
+}
+
+func (r *byteReader) remaining() int { return len(r.buf) - r.pos }
+
+// compressStream flate-compresses a stream at the given level (0 = default).
+func compressStream(raw []byte, level int) ([]byte, error) {
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, level)
+	if err != nil {
+		return nil, fmt.Errorf("dwrf: flate init: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, fmt.Errorf("dwrf: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("dwrf: compress close: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// decompressStream inflates a compressed stream; rawLen is the expected
+// decompressed size recorded in the stripe header.
+func decompressStream(comp []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 || rawLen > maxStreamBytes {
+		return nil, fmt.Errorf("dwrf: invalid raw stream length %d", rawLen)
+	}
+	r := flate.NewReader(bytes.NewReader(comp))
+	defer r.Close()
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("dwrf: decompress: %w", err)
+	}
+	// A trailing read must hit EOF, otherwise the recorded length lied.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("dwrf: stream longer than recorded length %d", rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package dwrf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/datagen"
+)
+
+// FileReader decodes a DWRF file from memory. It parses the footer once
+// and then serves stripe-granular reads, the unit the reader tier's fill
+// stage operates on.
+type FileReader struct {
+	data    []byte
+	stripes []stripeInfo
+	keys    []string
+	dense   int
+	rows    int
+}
+
+// OpenReader parses the footer of a DWRF file.
+func OpenReader(data []byte) (*FileReader, error) {
+	if len(data) < len(magic)*2+4 {
+		return nil, fmt.Errorf("dwrf: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("dwrf: bad header magic")
+	}
+	if string(data[len(data)-len(magic):]) != magic {
+		return nil, fmt.Errorf("dwrf: bad trailer magic")
+	}
+	footerLen := int(binary.LittleEndian.Uint32(data[len(data)-8 : len(data)-4]))
+	footerStart := len(data) - 8 - footerLen
+	if footerLen < 0 || footerStart < len(magic) {
+		return nil, fmt.Errorf("dwrf: invalid footer length %d", footerLen)
+	}
+
+	r := &byteReader{buf: data[footerStart : footerStart+footerLen]}
+	nStripes, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dwrf: footer stripe count: %w", err)
+	}
+	if nStripes > uint64(len(data)) {
+		return nil, fmt.Errorf("dwrf: implausible stripe count %d", nStripes)
+	}
+	fr := &FileReader{data: data}
+	for i := uint64(0); i < nStripes; i++ {
+		off, err1 := r.uvarint()
+		length, err2 := r.uvarint()
+		rows, err3 := r.uvarint()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dwrf: footer stripe %d truncated", i)
+		}
+		if off+length > uint64(footerStart) || rows > maxStripeRows {
+			return nil, fmt.Errorf("dwrf: stripe %d out of bounds", i)
+		}
+		fr.stripes = append(fr.stripes, stripeInfo{offset: int64(off), length: int64(length), rows: int(rows)})
+		fr.rows += int(rows)
+	}
+	nKeys, err := r.uvarint()
+	if err != nil || nKeys > maxColumns {
+		return nil, fmt.Errorf("dwrf: footer key count invalid")
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		kl, err := r.uvarint()
+		if err != nil || int(kl) > r.remaining() {
+			return nil, fmt.Errorf("dwrf: footer key %d truncated", i)
+		}
+		fr.keys = append(fr.keys, string(r.buf[r.pos:r.pos+int(kl)]))
+		r.pos += int(kl)
+	}
+	nDense, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dwrf: footer dense count: %w", err)
+	}
+	fr.dense = int(nDense)
+	return fr, nil
+}
+
+// NumRows reports the total row count.
+func (r *FileReader) NumRows() int { return r.rows }
+
+// NumStripes reports the stripe count.
+func (r *FileReader) NumStripes() int { return len(r.stripes) }
+
+// SparseKeys returns the ordered sparse feature keys recorded in the footer.
+func (r *FileReader) SparseKeys() []string { return append([]string(nil), r.keys...) }
+
+// DenseCount returns the dense feature count recorded in the footer.
+func (r *FileReader) DenseCount() int { return r.dense }
+
+// StripeRows reports the row count of stripe i.
+func (r *FileReader) StripeRows(i int) int { return r.stripes[i].rows }
+
+// StripeByteRange returns the byte extent of stripe i within the file,
+// for range reads against a blob store.
+func (r *FileReader) StripeByteRange(i int) (offset, length int64) {
+	return r.stripes[i].offset, r.stripes[i].length
+}
+
+// ReadStripe decodes stripe i back into samples.
+func (r *FileReader) ReadStripe(i int) ([]datagen.Sample, error) {
+	if i < 0 || i >= len(r.stripes) {
+		return nil, fmt.Errorf("dwrf: stripe %d out of range [0,%d)", i, len(r.stripes))
+	}
+	st := r.stripes[i]
+	return DecodeStripe(r.data[st.offset:st.offset+st.length], r.keys, r.dense)
+}
+
+// ReadAll decodes every stripe.
+func (r *FileReader) ReadAll() ([]datagen.Sample, error) {
+	out := make([]datagen.Sample, 0, r.rows)
+	for i := range r.stripes {
+		ss, err := r.ReadStripe(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ss...)
+	}
+	return out, nil
+}
+
+// DecodeStripe decodes one stripe's bytes (as delimited by
+// StripeByteRange) into samples. It is exported so the reader tier can
+// range-read a stripe from the blob store and decode it without holding
+// the whole file.
+func DecodeStripe(stripe []byte, keys []string, dense int) ([]datagen.Sample, error) {
+	r := &byteReader{buf: stripe}
+	rowsU, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dwrf: stripe row count: %w", err)
+	}
+	nColsU, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dwrf: stripe column count: %w", err)
+	}
+	rows, nCols := int(rowsU), int(nColsU)
+	if rows > maxStripeRows || nCols > maxColumns {
+		return nil, fmt.Errorf("dwrf: implausible stripe header rows=%d cols=%d", rows, nCols)
+	}
+	if want := 2 + len(keys); nCols != want {
+		return nil, fmt.Errorf("dwrf: stripe has %d columns, footer schema implies %d", nCols, want)
+	}
+
+	rawLens := make([]int, nCols)
+	compLens := make([]int, nCols)
+	for c := 0; c < nCols; c++ {
+		rl, err1 := r.uvarint()
+		cl, err2 := r.uvarint()
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("dwrf: stripe header column %d truncated", c)
+		}
+		if rl > maxStreamBytes || cl > maxStreamBytes {
+			return nil, fmt.Errorf("dwrf: column %d stream too large", c)
+		}
+		rawLens[c], compLens[c] = int(rl), int(cl)
+	}
+
+	streams := make([][]byte, nCols)
+	for c := 0; c < nCols; c++ {
+		if compLens[c] > r.remaining() {
+			return nil, fmt.Errorf("dwrf: column %d stream truncated", c)
+		}
+		raw, err := decompressStream(r.buf[r.pos:r.pos+compLens[c]], rawLens[c])
+		if err != nil {
+			return nil, fmt.Errorf("dwrf: column %d: %w", c, err)
+		}
+		streams[c] = raw
+		r.pos += compLens[c]
+	}
+
+	samples := make([]datagen.Sample, rows)
+
+	// Column 0: metadata (delta-encoded session ID and timestamp).
+	mr := &byteReader{buf: streams[0]}
+	var prevSession, prevTS int64
+	for i := 0; i < rows; i++ {
+		ds, err1 := mr.varint()
+		uid, err2 := mr.varint()
+		rid, err3 := mr.varint()
+		dts, err4 := mr.varint()
+		lb, err5 := mr.ReadByte()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return nil, fmt.Errorf("dwrf: metadata row %d truncated", i)
+		}
+		prevSession += ds
+		prevTS += dts
+		samples[i].SessionID = prevSession
+		samples[i].UserID = uid
+		samples[i].RequestID = rid
+		samples[i].Timestamp = prevTS
+		samples[i].Label = int8(lb)
+	}
+
+	// Column 1: dense floats.
+	dr := &byteReader{buf: streams[1]}
+	for i := 0; i < rows; i++ {
+		vec := make([]float32, dense)
+		for j := 0; j < dense; j++ {
+			f, err := dr.float32()
+			if err != nil {
+				return nil, fmt.Errorf("dwrf: dense row %d truncated", i)
+			}
+			vec[j] = f
+		}
+		samples[i].Dense = vec
+		samples[i].Sparse = make([][]int64, len(keys))
+	}
+
+	// Sparse columns.
+	for fi := range keys {
+		sr := &byteReader{buf: streams[2+fi]}
+		for i := 0; i < rows; i++ {
+			n, err := sr.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("dwrf: sparse %q row %d length truncated", keys[fi], i)
+			}
+			if int(n) > sr.remaining() { // each value is ≥1 byte
+				return nil, fmt.Errorf("dwrf: sparse %q row %d list too long (%d)", keys[fi], i, n)
+			}
+			lst := make([]int64, n)
+			for j := range lst {
+				v, err := sr.varint()
+				if err != nil {
+					return nil, fmt.Errorf("dwrf: sparse %q row %d value %d truncated", keys[fi], i, j)
+				}
+				lst[j] = v
+			}
+			samples[i].Sparse[fi] = lst
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,141 @@
+package etl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+)
+
+func randomStream(seed int64, sessions int) []datagen.Sample {
+	schema, err := datagen.NewSchema([]datagen.FeatureSpec{
+		{Key: "f", Class: datagen.UserFeature, ChangeProb: 0.3,
+			MeanLen: 4, MaxLen: 8, Update: datagen.Resample, Cardinality: 1 << 20},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: sessions, MeanSamplesPerSession: 6, Seed: seed,
+	})
+	return gen.GeneratePartition()
+}
+
+// TestPropertyClusterPreservesMultiset: clustering is a pure permutation —
+// the multiset of request IDs is unchanged and ValidateClustered accepts
+// the output.
+func TestPropertyClusterPreservesMultiset(t *testing.T) {
+	prop := func(seed int64, sessions uint8) bool {
+		n := int(sessions%20) + 2
+		stream := randomStream(seed, n)
+		clustered := ClusterBySession(stream)
+		if len(clustered) != len(stream) {
+			return false
+		}
+		if err := ValidateClustered(stream, clustered); err != nil {
+			return false
+		}
+		// Contiguity: every session appears in exactly one run.
+		seen := map[int64]bool{}
+		var cur int64 = -1
+		for _, s := range clustered {
+			if s.SessionID != cur {
+				if seen[s.SessionID] {
+					return false // session split into two runs
+				}
+				seen[s.SessionID] = true
+				cur = s.SessionID
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyClusterSortsWithinSession: inside each session run,
+// timestamps are non-decreasing.
+func TestPropertyClusterSortsWithinSession(t *testing.T) {
+	prop := func(seed int64) bool {
+		clustered := ClusterBySession(randomStream(seed, 10))
+		for i := 1; i < len(clustered); i++ {
+			if clustered[i].SessionID == clustered[i-1].SessionID &&
+				clustered[i].Timestamp < clustered[i-1].Timestamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPerSessionDownsampleKeepsSessionsWhole: per-session
+// downsampling never splits a session — each session is fully kept or
+// fully dropped.
+func TestPropertyPerSessionDownsampleKeepsSessionsWhole(t *testing.T) {
+	prop := func(seed int64, rateByte uint8) bool {
+		rate := float64(rateByte%90+5) / 100 // 0.05..0.94
+		stream := randomStream(seed, 15)
+		kept := Downsample(stream, rate, PerSession, seed)
+
+		counts := map[int64]int{}
+		for _, s := range stream {
+			counts[s.SessionID]++
+		}
+		keptCounts := map[int64]int{}
+		for _, s := range kept {
+			keptCounts[s.SessionID]++
+		}
+		for sid, k := range keptCounts {
+			if k != counts[sid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyJoinInverseOfSplit: Join(SplitLogs(x)) == x for arbitrary
+// streams.
+func TestPropertyJoinInverseOfSplit(t *testing.T) {
+	prop := func(seed int64) bool {
+		stream := randomStream(seed, 8)
+		feats, events := SplitLogs(stream)
+		joined := Join(feats, events)
+		if len(joined) != len(stream) {
+			return false
+		}
+		for i := range joined {
+			if joined[i].RequestID != stream[i].RequestID ||
+				joined[i].Label != stream[i].Label ||
+				joined[i].SessionID != stream[i].SessionID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDownsampleRateApproximatelyHonored: the kept fraction is
+// within a loose band of the requested rate for per-sample downsampling.
+func TestPropertyDownsampleRateApproximatelyHonored(t *testing.T) {
+	stream := randomStream(42, 80)
+	prop := func(seed int64, rateByte uint8) bool {
+		rate := float64(rateByte%60+20) / 100 // 0.20..0.79
+		kept := Downsample(stream, rate, PerSample, seed)
+		got := float64(len(kept)) / float64(len(stream))
+		return got > rate-0.15 && got < rate+0.15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

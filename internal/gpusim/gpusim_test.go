@@ -1,0 +1,143 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestA100Valid(t *testing.T) {
+	if err := A100().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []DeviceSpec{
+		{},
+		{PeakFLOPs: 1, HBMBandwidth: 1, HBMCapacity: 1, GEMMEfficiency: 0},
+		{PeakFLOPs: 1, HBMBandwidth: 1, HBMCapacity: 1, GEMMEfficiency: 1.5},
+		{PeakFLOPs: 1, HBMBandwidth: 1, HBMCapacity: 0, GEMMEfficiency: 0.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGEMMTimeScalesWithWork(t *testing.T) {
+	d := A100()
+	small := d.GEMMTime(1024, 1024, 1024)
+	big := d.GEMMTime(2048, 2048, 1024)
+	if big <= small {
+		t.Fatalf("bigger GEMM not slower: %v vs %v", big, small)
+	}
+	// 4x the flops → close to 4x the time for compute-bound shapes.
+	ratio := float64(big-d.KernelLaunch) / float64(small-d.KernelLaunch)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("compute-bound GEMM ratio %.2f not ≈4", ratio)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	d := A100()
+	// A skinny GEMM is memory-bound: time tracks bytes, not flops.
+	skinny := d.GEMMTime(1<<20, 1, 1)
+	bytes := 4 * (float64(1<<20) + 1 + float64(1<<20))
+	want := d.KernelLaunch + time.Duration(bytes/d.HBMBandwidth*float64(time.Second))
+	if skinny < want*9/10 || skinny > want*11/10 {
+		t.Fatalf("memory-bound GEMM = %v want ≈%v", skinny, want)
+	}
+}
+
+func TestEmbLookupLinearInLookups(t *testing.T) {
+	d := A100()
+	t1 := d.EmbLookupTime(1<<20, 128)
+	t2 := d.EmbLookupTime(1<<21, 128)
+	ratio := float64(t2-d.KernelLaunch) / float64(t1-d.KernelLaunch)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("lookup time ratio %.2f not ≈2", ratio)
+	}
+	// Halving lookups via dedup halves EMB time — the paper's O5 claim.
+	if t2 <= t1 {
+		t.Fatal("more lookups should cost more")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	spec := A100()
+	m := NewMemTracker(spec)
+	if err := m.Alloc(10 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc(20 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 30<<30 || m.Peak() != 30<<30 {
+		t.Fatalf("used=%d peak=%d", m.Used(), m.Peak())
+	}
+	// Exceeding capacity fails.
+	if err := m.Alloc(11 << 30); err == nil {
+		t.Fatal("expected OOM")
+	}
+	m.Free(25 << 30)
+	if m.Used() != 5<<30 {
+		t.Fatalf("used after free = %d", m.Used())
+	}
+	if m.Peak() != 30<<30 {
+		t.Fatal("peak should persist after free")
+	}
+	if got := m.PeakUtilization(); got < 0.74 || got > 0.76 {
+		t.Fatalf("peak utilization = %v want 0.75", got)
+	}
+	m.ResetPeak()
+	if m.Peak() != m.Used() {
+		t.Fatal("ResetPeak should lower peak to current")
+	}
+	if err := m.Alloc(-1); err == nil {
+		t.Fatal("expected error for negative alloc")
+	}
+	// Over-free clamps at zero.
+	m.Free(1 << 40)
+	if m.Used() != 0 {
+		t.Fatalf("over-free should clamp: %d", m.Used())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{EMB: 1 * time.Millisecond, GEMM: 2 * time.Millisecond,
+		A2A: 3 * time.Millisecond, Other: 4 * time.Millisecond}
+	if b.Total() != 10*time.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	b.Add(Breakdown{EMB: time.Millisecond})
+	if b.EMB != 2*time.Millisecond {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+	s := b.Scale(0.5)
+	if s.GEMM != time.Millisecond {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// Fully hidden.
+	if got := Overlap(time.Millisecond, 10*time.Millisecond, 1); got != 0 {
+		t.Fatalf("fully hidden comm exposed %v", got)
+	}
+	// Partially hidden.
+	if got := Overlap(10*time.Millisecond, 10*time.Millisecond, 0.5); got != 5*time.Millisecond {
+		t.Fatalf("half hidden = %v", got)
+	}
+	// No overlap.
+	if got := Overlap(time.Millisecond, time.Hour, 0); got != time.Millisecond {
+		t.Fatalf("no overlap = %v", got)
+	}
+	// Clamping.
+	if got := Overlap(time.Millisecond, time.Hour, 5); got != 0 {
+		t.Fatal("fraction should clamp to 1")
+	}
+	if got := Overlap(time.Millisecond, time.Hour, -3); got != time.Millisecond {
+		t.Fatal("fraction should clamp to 0")
+	}
+}

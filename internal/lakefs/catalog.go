@@ -1,0 +1,133 @@
+package lakefs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is the Hive-metastore stand-in: it maps table → hourly partition
+// → file paths in a Store. Partition landing and retention mirror the
+// paper's data generation pipeline, which constantly lands new hourly
+// partitions and deletes old ones (§2.1).
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]map[int64][]string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]map[int64][]string)}
+}
+
+// AddFile registers a file as part of table's partition for the given hour.
+func (c *Catalog) AddFile(table string, hour int64, path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[table]
+	if !ok {
+		t = make(map[int64][]string)
+		c.tables[table] = t
+	}
+	t[hour] = append(t[hour], path)
+}
+
+// Files returns the file paths of one partition, in landing order.
+func (c *Catalog) Files(table string, hour int64) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("lakefs: table %q not found", table)
+	}
+	fs, ok := t[hour]
+	if !ok {
+		return nil, fmt.Errorf("lakefs: table %q has no partition for hour %d", table, hour)
+	}
+	return append([]string(nil), fs...), nil
+}
+
+// AllFiles returns every file of every partition of the table, ordered by
+// hour then landing order. This is the scan set of a training job that
+// consumes the whole table.
+func (c *Catalog) AllFiles(table string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("lakefs: table %q not found", table)
+	}
+	hours := make([]int64, 0, len(t))
+	for h := range t {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	var out []string
+	for _, h := range hours {
+		out = append(out, t[h]...)
+	}
+	return out, nil
+}
+
+// Partitions returns the hours that currently have a landed partition,
+// sorted ascending.
+func (c *Catalog) Partitions(table string) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t := c.tables[table]
+	hours := make([]int64, 0, len(t))
+	for h := range t {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	return hours
+}
+
+// DropPartition removes a partition from the catalog and deletes its files
+// from the store (retention). It returns the number of files deleted.
+func (c *Catalog) DropPartition(store *Store, table string, hour int64) (int, error) {
+	c.mu.Lock()
+	t, ok := c.tables[table]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("lakefs: table %q not found", table)
+	}
+	files := t[hour]
+	delete(t, hour)
+	c.mu.Unlock()
+
+	for _, f := range files {
+		if err := store.Delete(f); err != nil {
+			return 0, err
+		}
+	}
+	return len(files), nil
+}
+
+// EnforceRetention drops the oldest partitions of the table until at most
+// keep remain, returning the hours dropped.
+func (c *Catalog) EnforceRetention(store *Store, table string, keep int) ([]int64, error) {
+	hours := c.Partitions(table)
+	if len(hours) <= keep {
+		return nil, nil
+	}
+	drop := hours[:len(hours)-keep]
+	for _, h := range drop {
+		if _, err := c.DropPartition(store, table, h); err != nil {
+			return nil, err
+		}
+	}
+	return drop, nil
+}
+
+// Tables returns the registered table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,243 @@
+package lakefs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore()
+	data := []byte("hello tectonic")
+	if err := s.Put("a/b", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	s := NewStore()
+	data := []byte("immutable")
+	if err := s.Put("p", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, _ := s.Get("p")
+	if got[0] != 'i' {
+		t.Fatal("Put did not copy caller's buffer")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("expected error for missing blob")
+	}
+}
+
+func TestPutEmptyPath(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("expected error for empty path")
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("r", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadRange("r", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "234" {
+		t.Fatalf("got %q want 234", got)
+	}
+	// Short read at tail.
+	got, err = s.ReadRange("r", 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "89" {
+		t.Fatalf("got %q want 89", got)
+	}
+	// Offset past end is an error.
+	if _, err := s.ReadRange("r", 11, 1); err == nil {
+		t.Fatal("expected error for offset past end")
+	}
+	// Negative range is an error.
+	if _, err := s.ReadRange("r", -1, 1); err == nil {
+		t.Fatal("expected error for negative offset")
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("x", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadRange("x", 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WrittenBytes != 100 || st.WriteOps != 1 {
+		t.Fatalf("write accounting: %+v", st)
+	}
+	if st.ReadBytes != 140 || st.ReadOps != 2 {
+		t.Fatalf("read accounting: %+v", st)
+	}
+	if st.StoredBytes != 100 || st.Objects != 1 {
+		t.Fatalf("occupancy: %+v", st)
+	}
+
+	s.ResetIO()
+	st = s.Stats()
+	if st.ReadBytes != 0 || st.WrittenBytes != 0 || st.ReadOps != 0 || st.WriteOps != 0 {
+		t.Fatalf("ResetIO did not zero counters: %+v", st)
+	}
+	if st.StoredBytes != 100 {
+		t.Fatalf("ResetIO should not affect occupancy: %+v", st)
+	}
+}
+
+func TestSizeNoCharge(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("x", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetIO()
+	n, err := s.Size("x")
+	if err != nil || n != 64 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if st := s.Stats(); st.ReadBytes != 0 || st.ReadOps != 0 {
+		t.Fatalf("Size charged a read: %+v", st)
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	s := NewStore()
+	for _, p := range []string{"t/1/a", "t/1/b", "t/2/a", "u/x"} {
+		if err := s.Put(p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List("t/1/")
+	if len(got) != 2 || got[0] != "t/1/a" || got[1] != "t/1/b" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := s.Delete("t/1/a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("t/1/a") {
+		t.Fatal("blob still exists after delete")
+	}
+	if err := s.Delete("t/1/a"); err == nil {
+		t.Fatal("expected error deleting missing blob")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := fmt.Sprintf("c/%d", i)
+			if err := s.Put(p, make([]byte, 10)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.Get(p); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Objects != 16 {
+		t.Fatalf("expected 16 objects, got %d", st.Objects)
+	}
+}
+
+func TestCatalogPartitions(t *testing.T) {
+	c := NewCatalog()
+	c.AddFile("tbl", 2, "tbl/hour=2/a")
+	c.AddFile("tbl", 1, "tbl/hour=1/a")
+	c.AddFile("tbl", 1, "tbl/hour=1/b")
+
+	hours := c.Partitions("tbl")
+	if len(hours) != 2 || hours[0] != 1 || hours[1] != 2 {
+		t.Fatalf("Partitions = %v", hours)
+	}
+	files, err := c.Files("tbl", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0] != "tbl/hour=1/a" {
+		t.Fatalf("Files = %v", files)
+	}
+	all, err := c.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[2] != "tbl/hour=2/a" {
+		t.Fatalf("AllFiles = %v", all)
+	}
+	if _, err := c.Files("tbl", 99); err == nil {
+		t.Fatal("expected error for missing partition")
+	}
+	if _, err := c.Files("missing", 1); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+}
+
+func TestCatalogRetention(t *testing.T) {
+	s := NewStore()
+	c := NewCatalog()
+	for h := int64(0); h < 5; h++ {
+		p := fmt.Sprintf("tbl/hour=%d/a", h)
+		if err := s.Put(p, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+		c.AddFile("tbl", h, p)
+	}
+	dropped, err := c.EnforceRetention(s, "tbl", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 3 || dropped[0] != 0 || dropped[2] != 2 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if got := c.Partitions("tbl"); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("remaining partitions = %v", got)
+	}
+	if s.Exists("tbl/hour=0/a") || !s.Exists("tbl/hour=4/a") {
+		t.Fatal("retention deleted wrong blobs")
+	}
+	// Retention with enough room is a no-op.
+	dropped, err = c.EnforceRetention(s, "tbl", 10)
+	if err != nil || dropped != nil {
+		t.Fatalf("no-op retention: %v, %v", dropped, err)
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	c := NewCatalog()
+	c.AddFile("b", 0, "b/f")
+	c.AddFile("a", 0, "a/f")
+	if got := c.Tables(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Tables = %v", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package metrics provides the lightweight counters, timers and histograms
+// shared by every tier of the pipeline (Scribe, ETL, storage, readers,
+// trainers). All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Timer accumulates elapsed wall-clock durations, used to attribute reader
+// CPU time to fill/convert/process stages (paper Fig 10).
+type Timer struct {
+	ns atomic.Int64
+	n  atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.n.Add(1)
+}
+
+// Time runs f and records its duration.
+func (t *Timer) Time(f func()) {
+	start := time.Now()
+	f()
+	t.Observe(time.Since(start))
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.n.Load() }
+
+// Mean returns the average observed duration (0 if none).
+func (t *Timer) Mean() time.Duration {
+	n := t.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.ns.Load() / n)
+}
+
+// Reset zeroes the timer.
+func (t *Timer) Reset() {
+	t.ns.Store(0)
+	t.n.Store(0)
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations, used for
+// the samples-per-session distributions (paper Fig 3).
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []int64 // bucket i counts v <= bounds[i]; last bucket unbounded
+	counts  []int64
+	total   int64
+	sum     int64
+	maxSeen int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds. A
+// final overflow bucket is added automatically.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxSeen
+}
+
+// Buckets returns (label, count) pairs for rendering.
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Bucket, 0, len(h.counts))
+	lo := int64(1)
+	for i, c := range h.counts {
+		var label string
+		if i < len(h.bounds) {
+			if lo == h.bounds[i] {
+				label = fmt.Sprintf("%d", lo)
+			} else {
+				label = fmt.Sprintf("%d-%d", lo, h.bounds[i])
+			}
+			lo = h.bounds[i] + 1
+		} else {
+			label = fmt.Sprintf(">%d", lo-1)
+		}
+		out = append(out, Bucket{Label: label, Count: c})
+	}
+	return out
+}
+
+// Bucket is one rendered histogram bucket.
+type Bucket struct {
+	Label string
+	Count int64
+}
+
+// ByteCounter tracks bytes in/out for a pipeline component.
+type ByteCounter struct {
+	RX Counter
+	TX Counter
+}
+
+// String renders the counter compactly.
+func (b *ByteCounter) String() string {
+	return fmt.Sprintf("rx=%s tx=%s", FormatBytes(b.RX.Value()), FormatBytes(b.TX.Value()))
+}
+
+// FormatBytes renders a byte count with a binary suffix.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,244 @@
+package reader
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/tensor"
+)
+
+// partialSpec consumes the shift-heavy sequence features as partial IKJTs.
+func partialSpec() Spec {
+	return Spec{
+		Table:                "tbl",
+		BatchSize:            64,
+		SparseFeatures:       []string{"item_0", "item_1", "user_elem_0", "user_elem_1", "user_elem_2"},
+		PartialDedupFeatures: []string{"user_seq_0", "user_seq_1"},
+	}
+}
+
+func TestPartialSpecValidate(t *testing.T) {
+	if err := partialSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := partialSpec()
+	s.SparseFeatures = append(s.SparseFeatures, "user_seq_0") // duplicate
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	s = partialSpec()
+	if !s.IsPartial("user_seq_0") || s.IsPartial("item_0") {
+		t.Fatal("IsPartial wrong")
+	}
+	got := s.ConsumedFeatures()
+	if got[len(got)-1] != "user_seq_1" {
+		t.Fatalf("ConsumedFeatures order: %v", got)
+	}
+}
+
+// TestPartialBatchesEncodeExactData: expanding partial IKJTs reproduces
+// the original rows exactly (§7: "Partial IKJTs... encode each row's
+// [offset, length]").
+func TestPartialBatchesEncodeExactData(t *testing.T) {
+	env := newTestEnv(t, 30, true)
+	spec := partialSpec()
+	r, err := NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := env.catalog.AllFiles("tbl")
+	row := 0
+	if err := r.Run(files, func(b *Batch) error {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Partials) != 2 {
+			t.Fatalf("batch has %d partials want 2", len(b.Partials))
+		}
+		for _, key := range spec.PartialDedupFeatures {
+			fi, _ := env.schema.FeatureIndex(key)
+			j, ok := b.Feature(key)
+			if !ok {
+				t.Fatalf("missing feature %q", key)
+			}
+			for i := 0; i < b.Size; i++ {
+				want := env.samples[row+i].Sparse[fi]
+				got := j.Row(i)
+				if len(got) != len(want) {
+					t.Fatalf("%q row %d: len %d want %d", key, row+i, len(got), len(want))
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("%q row %d value %d mismatch", key, row+i, k)
+					}
+				}
+			}
+		}
+		row += b.Size
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if row != len(env.samples) {
+		t.Fatalf("processed %d rows want %d", row, len(env.samples))
+	}
+}
+
+// TestPartialBeatsExactOnShiftedFeatures: for frequently-shifting
+// sequence features, partial dedup carries fewer wire bytes than exact
+// IKJT dedup, which itself beats plain KJTs. The test builds a dedicated
+// shift-heavy table (ChangeProb 0.5) because rarely-changing features
+// make partial ≈ exact (its [offset,length] lookup is slightly bigger).
+func TestPartialBeatsExactOnShiftedFeatures(t *testing.T) {
+	specs := []datagen.FeatureSpec{
+		{Key: "shift_a", Class: datagen.UserFeature, ChangeProb: 0.5,
+			MeanLen: 32, MaxLen: 64, Update: datagen.ShiftAppend, Cardinality: 1 << 30},
+		{Key: "shift_b", Class: datagen.UserFeature, ChangeProb: 0.5,
+			MeanLen: 32, MaxLen: 64, Update: datagen.ShiftAppend, Cardinality: 1 << 30},
+		{Key: "item", Class: datagen.ItemFeature, ChangeProb: 0.95,
+			MeanLen: 2, MaxLen: 4, Update: datagen.Resample, Cardinality: 1 << 20},
+	}
+	schema, err := datagen.NewSchema(specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 50, MeanSamplesPerSession: 10, Seed: 77,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "tbl", 0, schema, samples,
+		dwrf.TableOptions{Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{store: store, catalog: catalog, schema: schema, samples: samples}
+	seqs := []string{"shift_a", "shift_b"}
+	rest := []string{"item"}
+
+	run := func(spec Spec) int64 {
+		r, err := NewReader(env.store, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files, _ := env.catalog.AllFiles("tbl")
+		if err := r.Run(files, func(*Batch) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats().SentBytes
+	}
+
+	kjtBytes := run(Spec{Table: "tbl", BatchSize: 64,
+		SparseFeatures: append(append([]string(nil), rest...), seqs...)})
+	exactBytes := run(Spec{Table: "tbl", BatchSize: 64,
+		SparseFeatures: rest, DedupSparseFeatures: [][]string{seqs}})
+	partialBytes := run(Spec{Table: "tbl", BatchSize: 64,
+		SparseFeatures: rest, PartialDedupFeatures: seqs})
+
+	if exactBytes >= kjtBytes {
+		t.Fatalf("exact IKJT %d should beat KJT %d", exactBytes, kjtBytes)
+	}
+	if partialBytes >= exactBytes {
+		t.Fatalf("partial %d should beat exact %d on shifted features", partialBytes, exactBytes)
+	}
+	t.Logf("sent bytes: kjt %d, exact %d, partial %d", kjtBytes, exactBytes, partialBytes)
+}
+
+// TestPartialTransforms: element-wise transforms run once over the shared
+// buffer and match the full-batch result; non-element-wise transforms are
+// rejected.
+func TestPartialTransforms(t *testing.T) {
+	env := newTestEnv(t, 30, true)
+	files, _ := env.catalog.AllFiles("tbl")
+
+	spec := partialSpec()
+	spec.SparseTransforms = []SparseTransform{
+		HashMod{Features: []string{"user_seq_0"}, TableSize: 1 << 16},
+	}
+	r, err := NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same transform over the plain KJT path.
+	refSpec := Spec{Table: "tbl", BatchSize: 64,
+		SparseFeatures: append([]string{"user_seq_0", "user_seq_1"}, spec.SparseFeatures...),
+		SparseTransforms: []SparseTransform{
+			HashMod{Features: []string{"user_seq_0"}, TableSize: 1 << 16},
+		}}
+	rr, err := NewReader(env.store, refSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want []tensor.Jagged
+	if err := r.Run(files, func(b *Batch) error {
+		j, _ := b.Feature("user_seq_0")
+		got = append(got, j)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Run(files, func(b *Batch) error {
+		j, _ := b.Feature("user_seq_0")
+		want = append(want, j)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("batch %d: partial-path transform differs from KJT path", i)
+		}
+	}
+	// Partial path does far fewer transform ops.
+	if r.Stats().ProcessOps >= rr.Stats().ProcessOps {
+		t.Fatalf("partial transform ops %d should be below KJT's %d",
+			r.Stats().ProcessOps, rr.Stats().ProcessOps)
+	}
+
+	// Truncate reshapes rows and must be rejected on partial features.
+	badSpec := partialSpec()
+	badSpec.SparseTransforms = []SparseTransform{
+		Truncate{Features: []string{"user_seq_0"}, MaxLen: 4},
+	}
+	rb, err := NewReader(env.store, badSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Run(files, func(*Batch) error { return nil }); err == nil {
+		t.Fatal("expected error for non-element-wise transform on partial feature")
+	}
+}
+
+// TestPartialTrainerConsumption: a model can train on batches whose
+// sequence features arrive as partial IKJTs (they expand at the feature
+// boundary).
+func TestPartialTrainerConsumption(t *testing.T) {
+	env := newTestEnv(t, 20, true)
+	spec := partialSpec()
+	r, err := NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := env.catalog.AllFiles("tbl")
+	var batches []*Batch
+	if err := r.Run(files, func(b *Batch) error {
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Expanding a partial feature and re-deduplicating exactly loses
+	// nothing: sanity-check one batch's round trip.
+	j, _ := batches[0].Feature("user_seq_0")
+	p := tensor.PartialDedup("user_seq_0", j)
+	if !p.ToJagged().Equal(j) {
+		t.Fatal("partial round trip failed")
+	}
+}

@@ -1,0 +1,99 @@
+package reader
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lakefs"
+)
+
+// Tier is a fleet of stateless readers launched for one training job
+// (paper §2.1: "the number of readers for each job is scaled to meet
+// trainers' ingestion bandwidth demands"). Files are split across readers
+// round-robin; each reader runs its own fill→convert→process pipeline
+// concurrently.
+type Tier struct {
+	store   *lakefs.Store
+	catalog *lakefs.Catalog
+	spec    Spec
+	n       int
+}
+
+// NewTier builds a tier of n readers over one store/catalog.
+func NewTier(store *lakefs.Store, catalog *lakefs.Catalog, spec Spec, n int) (*Tier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reader: tier needs at least one reader, got %d", n)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tier{store: store, catalog: catalog, spec: spec, n: n}, nil
+}
+
+// Run scans the spec's whole table with all readers and invokes emit for
+// every batch. emit may be called concurrently from different readers and
+// must be safe for concurrent use. Returns aggregate stats.
+func (t *Tier) Run(emit func(*Batch) error) (Stats, error) {
+	files, err := t.catalog.AllFiles(t.spec.Table)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	assignments := make([][]string, t.n)
+	for i, f := range files {
+		assignments[i%t.n] = append(assignments[i%t.n], f)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		agg      Stats
+		firstErr error
+	)
+	for i := 0; i < t.n; i++ {
+		if len(assignments[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(files []string) {
+			defer wg.Done()
+			r, err := NewReader(t.store, t.spec)
+			if err == nil {
+				err = r.Run(files, emit)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if r != nil {
+				agg.Add(r.Stats())
+			}
+		}(assignments[i])
+	}
+	wg.Wait()
+	return agg, firstErr
+}
+
+// Collect runs the tier and gathers every batch into a slice, in no
+// particular cross-reader order. Convenient for tests and experiments.
+func (t *Tier) Collect() ([]*Batch, Stats, error) {
+	var mu sync.Mutex
+	var batches []*Batch
+	stats, err := t.Run(func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		batches = append(batches, b)
+		return nil
+	})
+	return batches, stats, err
+}
+
+// ThroughputSamplesPerSec converts stats into the paper's reader metric:
+// samples preprocessed per second of reader CPU time.
+func ThroughputSamplesPerSec(s Stats) float64 {
+	if s.TotalTime() <= 0 {
+		return 0
+	}
+	return float64(s.RowsDecoded) / s.TotalTime().Seconds()
+}

@@ -1,0 +1,145 @@
+package reader
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SparseTransform is a preprocessing module over a sparse feature's jagged
+// values — the stand-in for the user-provided TorchScript modules of
+// paper §4.3. Apply must treat its input as immutable and return a new
+// Jagged with the same row structure unless it explicitly reshapes rows
+// (e.g. truncation).
+//
+// Cost reports the number of value operations Apply performs, so the
+// deduplicated-preprocessing saving (O4) is measurable deterministically:
+// a transform applied to an IKJT runs over the deduplicated values slice
+// only.
+type SparseTransform interface {
+	Name() string
+	Keys() []string
+	Apply(j tensor.Jagged) tensor.Jagged
+	Cost(values int) int64
+	// ElementWise reports whether Apply is a pure per-value map (no row
+	// reshaping). Only element-wise transforms may target partial IKJTs,
+	// whose rows alias overlapping windows of one shared buffer.
+	ElementWise() bool
+}
+
+// HashMod remaps IDs into a table of the given size via a multiplicative
+// hash — the paper's "hashing" preprocessing example.
+type HashMod struct {
+	Features  []string
+	TableSize int64
+}
+
+// Name implements SparseTransform.
+func (h HashMod) Name() string { return "hash_mod" }
+
+// Keys implements SparseTransform.
+func (h HashMod) Keys() []string { return h.Features }
+
+// Apply hashes every ID into [0, TableSize).
+func (h HashMod) Apply(j tensor.Jagged) tensor.Jagged {
+	out := j.Clone()
+	for i, v := range out.Values {
+		x := uint64(v) * 0x9E3779B97F4A7C15
+		x ^= x >> 29
+		out.Values[i] = int64(x % uint64(h.TableSize))
+	}
+	return out
+}
+
+// Cost implements SparseTransform: one op per value.
+func (h HashMod) Cost(values int) int64 { return int64(values) }
+
+// ElementWise implements SparseTransform.
+func (h HashMod) ElementWise() bool { return true }
+
+// Clamp limits IDs to [Min, Max].
+type Clamp struct {
+	Features []string
+	Min, Max int64
+}
+
+// Name implements SparseTransform.
+func (c Clamp) Name() string { return "clamp" }
+
+// Keys implements SparseTransform.
+func (c Clamp) Keys() []string { return c.Features }
+
+// Apply clamps every ID.
+func (c Clamp) Apply(j tensor.Jagged) tensor.Jagged {
+	out := j.Clone()
+	for i, v := range out.Values {
+		if v < c.Min {
+			out.Values[i] = c.Min
+		} else if v > c.Max {
+			out.Values[i] = c.Max
+		}
+	}
+	return out
+}
+
+// Cost implements SparseTransform: one op per value.
+func (c Clamp) Cost(values int) int64 { return int64(values) }
+
+// ElementWise implements SparseTransform.
+func (c Clamp) ElementWise() bool { return true }
+
+// Truncate keeps at most MaxLen trailing IDs per row (sequence windows
+// keep the most recent interactions).
+type Truncate struct {
+	Features []string
+	MaxLen   int
+}
+
+// Name implements SparseTransform.
+func (t Truncate) Name() string { return "truncate" }
+
+// Keys implements SparseTransform.
+func (t Truncate) Keys() []string { return t.Features }
+
+// Apply truncates each row to its last MaxLen elements.
+func (t Truncate) Apply(j tensor.Jagged) tensor.Jagged {
+	rows := make([][]tensor.Value, j.Rows())
+	for i := 0; i < j.Rows(); i++ {
+		r := j.Row(i)
+		if len(r) > t.MaxLen {
+			r = r[len(r)-t.MaxLen:]
+		}
+		rows[i] = append([]tensor.Value(nil), r...)
+	}
+	return tensor.NewJagged(rows)
+}
+
+// Cost implements SparseTransform: one op per value scanned.
+func (t Truncate) Cost(values int) int64 { return int64(values) }
+
+// ElementWise implements SparseTransform: truncation reshapes rows.
+func (t Truncate) ElementWise() bool { return false }
+
+// DenseTransform preprocesses the dense feature matrix in place.
+type DenseTransform interface {
+	Name() string
+	Apply(d tensor.Dense)
+}
+
+// LogNormalize applies sign-preserving log1p scaling, a common dense
+// normalization.
+type LogNormalize struct{}
+
+// Name implements DenseTransform.
+func (LogNormalize) Name() string { return "log_normalize" }
+
+// Apply rescales every element to sign(x)·log1p(|x|).
+func (LogNormalize) Apply(d tensor.Dense) {
+	for i, v := range d.Data {
+		if v >= 0 {
+			d.Data[i] = float32(math.Log1p(float64(v)))
+		} else {
+			d.Data[i] = float32(-math.Log1p(float64(-v)))
+		}
+	}
+}

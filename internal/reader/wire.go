@@ -1,0 +1,161 @@
+package reader
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Wire format for preprocessed batches: what a reader actually ships to a
+// trainer over its NIC. Deduplicated tensors serialize in deduplicated
+// form, so the encoded size realizes the egress savings the byte
+// accounting predicts (Table 3 "Send Bytes"); TestWireBytesMatchEncoding
+// pins the two together.
+
+const batchMagic = "RBAT"
+
+// byteReader is the reader constraint of the tensor wire decoders.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Encode serializes the batch.
+func (b *Batch) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, batchMagic); err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(hdr[:], v)
+		_, err := w.Write(hdr[:n])
+		return err
+	}
+	if err := put(uint64(b.Size)); err != nil {
+		return err
+	}
+	if err := tensor.WriteDense(w, b.Dense); err != nil {
+		return err
+	}
+	if err := put(uint64(len(b.Labels))); err != nil {
+		return err
+	}
+	for _, l := range b.Labels {
+		if err := binary.Write(w, binary.LittleEndian, l); err != nil {
+			return err
+		}
+	}
+	hasKJT := uint64(0)
+	if b.KJT != nil {
+		hasKJT = 1
+	}
+	if err := put(hasKJT); err != nil {
+		return err
+	}
+	if b.KJT != nil {
+		if err := tensor.WriteKJT(w, b.KJT); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(len(b.IKJTs))); err != nil {
+		return err
+	}
+	for _, ik := range b.IKJTs {
+		if err := tensor.WriteIKJT(w, ik); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(len(b.Partials))); err != nil {
+		return err
+	}
+	for _, p := range b.Partials {
+		if err := tensor.WritePartial(w, p); err != nil {
+			return err
+		}
+	}
+	return put(uint64(b.OriginalSparseValues))
+}
+
+// DecodeBatch reads a batch encoded by Encode.
+func DecodeBatch(r byteReader) (*Batch, error) {
+	magic := make([]byte, len(batchMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("reader: batch magic: %w", err)
+	}
+	if string(magic) != batchMagic {
+		return nil, fmt.Errorf("reader: bad batch magic %q", magic)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(r) }
+
+	size, err := get()
+	if err != nil {
+		return nil, err
+	}
+	const maxBatch = 1 << 24
+	if size > maxBatch {
+		return nil, fmt.Errorf("reader: implausible batch size %d", size)
+	}
+	b := &Batch{Size: int(size)}
+
+	if b.Dense, err = tensor.ReadDense(r); err != nil {
+		return nil, err
+	}
+	nLabels, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nLabels > maxBatch {
+		return nil, fmt.Errorf("reader: implausible label count %d", nLabels)
+	}
+	b.Labels = make([]float32, nLabels)
+	for i := range b.Labels {
+		if err := binary.Read(r, binary.LittleEndian, &b.Labels[i]); err != nil {
+			return nil, err
+		}
+	}
+	hasKJT, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if hasKJT == 1 {
+		if b.KJT, err = tensor.ReadKJT(r); err != nil {
+			return nil, err
+		}
+	}
+	nIK, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nIK > 1<<16 {
+		return nil, fmt.Errorf("reader: implausible IKJT count %d", nIK)
+	}
+	for i := uint64(0); i < nIK; i++ {
+		ik, err := tensor.ReadIKJT(r)
+		if err != nil {
+			return nil, err
+		}
+		b.IKJTs = append(b.IKJTs, ik)
+	}
+	nP, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nP > 1<<16 {
+		return nil, fmt.Errorf("reader: implausible partial count %d", nP)
+	}
+	for i := uint64(0); i < nP; i++ {
+		p, err := tensor.ReadPartial(r)
+		if err != nil {
+			return nil, err
+		}
+		b.Partials = append(b.Partials, p)
+	}
+	orig, err := get()
+	if err != nil {
+		return nil, err
+	}
+	b.OriginalSparseValues = int(orig)
+	return b, b.Validate()
+}

@@ -1,0 +1,128 @@
+package reader
+
+import (
+	"bytes"
+	"testing"
+)
+
+func collectBatches(t *testing.T, env *testEnv, spec Spec) []*Batch {
+	t.Helper()
+	r, err := NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := env.catalog.AllFiles(spec.Table)
+	var batches []*Batch
+	if err := r.Run(files, func(b *Batch) error {
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return batches
+}
+
+func TestBatchWireRoundTrip(t *testing.T) {
+	env := newTestEnv(t, 25, true)
+	spec := baseSpec()
+	spec.DedupSparseFeatures = [][]string{{"user_seq_0", "user_seq_1"}}
+	spec.PartialDedupFeatures = []string{"user_elem_0"}
+	spec.SparseFeatures = []string{"item_0", "item_1", "user_elem_1", "user_elem_2"}
+
+	for _, b := range collectBatches(t, env, spec) {
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Size != b.Size || len(got.Labels) != len(b.Labels) {
+			t.Fatalf("shape mismatch after round trip")
+		}
+		for i := range b.Labels {
+			if got.Labels[i] != b.Labels[i] {
+				t.Fatal("labels differ")
+			}
+		}
+		for _, key := range spec.ConsumedFeatures() {
+			want, _ := b.Feature(key)
+			have, ok := got.Feature(key)
+			if !ok || !have.Equal(want) {
+				t.Fatalf("feature %q differs after round trip", key)
+			}
+		}
+		if got.OriginalSparseValues != b.OriginalSparseValues {
+			t.Fatal("original value count differs")
+		}
+	}
+}
+
+// TestWireBytesMatchEncoding pins the analytic WireBytes accounting to the
+// real encoded size: they must agree within the small framing overhead
+// (magic, tags, varint lengths).
+func TestWireBytesMatchEncoding(t *testing.T) {
+	env := newTestEnv(t, 40, true)
+	for _, b := range collectBatches(t, env, baseSpec()) {
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		analytic := float64(b.WireBytes())
+		actual := float64(buf.Len())
+		if actual < analytic*0.9 || actual > analytic*1.15 {
+			t.Fatalf("encoded %v bytes vs analytic %v (off by >15%%)", actual, analytic)
+		}
+	}
+}
+
+// TestWireDedupSavingsReal: the encoded dedup batches are genuinely
+// smaller on the wire than the same data as plain KJTs.
+func TestWireDedupSavingsReal(t *testing.T) {
+	env := newTestEnv(t, 40, true)
+
+	encoded := func(spec Spec) int {
+		total := 0
+		for _, b := range collectBatches(t, env, spec) {
+			var buf bytes.Buffer
+			if err := b.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			total += buf.Len()
+		}
+		return total
+	}
+
+	dedup := baseSpec()
+	kjt := dedup
+	kjt.DedupSparseFeatures = nil
+	kjt.SparseFeatures = dedup.ConsumedFeatures()
+
+	d, k := encoded(dedup), encoded(kjt)
+	if d >= k {
+		t.Fatalf("encoded dedup batches %d not smaller than KJT %d", d, k)
+	}
+	t.Logf("encoded bytes: kjt %d, ikjt %d (%.2fx)", k, d, float64(k)/float64(d))
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := DecodeBatch(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Truncated payloads fail cleanly.
+	env := newTestEnv(t, 10, true)
+	b := collectBatches(t, env, baseSpec())[0]
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{5, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := DecodeBatch(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+// JaggedIndexSelect gathers rows of a jagged tensor by index without first
+// densifying it (paper §5, optimization O6). Before RecD, index_select only
+// operated on dense tensors, so jagged tensors had to be padded to a dense
+// representation first, incurring large memory overheads; this operates
+// directly on the (values, offsets) encoding.
+//
+// The result has len(indices) rows; row i of the result is row indices[i]
+// of j. Indices may repeat (that is the point: expanding an IKJT duplicates
+// unique rows back out) and must be valid row indices of j.
+func JaggedIndexSelect(j Jagged, indices []int32) Jagged {
+	total := 0
+	for _, idx := range indices {
+		total += j.RowLen(int(idx))
+	}
+	out := Jagged{
+		Values:  make([]Value, 0, total),
+		Offsets: make([]int32, len(indices)),
+	}
+	for i, idx := range indices {
+		out.Offsets[i] = int32(len(out.Values))
+		out.Values = append(out.Values, j.Row(int(idx))...)
+	}
+	return out
+}
+
+// DenseIndexSelect gathers rows of a dense tensor by index; the dense
+// analogue used to expand deduplicated pooled embeddings back to the full
+// batch (paper §5 "Deduplicated Pooling": compute on unique rows, then use
+// the shared inverse lookup to expand the output).
+func DenseIndexSelect(d Dense, indices []int32) Dense {
+	out := NewDense(len(indices), d.Cols)
+	for i, idx := range indices {
+		copy(out.Row(i), d.Row(int(idx)))
+	}
+	return out
+}
+
+// DenseIndexAdd scatter-adds rows of src into dst at the given indices:
+// dst[indices[i]] += src[i]. It is the backward (transpose) of
+// DenseIndexSelect and is used to accumulate gradients from expanded rows
+// back onto the deduplicated rows during training.
+func DenseIndexAdd(dst Dense, indices []int32, src Dense) {
+	for i, idx := range indices {
+		drow := dst.Row(int(idx))
+		srow := src.Row(i)
+		for c := range drow {
+			drow[c] += srow[c]
+		}
+	}
+}
+
+// PaddedDenseFromJagged converts a jagged tensor into a padded dense matrix
+// of shape rows x maxLen (the pre-RecD conversion path whose memory
+// overhead JaggedIndexSelect eliminates). Missing tail entries are filled
+// with padValue. It returns the dense matrix and the padded length.
+func PaddedDenseFromJagged(j Jagged, padValue Value) ([][]Value, int) {
+	maxLen := 0
+	for i := 0; i < j.Rows(); i++ {
+		if l := j.RowLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	out := make([][]Value, j.Rows())
+	for i := range out {
+		row := make([]Value, maxLen)
+		src := j.Row(i)
+		copy(row, src)
+		for c := len(src); c < maxLen; c++ {
+			row[c] = padValue
+		}
+		out[i] = row
+	}
+	return out, maxLen
+}

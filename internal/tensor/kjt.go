@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KJT is a KeyedJaggedTensor: an ordered collection of jagged tensors, one
+// per feature key, all sharing the same batch dimension. It is the baseline
+// sparse-batch format used by the reader and trainer tiers (paper §4.2).
+type KJT struct {
+	keys    []string
+	tensors []Jagged
+	index   map[string]int
+}
+
+// NewKJT builds a KJT from parallel key/tensor slices. All tensors must
+// share the same number of rows.
+func NewKJT(keys []string, tensors []Jagged) (*KJT, error) {
+	if len(keys) != len(tensors) {
+		return nil, fmt.Errorf("tensor: %d keys but %d tensors", len(keys), len(tensors))
+	}
+	k := &KJT{
+		keys:    append([]string(nil), keys...),
+		tensors: append([]Jagged(nil), tensors...),
+		index:   make(map[string]int, len(keys)),
+	}
+	rows := -1
+	for i, key := range k.keys {
+		if _, dup := k.index[key]; dup {
+			return nil, fmt.Errorf("tensor: duplicate key %q", key)
+		}
+		k.index[key] = i
+		if rows == -1 {
+			rows = k.tensors[i].Rows()
+		} else if k.tensors[i].Rows() != rows {
+			return nil, fmt.Errorf("tensor: key %q has %d rows, want %d", key, k.tensors[i].Rows(), rows)
+		}
+	}
+	return k, nil
+}
+
+// MustKJT is NewKJT that panics on error; for tests and literals.
+func MustKJT(keys []string, tensors []Jagged) *KJT {
+	k, err := NewKJT(keys, tensors)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Keys returns the ordered feature keys. Callers must not mutate it.
+func (k *KJT) Keys() []string { return k.keys }
+
+// NumKeys reports the number of features.
+func (k *KJT) NumKeys() int { return len(k.keys) }
+
+// Rows reports the batch size. A KJT with no keys has zero rows.
+func (k *KJT) Rows() int {
+	if len(k.tensors) == 0 {
+		return 0
+	}
+	return k.tensors[0].Rows()
+}
+
+// Feature returns the jagged tensor for key, or false if absent.
+func (k *KJT) Feature(key string) (Jagged, bool) {
+	i, ok := k.index[key]
+	if !ok {
+		return Jagged{}, false
+	}
+	return k.tensors[i], true
+}
+
+// FeatureAt returns the i-th feature tensor.
+func (k *KJT) FeatureAt(i int) Jagged { return k.tensors[i] }
+
+// KeyAt returns the i-th key.
+func (k *KJT) KeyAt(i int) string { return k.keys[i] }
+
+// HasKey reports whether key is present.
+func (k *KJT) HasKey(key string) bool {
+	_, ok := k.index[key]
+	return ok
+}
+
+// Select returns a new KJT holding only the requested keys, in the given
+// order. It errors if any key is absent.
+func (k *KJT) Select(keys []string) (*KJT, error) {
+	tensors := make([]Jagged, len(keys))
+	for i, key := range keys {
+		idx, ok := k.index[key]
+		if !ok {
+			return nil, fmt.Errorf("tensor: select: missing key %q", key)
+		}
+		tensors[i] = k.tensors[idx]
+	}
+	return NewKJT(keys, tensors)
+}
+
+// Without returns a new KJT excluding the given keys.
+func (k *KJT) Without(exclude map[string]bool) *KJT {
+	var keys []string
+	var tensors []Jagged
+	for i, key := range k.keys {
+		if !exclude[key] {
+			keys = append(keys, key)
+			tensors = append(tensors, k.tensors[i])
+		}
+	}
+	out, err := NewKJT(keys, tensors)
+	if err != nil {
+		panic(err) // unreachable: subsetting preserves invariants
+	}
+	return out
+}
+
+// Merge returns a new KJT containing all features of k followed by all
+// features of o. Key sets must be disjoint and row counts equal.
+func (k *KJT) Merge(o *KJT) (*KJT, error) {
+	if k.NumKeys() > 0 && o.NumKeys() > 0 && k.Rows() != o.Rows() {
+		return nil, fmt.Errorf("tensor: merge row mismatch: %d vs %d", k.Rows(), o.Rows())
+	}
+	keys := append(append([]string(nil), k.keys...), o.keys...)
+	tensors := append(append([]Jagged(nil), k.tensors...), o.tensors...)
+	return NewKJT(keys, tensors)
+}
+
+// WireBytes reports the total transmission size across all features.
+func (k *KJT) WireBytes() int {
+	total := 0
+	for _, t := range k.tensors {
+		total += t.WireBytes()
+	}
+	return total
+}
+
+// NumValues reports the total number of values across all features.
+func (k *KJT) NumValues() int {
+	total := 0
+	for _, t := range k.tensors {
+		total += t.NumValues()
+	}
+	return total
+}
+
+// Equal reports whether both KJTs hold the same keys in the same order with
+// identical tensors.
+func (k *KJT) Equal(o *KJT) bool {
+	if k.NumKeys() != o.NumKeys() {
+		return false
+	}
+	for i := range k.keys {
+		if k.keys[i] != o.keys[i] || !k.tensors[i].Equal(o.tensors[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants across all features.
+func (k *KJT) Validate() error {
+	rows := k.Rows()
+	for i, t := range k.tensors {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("tensor: key %q: %w", k.keys[i], err)
+		}
+		if t.Rows() != rows {
+			return fmt.Errorf("tensor: key %q has %d rows, want %d", k.keys[i], t.Rows(), rows)
+		}
+	}
+	return nil
+}
+
+// SortedKeys returns the keys in lexicographic order (for deterministic
+// iteration in tests and reports).
+func (k *KJT) SortedKeys() []string {
+	out := append([]string(nil), k.keys...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import "fmt"
+
+// PartialIKJT implements the partial-deduplication extension of §7
+// ("Supporting Partial IKJTs"). It exploits the fact that partial matches
+// in session data are shifts: a sequence feature is updated by appending a
+// new ID and sliding its window, so consecutive rows overlap heavily.
+//
+// A partial IKJT removes the offsets slice and instead encodes each row's
+// [offset, length] pair directly in the inverse-lookup slice, allowing rows
+// to reference arbitrary overlapping windows of the shared values slice.
+// The paper's worked example: rows [3 4 5], [4 5 6], [3 4 5] encode as
+// values=[3 4 5 6] with inverseLookup=[[0 3] [1 3] [0 3]].
+type PartialIKJT struct {
+	Key    string
+	Values []Value
+	// Lookup[i] = {offset, length} of row i within Values.
+	Lookup [][2]int32
+}
+
+// PartialDedup builds a PartialIKJT from a jagged tensor. Exact duplicates
+// of any prior row reuse that row's window; rows that are forward shifts of
+// the immediately preceding unique window (share a suffix of the values
+// buffer as their prefix) append only the new tail. Rows with no overlap
+// are appended whole.
+func PartialDedup(key string, j Jagged) *PartialIKJT {
+	p := &PartialIKJT{
+		Key:    key,
+		Lookup: make([][2]int32, j.Rows()),
+	}
+	// Exact-match index over windows we have emitted, so repeated rows
+	// (the dominant case, §3) cost O(1) values.
+	type window struct{ off, length int32 }
+	seen := make(map[uint64][]window, j.Rows())
+
+	hashRow := func(vals []Value) uint64 {
+		h := uint64(fnvOffset64)
+		h ^= uint64(len(vals))
+		h *= fnvPrime64
+		for _, v := range vals {
+			u := uint64(v)
+			for s := 0; s < 64; s += 8 {
+				h ^= (u >> s) & 0xff
+				h *= fnvPrime64
+			}
+		}
+		return h
+	}
+	windowEqual := func(vals []Value, w window) bool {
+		if int(w.length) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if p.Values[int(w.off)+i] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	for row := 0; row < j.Rows(); row++ {
+		vals := j.Row(row)
+		h := hashRow(vals)
+		matched := false
+		for _, w := range seen[h] {
+			if windowEqual(vals, w) {
+				p.Lookup[row] = [2]int32{w.off, w.length}
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		// Shift detection: the longest prefix of this row that equals a
+		// suffix of the current values buffer. A one-step shift of the
+		// previous row overlaps in all but its final element.
+		overlap := 0
+		maxK := len(vals)
+		if len(p.Values) < maxK {
+			maxK = len(p.Values)
+		}
+		for k := maxK; k > 0; k-- {
+			tail := p.Values[len(p.Values)-k:]
+			ok := true
+			for i := 0; i < k; i++ {
+				if tail[i] != vals[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				overlap = k
+				break
+			}
+		}
+		off := int32(len(p.Values) - overlap)
+		p.Values = append(p.Values, vals[overlap:]...)
+		w := window{off: off, length: int32(len(vals))}
+		p.Lookup[row] = [2]int32{w.off, w.length}
+		seen[h] = append(seen[h], w)
+	}
+	return p
+}
+
+// Rows reports the logical batch size.
+func (p *PartialIKJT) Rows() int { return len(p.Lookup) }
+
+// Row returns the value window for row i, aliasing the shared buffer.
+func (p *PartialIKJT) Row(i int) []Value {
+	off, length := p.Lookup[i][0], p.Lookup[i][1]
+	return p.Values[off : off+length]
+}
+
+// ToJagged expands back to the original jagged tensor.
+func (p *PartialIKJT) ToJagged() Jagged {
+	total := 0
+	for i := range p.Lookup {
+		total += int(p.Lookup[i][1])
+	}
+	out := Jagged{
+		Values:  make([]Value, 0, total),
+		Offsets: make([]int32, len(p.Lookup)),
+	}
+	for i := range p.Lookup {
+		out.Offsets[i] = int32(len(out.Values))
+		out.Values = append(out.Values, p.Row(i)...)
+	}
+	return out
+}
+
+// Factor returns the measured dedup factor: expanded values over stored
+// values.
+func (p *PartialIKJT) Factor() float64 {
+	if len(p.Values) == 0 {
+		return 1
+	}
+	expanded := 0
+	for i := range p.Lookup {
+		expanded += int(p.Lookup[i][1])
+	}
+	return float64(expanded) / float64(len(p.Values))
+}
+
+// WireBytes reports the transmission size: values plus one [offset,length]
+// pair per row.
+func (p *PartialIKJT) WireBytes() int {
+	return len(p.Values)*ValueBytes + len(p.Lookup)*2*OffsetBytes
+}
+
+// Validate checks that every lookup window lies within the values buffer.
+func (p *PartialIKJT) Validate() error {
+	for i, w := range p.Lookup {
+		off, length := int(w[0]), int(w[1])
+		if off < 0 || length < 0 || off+length > len(p.Values) {
+			return fmt.Errorf("tensor: partial ikjt row %d window [%d,%d) exceeds %d values",
+				i, off, off+length, len(p.Values))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire serialization for jagged tensors, KJTs and IKJTs. Readers serialize
+// preprocessed batches in this format when shipping them to trainers; the
+// byte counts it produces are what the reader->trainer network accounting
+// measures (paper Table 3 "Send Bytes").
+//
+// The format is little-endian and self-describing enough for round-trip
+// tests; it is intentionally simple rather than schema-evolving.
+
+const (
+	tagJagged  = uint8(1)
+	tagKJT     = uint8(2)
+	tagIKJT    = uint8(3)
+	tagDense   = uint8(4)
+	tagPartial = uint8(5)
+)
+
+var wireOrder = binary.LittleEndian
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readString(r byteReader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValues(w io.Writer, vals []Value) error {
+	if err := writeUvarint(w, uint64(len(vals))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		wireOrder.PutUint64(buf[i*8:], uint64(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readValues(r byteReader) ([]Value, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = Value(wireOrder.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+func writeInt32s(w io.Writer, vals []int32) error {
+	if err := writeUvarint(w, uint64(len(vals))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		wireOrder.PutUint32(buf[i*4:], uint32(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readInt32s(r byteReader) ([]int32, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(wireOrder.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
+// WriteJagged serializes j to w.
+func WriteJagged(w io.Writer, j Jagged) error {
+	if _, err := w.Write([]byte{tagJagged}); err != nil {
+		return err
+	}
+	if err := writeValues(w, j.Values); err != nil {
+		return err
+	}
+	return writeInt32s(w, j.Offsets)
+}
+
+// ReadJagged deserializes a jagged tensor from r.
+func ReadJagged(r byteReader) (Jagged, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return Jagged{}, err
+	}
+	if tag[0] != tagJagged {
+		return Jagged{}, fmt.Errorf("tensor: bad jagged tag %d", tag[0])
+	}
+	vals, err := readValues(r)
+	if err != nil {
+		return Jagged{}, err
+	}
+	offs, err := readInt32s(r)
+	if err != nil {
+		return Jagged{}, err
+	}
+	j := Jagged{Values: vals, Offsets: offs}
+	if err := j.Validate(); err != nil {
+		return Jagged{}, err
+	}
+	return j, nil
+}
+
+// WriteKJT serializes a KJT to w.
+func WriteKJT(w io.Writer, k *KJT) error {
+	if _, err := w.Write([]byte{tagKJT}); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(k.NumKeys())); err != nil {
+		return err
+	}
+	for i := 0; i < k.NumKeys(); i++ {
+		if err := writeString(w, k.KeyAt(i)); err != nil {
+			return err
+		}
+		if err := WriteJagged(w, k.FeatureAt(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadKJT deserializes a KJT from r.
+func ReadKJT(r byteReader) (*KJT, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagKJT {
+		return nil, fmt.Errorf("tensor: bad kjt tag %d", tag[0])
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, n)
+	tensors := make([]Jagged, n)
+	for i := range keys {
+		if keys[i], err = readString(r); err != nil {
+			return nil, err
+		}
+		if tensors[i], err = ReadJagged(r); err != nil {
+			return nil, err
+		}
+	}
+	return NewKJT(keys, tensors)
+}
+
+// WriteIKJT serializes an IKJT (including its inverse lookup) to w.
+func WriteIKJT(w io.Writer, ik *IKJT) error {
+	if _, err := w.Write([]byte{tagIKJT}); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(ik.NumKeys())); err != nil {
+		return err
+	}
+	for i := 0; i < ik.NumKeys(); i++ {
+		if err := writeString(w, ik.keys[i]); err != nil {
+			return err
+		}
+		if err := WriteJagged(w, ik.tensors[i]); err != nil {
+			return err
+		}
+	}
+	return writeInt32s(w, ik.inverseLookup)
+}
+
+// ReadIKJT deserializes an IKJT from r.
+func ReadIKJT(r byteReader) (*IKJT, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagIKJT {
+		return nil, fmt.Errorf("tensor: bad ikjt tag %d", tag[0])
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, n)
+	tensors := make([]Jagged, n)
+	for i := range keys {
+		if keys[i], err = readString(r); err != nil {
+			return nil, err
+		}
+		if tensors[i], err = ReadJagged(r); err != nil {
+			return nil, err
+		}
+	}
+	inverse, err := readInt32s(r)
+	if err != nil {
+		return nil, err
+	}
+	return ikjtFromParts(keys, tensors, inverse)
+}
+
+// WriteDense serializes a dense tensor to w.
+func WriteDense(w io.Writer, d Dense) error {
+	if _, err := w.Write([]byte{tagDense}); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(d.RowsN)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(d.Cols)); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(d.Data))
+	for i, v := range d.Data {
+		wireOrder.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadDense deserializes a dense tensor from r.
+func ReadDense(r byteReader) (Dense, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return Dense{}, err
+	}
+	if tag[0] != tagDense {
+		return Dense{}, fmt.Errorf("tensor: bad dense tag %d", tag[0])
+	}
+	rows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Dense{}, err
+	}
+	cols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Dense{}, err
+	}
+	buf := make([]byte, 4*rows*cols)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Dense{}, err
+	}
+	d := NewDense(int(rows), int(cols))
+	for i := range d.Data {
+		d.Data[i] = math.Float32frombits(wireOrder.Uint32(buf[i*4:]))
+	}
+	return d, nil
+}
+
+// WritePartial serializes a partial IKJT to w.
+func WritePartial(w io.Writer, p *PartialIKJT) error {
+	if _, err := w.Write([]byte{tagPartial}); err != nil {
+		return err
+	}
+	if err := writeString(w, p.Key); err != nil {
+		return err
+	}
+	if err := writeValues(w, p.Values); err != nil {
+		return err
+	}
+	flat := make([]int32, 0, 2*len(p.Lookup))
+	for _, w2 := range p.Lookup {
+		flat = append(flat, w2[0], w2[1])
+	}
+	return writeInt32s(w, flat)
+}
+
+// ReadPartial deserializes a partial IKJT from r.
+func ReadPartial(r byteReader) (*PartialIKJT, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagPartial {
+		return nil, fmt.Errorf("tensor: bad partial tag %d", tag[0])
+	}
+	key, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := readValues(r)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := readInt32s(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("tensor: partial lookup has odd length %d", len(flat))
+	}
+	p := &PartialIKJT{Key: key, Values: vals, Lookup: make([][2]int32, len(flat)/2)}
+	for i := range p.Lookup {
+		p.Lookup[i] = [2]int32{flat[2*i], flat[2*i+1]}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,365 @@
+package trainer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Checkpointing: the "Model Store" box of the paper's Figure 1. Save
+// serializes the full model — configuration, every parameter tensor, and
+// any Adagrad accumulator state — so training resumes bit-exactly and
+// trained models can be published to a blob store (lakefs in this repo).
+
+const checkpointMagic = "RDMD"
+const checkpointVersion = 1
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeF32s(w io.Writer, vals []float32) error {
+	if err := writeU64(w, uint64(len(vals))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readU64(r byteReaderCk) (uint64, error) { return binary.ReadUvarint(r) }
+
+func readF32s(r byteReaderCk, limit int) ([]float32, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > limit {
+		return nil, fmt.Errorf("trainer: checkpoint tensor of %d floats exceeds limit %d", n, limit)
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
+func writeStr(w io.Writer, s string) error {
+	if err := writeU64(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readStr(r byteReaderCk) (string, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("trainer: checkpoint string of %d bytes", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+type byteReaderCk interface {
+	io.Reader
+	io.ByteReader
+}
+
+// maxCheckpointTensor bounds any single tensor read from a checkpoint.
+const maxCheckpointTensor = 1 << 28
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	if err := writeU64(w, checkpointVersion); err != nil {
+		return err
+	}
+
+	// Configuration.
+	cfg := m.cfg
+	if err := writeU64(w, uint64(cfg.EmbDim)); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(cfg.DenseIn)); err != nil {
+		return err
+	}
+	for _, hidden := range [][]int{cfg.BottomHidden, cfg.TopHidden} {
+		if err := writeU64(w, uint64(len(hidden))); err != nil {
+			return err
+		}
+		for _, h := range hidden {
+			if err := writeU64(w, uint64(h)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeU64(w, uint64(len(cfg.Features))); err != nil {
+		return err
+	}
+	for _, f := range cfg.Features {
+		if err := writeStr(w, f.Key); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(f.Pool)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(f.TableRows)); err != nil {
+			return err
+		}
+	}
+	if err := writeF32s(w, []float32{cfg.LR}); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(cfg.Opt)); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(cfg.Seed)); err != nil {
+		return err
+	}
+
+	// Parameters: MLPs, tables (key-sorted for determinism), attention.
+	writeLinear := func(l *Linear) error {
+		if err := writeF32s(w, l.W); err != nil {
+			return err
+		}
+		if err := writeF32s(w, l.B); err != nil {
+			return err
+		}
+		if err := writeF32s(w, l.gsqW); err != nil {
+			return err
+		}
+		return writeF32s(w, l.gsqB)
+	}
+	for _, mlp := range []*MLP{m.bottom, m.top} {
+		for _, l := range mlp.Layers {
+			if err := writeLinear(l); err != nil {
+				return err
+			}
+		}
+	}
+	keys := make([]string, 0, len(m.tables))
+	for k := range m.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := m.tables[k]
+		if err := writeF32s(w, e.W); err != nil {
+			return err
+		}
+		if err := writeF32s(w, e.gsq); err != nil {
+			return err
+		}
+		if a, ok := m.attn[k]; ok {
+			for _, t := range [][]float32{a.Wq, a.Wk, a.Wv} {
+				if err := writeF32s(w, t); err != nil {
+					return err
+				}
+			}
+			if err := writeU64(w, uint64(len(a.gsq))); err != nil {
+				return err
+			}
+			for _, g := range a.gsq {
+				if err := writeF32s(w, g); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save and reconstructs the model.
+func Load(r byteReaderCk) (*Model, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("trainer: checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("trainer: bad checkpoint magic %q", magic)
+	}
+	ver, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if ver != checkpointVersion {
+		return nil, fmt.Errorf("trainer: unsupported checkpoint version %d", ver)
+	}
+
+	var cfg Config
+	u, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EmbDim = int(u)
+	if u, err = readU64(r); err != nil {
+		return nil, err
+	}
+	cfg.DenseIn = int(u)
+	for _, dst := range []*[]int{&cfg.BottomHidden, &cfg.TopHidden} {
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > 64 {
+			return nil, fmt.Errorf("trainer: checkpoint has %d hidden layers", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			h, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, int(h))
+		}
+	}
+	nf, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if nf > 1<<16 {
+		return nil, fmt.Errorf("trainer: checkpoint has %d features", nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f FeatureConfig
+		if f.Key, err = readStr(r); err != nil {
+			return nil, err
+		}
+		if u, err = readU64(r); err != nil {
+			return nil, err
+		}
+		f.Pool = PoolKind(u)
+		if u, err = readU64(r); err != nil {
+			return nil, err
+		}
+		f.TableRows = int(u)
+		cfg.Features = append(cfg.Features, f)
+	}
+	lr, err := readF32s(r, 1)
+	if err != nil || len(lr) != 1 {
+		return nil, fmt.Errorf("trainer: checkpoint LR: %v", err)
+	}
+	cfg.LR = lr[0]
+	if u, err = readU64(r); err != nil {
+		return nil, err
+	}
+	cfg.Opt = Optimizer(u)
+	if u, err = readU64(r); err != nil {
+		return nil, err
+	}
+	cfg.Seed = int64(u)
+
+	m, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: checkpoint config invalid: %w", err)
+	}
+
+	readLinear := func(l *Linear) error {
+		w, err := readF32s(r, maxCheckpointTensor)
+		if err != nil {
+			return err
+		}
+		if len(w) != len(l.W) {
+			return fmt.Errorf("trainer: checkpoint weight size %d, want %d", len(w), len(l.W))
+		}
+		l.W = w
+		b, err := readF32s(r, maxCheckpointTensor)
+		if err != nil {
+			return err
+		}
+		if len(b) != len(l.B) {
+			return fmt.Errorf("trainer: checkpoint bias size %d, want %d", len(b), len(l.B))
+		}
+		l.B = b
+		if l.gsqW, err = readF32s(r, maxCheckpointTensor); err != nil {
+			return err
+		}
+		if len(l.gsqW) == 0 {
+			l.gsqW = nil
+		}
+		if l.gsqB, err = readF32s(r, maxCheckpointTensor); err != nil {
+			return err
+		}
+		if len(l.gsqB) == 0 {
+			l.gsqB = nil
+		}
+		return nil
+	}
+	for _, mlp := range []*MLP{m.bottom, m.top} {
+		for _, l := range mlp.Layers {
+			if err := readLinear(l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	keys := make([]string, 0, len(m.tables))
+	for k := range m.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := m.tables[k]
+		w, err := readF32s(r, maxCheckpointTensor)
+		if err != nil {
+			return nil, err
+		}
+		if len(w) != len(e.W) {
+			return nil, fmt.Errorf("trainer: checkpoint table %q size %d, want %d", k, len(w), len(e.W))
+		}
+		e.W = w
+		if e.gsq, err = readF32s(r, maxCheckpointTensor); err != nil {
+			return nil, err
+		}
+		if len(e.gsq) == 0 {
+			e.gsq = nil
+		}
+		if a, ok := m.attn[k]; ok {
+			for _, dst := range []*[]float32{&a.Wq, &a.Wk, &a.Wv} {
+				t, err := readF32s(r, maxCheckpointTensor)
+				if err != nil {
+					return nil, err
+				}
+				if len(t) != a.Dim*a.Dim {
+					return nil, fmt.Errorf("trainer: checkpoint attention %q size %d", k, len(t))
+				}
+				*dst = t
+			}
+			ng, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			if ng > 3 {
+				return nil, fmt.Errorf("trainer: checkpoint attention %q has %d accumulators", k, ng)
+			}
+			if ng > 0 {
+				a.gsq = make([][]float32, ng)
+				for i := range a.gsq {
+					if a.gsq[i], err = readF32s(r, maxCheckpointTensor); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,148 @@
+package trainer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lakefs"
+)
+
+// TestCheckpointRoundTripPredictions: a saved-and-loaded model produces
+// bit-identical predictions.
+func TestCheckpointRoundTripPredictions(t *testing.T) {
+	batches := makeBatches(t, 20, 32)
+	m, err := New(modelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train a little so weights are non-initial.
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.TrainStep(batches[i%len(batches)], RecD); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := m.Predict(batches[0], RecD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Predict(batches[0], RecD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs after checkpoint: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestCheckpointResumesTrainingExactly: continuing training after a
+// save/load matches continuing without it, including Adagrad state.
+func TestCheckpointResumesTrainingExactly(t *testing.T) {
+	batches := makeBatches(t, 20, 32)
+	cfg := modelConfig()
+	cfg.Opt = Adagrad
+	cfg.LR = 0.05
+
+	mA, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := mA.TrainStep(batches[i], RecD); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := mA.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mB, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both continue with the same batch; losses must be identical because
+	// the Adagrad accumulators were checkpointed too.
+	lossA, _, err := mA.TrainStep(batches[3], RecD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, _, err := mB.TrainStep(batches[3], RecD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB {
+		t.Fatalf("resumed training diverged: %v vs %v", lossA, lossB)
+	}
+}
+
+// TestCheckpointToModelStore: publish a trained model into the blob store
+// (the Figure 1 "Model Store") and load it back.
+func TestCheckpointToModelStore(t *testing.T) {
+	batches := makeBatches(t, 10, 32)
+	m, err := New(modelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.TrainStep(batches[0], RecD); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store := lakefs.NewStore()
+	if err := store.Put("models/rm1/epoch-1.ckpt", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.Get("models/rm1/epoch-1.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Config().EmbDim != m.Config().EmbDim {
+		t.Fatal("config lost through model store")
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	batches := makeBatches(t, 10, 32)
+	m, err := New(modelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = batches
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := Load(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 99 // version byte
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected version error")
+	}
+}

@@ -1,0 +1,241 @@
+package trainer
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/gpusim"
+)
+
+// ClusterConfig describes the simulated multi-GPU training tier the cost
+// model runs against (the paper's ZionEX nodes, §6.1).
+type ClusterConfig struct {
+	Topology comm.Topology
+	Device   gpusim.DeviceSpec
+	// OverlapFraction is how much of concurrent compute can hide
+	// collective latency (paper §6.2: part of A2A is overlapped; the
+	// remainder is "exposed").
+	OverlapFraction float64
+}
+
+// DefaultCluster returns the paper's setup scaled by node count.
+func DefaultCluster(nodes int) ClusterConfig {
+	return ClusterConfig{
+		Topology:        comm.ZionEX(nodes),
+		Device:          gpusim.A100(),
+		OverlapFraction: 0.3,
+	}
+}
+
+// SimInput carries one iteration's global-batch cost plus the static
+// state the cluster must hold.
+type SimInput struct {
+	// Cost is the cost report aggregated over the global batch.
+	Cost *CostReport
+	// GlobalBatch is the number of samples in the iteration.
+	GlobalBatch int
+	// EmbParamBytes is the total embedding-table state, model-parallel
+	// sharded across GPUs.
+	EmbParamBytes int64
+	// DenseStateBytes is the replicated dense state per GPU (params +
+	// optimizer), in addition to what Cost reports.
+	DenseStateBytes int64
+	// UseJaggedIndexSelect selects O6; when false the pre-RecD padded
+	// expansion cost is charged instead.
+	UseJaggedIndexSelect bool
+
+	// The numeric model runs at laptop scale (small embedding dims, short
+	// sequences, dozens of features); production DLRMs are orders of
+	// magnitude larger. These calibration factors rescale the cost report
+	// to production magnitude so byte-dependent collective terms are not
+	// swamped by fixed per-message latency (DESIGN.md documents the
+	// derivation). Zero means 1 (no scaling).
+	ByteScale      float64 // SDD/EMB-out/activation/index-select bytes
+	PoolFlopScale  float64 // pooling (attention) flops
+	DenseFlopScale float64 // MLP + interaction flops
+	ParamScale     float64 // dense parameter bytes (all-reduce volume)
+	// ActMemScale additionally scales activation bytes in the MEMORY
+	// accounting only (production sequence features are ~1000 IDs at dim
+	// 128-1024, making baseline trainers activation-memory-bound — the
+	// paper's RM1 baseline sits at 99.9% of HBM).
+	ActMemScale float64
+}
+
+// scaled applies the calibration factors to a copy of the cost report.
+func (in SimInput) scaled() *CostReport {
+	f := func(v float64) float64 {
+		if v == 0 {
+			return 1
+		}
+		return v
+	}
+	bs, ps, ds, prs := f(in.ByteScale), f(in.PoolFlopScale), f(in.DenseFlopScale), f(in.ParamScale)
+	c := *in.Cost
+	c.SDDBytes = int64(float64(c.SDDBytes) * bs)
+	c.EmbOutBytes = int64(float64(c.EmbOutBytes) * bs)
+	c.EmbActivationBytes = int64(float64(c.EmbActivationBytes) * bs)
+	c.IndexSelectBytes = int64(float64(c.IndexSelectBytes) * bs)
+	c.PaddedExpandBytes = int64(float64(c.PaddedExpandBytes) * bs)
+	c.EmbLookups = int64(float64(c.EmbLookups) * bs)
+	c.PoolFLOPs *= ps
+	c.DenseFLOPs *= ds
+	c.DenseParamBytes = int64(float64(c.DenseParamBytes) * prs)
+	return &c
+}
+
+// IterationReport is the modelled outcome of one training iteration.
+type IterationReport struct {
+	// Breakdown is the Fig 8 exposed-latency decomposition (per GPU).
+	Breakdown gpusim.Breakdown
+	// QPS is cluster samples/second at this iteration latency.
+	QPS float64
+	// PeakMemBytes and AvgMemBytes are per-GPU dynamic+static memory.
+	PeakMemBytes int64
+	AvgMemBytes  int64
+	// MemUtilization fractions against device capacity.
+	PeakMemUtilization float64
+	AvgMemUtilization  float64
+	// AchievedFLOPs is the realized flop/s per GPU (Table 2 compute
+	// efficiency).
+	AchievedFLOPs float64
+}
+
+// SimulateIteration converts a global-batch cost report into per-GPU
+// iteration latency, memory, and throughput under the cluster model.
+func SimulateIteration(in SimInput, cluster ClusterConfig) (IterationReport, error) {
+	if in.Cost == nil || in.GlobalBatch <= 0 {
+		return IterationReport{}, fmt.Errorf("trainer: sim input needs cost and batch")
+	}
+	if err := cluster.Topology.Validate(); err != nil {
+		return IterationReport{}, err
+	}
+	if err := cluster.Device.Validate(); err != nil {
+		return IterationReport{}, err
+	}
+	n := cluster.Topology.NumGPUs()
+	nf := float64(n)
+	dev := cluster.Device
+	c := in.scaled()
+
+	// --- Compute (per GPU; work divides evenly across data-parallel ranks).
+	// Pool flops are forward-only in the report; backward ≈ 2× forward.
+	poolTime := dev.FLOPsTime(3 * c.PoolFLOPs / nf)
+	gemmTime := dev.FLOPsTime(c.DenseFLOPs / nf)
+
+	// EMB lookups: forward gather + backward scatter ⇒ 2× activation traffic.
+	embTime := dev.MemBoundTime(2 * c.EmbActivationBytes / int64(n))
+
+	// Index select (O6) or padded expansion (pre-O6), forward + backward.
+	expandBytes := c.IndexSelectBytes
+	if !in.UseJaggedIndexSelect {
+		expandBytes = c.PaddedExpandBytes
+	}
+	expandTime := dev.MemBoundTime(2 * expandBytes / int64(n))
+
+	// --- Collectives. SDD forward, EMB-return forward, and their
+	// backward mirrors; parameters all-reduced once.
+	perPair := func(total int64) int64 {
+		if n == 1 {
+			return 0
+		}
+		return total / int64(n*n)
+	}
+	sdd, err := cluster.Topology.UniformAllToAll(perPair(c.SDDBytes))
+	if err != nil {
+		return IterationReport{}, err
+	}
+	embOut, err := cluster.Topology.UniformAllToAll(perPair(c.EmbOutBytes))
+	if err != nil {
+		return IterationReport{}, err
+	}
+	embBwd, err := cluster.Topology.UniformAllToAll(perPair(c.EmbOutBytes))
+	if err != nil {
+		return IterationReport{}, err
+	}
+	allReduce, err := cluster.Topology.AllReduce(c.DenseParamBytes)
+	if err != nil {
+		return IterationReport{}, err
+	}
+
+	a2aRaw := sdd.Time + embOut.Time + embBwd.Time
+	computeTime := poolTime + gemmTime + embTime
+	a2aExposed := gpusim.Overlap(a2aRaw, computeTime, cluster.OverlapFraction)
+
+	bd := gpusim.Breakdown{
+		EMB:   embTime,
+		GEMM:  poolTime + gemmTime,
+		A2A:   a2aExposed,
+		Other: expandTime + allReduce.Time,
+	}
+
+	// --- Memory (per GPU).
+	mem := gpusim.NewMemTracker(dev)
+	static := in.EmbParamBytes/int64(n) + in.DenseStateBytes
+	if err := mem.Alloc(static); err != nil {
+		return IterationReport{}, err
+	}
+	// Inputs: the local share of SDD values plus expansion buffers.
+	inputBytes := c.SDDBytes/int64(n) + expandBytes/int64(n)
+	if err := mem.Alloc(inputBytes); err != nil {
+		return IterationReport{}, err
+	}
+	// Activations live until backward: forward + gradient buffers.
+	actScale := in.ActMemScale
+	if actScale == 0 {
+		actScale = 1
+	}
+	actBytes := int64(float64(2*c.EmbActivationBytes/int64(n)) * actScale)
+	if err := mem.Alloc(actBytes); err != nil {
+		return IterationReport{}, err
+	}
+	peak := mem.Peak()
+	// Average over the iteration: static always resident, dynamic about
+	// half-resident (allocated through forward, released through backward).
+	avg := static + (inputBytes+actBytes)/2
+
+	iter := bd.Total()
+	rep := IterationReport{
+		Breakdown:          bd,
+		PeakMemBytes:       peak,
+		AvgMemBytes:        avg,
+		PeakMemUtilization: float64(peak) / float64(dev.HBMCapacity),
+		AvgMemUtilization:  float64(avg) / float64(dev.HBMCapacity),
+	}
+	if iter > 0 {
+		rep.QPS = float64(in.GlobalBatch) / iter.Seconds()
+		rep.AchievedFLOPs = (3*c.PoolFLOPs + c.DenseFLOPs) / nf / iter.Seconds()
+	}
+	return rep, nil
+}
+
+// SimulateTraining aggregates cost reports from several batches into one
+// representative iteration (averaging per-batch costs) and simulates it.
+func SimulateTraining(costs []*CostReport, batchPerIter int, in SimInput, cluster ClusterConfig) (IterationReport, error) {
+	if len(costs) == 0 {
+		return IterationReport{}, fmt.Errorf("trainer: no cost reports")
+	}
+	agg := &CostReport{}
+	var rows int
+	for _, c := range costs {
+		agg.Add(c)
+		rows += c.Batch
+	}
+	// Rescale the aggregate to one iteration of batchPerIter samples.
+	scale := float64(batchPerIter) / float64(rows)
+	scaled := &CostReport{
+		Batch:              batchPerIter,
+		Mode:               costs[0].Mode,
+		EmbLookups:         int64(float64(agg.EmbLookups) * scale),
+		EmbActivationBytes: int64(float64(agg.EmbActivationBytes) * scale),
+		PoolFLOPs:          agg.PoolFLOPs * scale,
+		DenseFLOPs:         agg.DenseFLOPs * scale,
+		SDDBytes:           int64(float64(agg.SDDBytes) * scale),
+		EmbOutBytes:        int64(float64(agg.EmbOutBytes) * scale),
+		IndexSelectBytes:   int64(float64(agg.IndexSelectBytes) * scale),
+		PaddedExpandBytes:  int64(float64(agg.PaddedExpandBytes) * scale),
+		DenseParamBytes:    agg.DenseParamBytes,
+	}
+	in.Cost = scaled
+	in.GlobalBatch = batchPerIter
+	return SimulateIteration(in, cluster)
+}

@@ -1,0 +1,223 @@
+package trainer
+
+import (
+	"testing"
+)
+
+// simCost builds a representative global-batch cost report.
+func simCost(mode Mode, scale float64) *CostReport {
+	c := &CostReport{
+		Batch:              2048,
+		Mode:               mode,
+		EmbLookups:         int64(2048 * 400 * scale),
+		EmbActivationBytes: int64(2048 * 400 * 128 * 4 * scale),
+		PoolFLOPs:          2048 * 400 * 128 * 50 * scale,
+		DenseFLOPs:         2048 * 3e6, // mode-independent
+		SDDBytes:           int64(2048 * 400 * 8 * scale),
+		EmbOutBytes:        int64(2048 * 20 * 128 * 4 * scale),
+		DenseParamBytes:    8 << 20,
+	}
+	if mode == RecD {
+		c.IndexSelectBytes = 2048 * 128 * 4 * 20
+		c.PaddedExpandBytes = c.IndexSelectBytes * 10
+	}
+	return c
+}
+
+func TestSimulateIterationBasics(t *testing.T) {
+	cluster := DefaultCluster(6)
+	rep, err := SimulateIteration(SimInput{
+		Cost:                 simCost(Baseline, 1),
+		GlobalBatch:          2048,
+		EmbParamBytes:        100 << 30,
+		DenseStateBytes:      1 << 30,
+		UseJaggedIndexSelect: true,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breakdown.Total() <= 0 {
+		t.Fatal("iteration time must be positive")
+	}
+	if rep.QPS <= 0 {
+		t.Fatal("QPS must be positive")
+	}
+	if rep.PeakMemBytes <= 0 || rep.PeakMemUtilization <= 0 || rep.PeakMemUtilization > 1 {
+		t.Fatalf("memory accounting wrong: %+v", rep)
+	}
+	if rep.AvgMemBytes > rep.PeakMemBytes {
+		t.Fatal("average memory cannot exceed peak")
+	}
+	if rep.AchievedFLOPs <= 0 || rep.AchievedFLOPs > cluster.Device.PeakFLOPs {
+		t.Fatalf("achieved flops implausible: %v", rep.AchievedFLOPs)
+	}
+}
+
+// TestRecDImprovesIteration is the shape of Fig 8: a dedup-factor-4 cost
+// report yields lower iteration latency, with the A2A component cut the
+// most, and lower memory (Table 2).
+func TestRecDImprovesIteration(t *testing.T) {
+	cluster := DefaultCluster(6)
+	mk := func(c *CostReport) IterationReport {
+		rep, err := SimulateIteration(SimInput{
+			Cost: c, GlobalBatch: 2048,
+			EmbParamBytes: 100 << 30, DenseStateBytes: 1 << 30,
+			UseJaggedIndexSelect: true,
+		}, cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := mk(simCost(Baseline, 1))
+	recd := mk(simCost(RecD, 0.25)) // dedup factor 4
+
+	if recd.Breakdown.Total() >= base.Breakdown.Total() {
+		t.Fatalf("RecD iteration not faster: %v vs %v", recd.Breakdown.Total(), base.Breakdown.Total())
+	}
+	if recd.Breakdown.A2A >= base.Breakdown.A2A {
+		t.Fatalf("RecD A2A not smaller: %v vs %v", recd.Breakdown.A2A, base.Breakdown.A2A)
+	}
+	if recd.PeakMemBytes >= base.PeakMemBytes {
+		t.Fatal("RecD peak memory not smaller")
+	}
+	if recd.QPS <= base.QPS {
+		t.Fatal("RecD QPS not higher")
+	}
+	t.Logf("iteration: baseline %v, recd %v (%.2fx); A2A %v -> %v",
+		base.Breakdown.Total(), recd.Breakdown.Total(),
+		float64(base.Breakdown.Total())/float64(recd.Breakdown.Total()),
+		base.Breakdown.A2A, recd.Breakdown.A2A)
+}
+
+// TestJaggedIndexSelectAblation: disabling O6 charges the padded
+// expansion and slows the iteration (Fig 9 JIS ablation).
+func TestJaggedIndexSelectAblation(t *testing.T) {
+	cluster := DefaultCluster(6)
+	run := func(jis bool) IterationReport {
+		rep, err := SimulateIteration(SimInput{
+			Cost: simCost(RecD, 0.25), GlobalBatch: 2048,
+			EmbParamBytes: 100 << 30, DenseStateBytes: 1 << 30,
+			UseJaggedIndexSelect: jis,
+		}, cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	with := run(true)
+	without := run(false)
+	if without.Breakdown.Other <= with.Breakdown.Other {
+		t.Fatal("padded expansion should inflate Other time")
+	}
+	if without.PeakMemBytes <= with.PeakMemBytes {
+		t.Fatal("padded expansion should inflate memory")
+	}
+}
+
+// TestSingleNodeStillBenefits reproduces §6.2 "Single-node Training":
+// with NVLink-only communication the A2A term shrinks, but RecD's compute
+// and memory savings keep the iteration faster.
+func TestSingleNodeStillBenefits(t *testing.T) {
+	cluster := DefaultCluster(1)
+	run := func(c *CostReport) IterationReport {
+		rep, err := SimulateIteration(SimInput{
+			Cost: c, GlobalBatch: 2048,
+			EmbParamBytes: 10 << 30, DenseStateBytes: 1 << 30,
+			UseJaggedIndexSelect: true,
+		}, cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(simCost(Baseline, 1))
+	recd := run(simCost(RecD, 0.25))
+	if recd.Breakdown.Total() >= base.Breakdown.Total() {
+		t.Fatal("RecD should still win on a single node")
+	}
+	multi := DefaultCluster(6)
+	baseMulti, err := SimulateIteration(SimInput{
+		Cost: simCost(Baseline, 1), GlobalBatch: 2048,
+		EmbParamBytes: 10 << 30, DenseStateBytes: 1 << 30,
+		UseJaggedIndexSelect: true,
+	}, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single node exposes less A2A than multi-node for the same cost.
+	if base.Breakdown.A2A >= baseMulti.Breakdown.A2A {
+		t.Fatalf("single-node A2A should be smaller: %v vs %v",
+			base.Breakdown.A2A, baseMulti.Breakdown.A2A)
+	}
+}
+
+func TestSimulateIterationOOM(t *testing.T) {
+	cluster := DefaultCluster(1)
+	_, err := SimulateIteration(SimInput{
+		Cost: simCost(Baseline, 1), GlobalBatch: 2048,
+		EmbParamBytes: 10 << 40, // far beyond 8×40GB
+	}, cluster)
+	if err == nil {
+		t.Fatal("expected OOM error")
+	}
+}
+
+func TestSimulateIterationValidation(t *testing.T) {
+	cluster := DefaultCluster(1)
+	if _, err := SimulateIteration(SimInput{}, cluster); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	bad := cluster
+	bad.Topology.Nodes = 0
+	if _, err := SimulateIteration(SimInput{Cost: simCost(Baseline, 1), GlobalBatch: 1}, bad); err == nil {
+		t.Fatal("expected error for bad topology")
+	}
+}
+
+func TestSimulateTraining(t *testing.T) {
+	cluster := DefaultCluster(2)
+	costs := []*CostReport{simCost(RecD, 0.25), simCost(RecD, 0.25)}
+	rep, err := SimulateTraining(costs, 4096, SimInput{
+		EmbParamBytes: 10 << 30, DenseStateBytes: 1 << 30,
+		UseJaggedIndexSelect: true,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QPS <= 0 {
+		t.Fatal("expected positive QPS")
+	}
+	if _, err := SimulateTraining(nil, 1, SimInput{}, cluster); err == nil {
+		t.Fatal("expected error for no costs")
+	}
+}
+
+// TestLargerBatchRaisesQPS captures the paper's batch-size lever: after
+// RecD frees memory, batch 6144 raises throughput versus 2048 (Fig 9,
+// Table 2) because fixed per-iteration overheads amortize.
+func TestLargerBatchRaisesQPS(t *testing.T) {
+	cluster := DefaultCluster(6)
+	run := func(batch int) IterationReport {
+		scale := float64(batch) / 2048 * 0.25
+		c := simCost(RecD, scale)
+		c.DenseFLOPs = float64(batch) * 3e6
+		rep, err := SimulateIteration(SimInput{
+			Cost: c, GlobalBatch: batch,
+			EmbParamBytes: 100 << 30, DenseStateBytes: 1 << 30,
+			UseJaggedIndexSelect: true,
+		}, cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	small := run(2048)
+	big := run(6144)
+	if big.QPS <= small.QPS {
+		t.Fatalf("larger batch should raise QPS: %v vs %v", big.QPS, small.QPS)
+	}
+	if big.PeakMemBytes <= small.PeakMemBytes {
+		t.Fatal("larger batch should use more memory")
+	}
+}

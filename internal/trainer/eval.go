@@ -1,0 +1,114 @@
+package trainer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/reader"
+)
+
+// EvalMetrics are the standard DLRM evaluation measures: log loss (the
+// training objective on held-out data), ROC AUC (ranking quality), and
+// calibration (mean prediction over mean label; 1.0 is perfectly
+// calibrated). The paper's accuracy discussion (§6.2) concerns how
+// clustering affects generalization; these metrics quantify it.
+type EvalMetrics struct {
+	LogLoss      float64
+	AUC          float64
+	Calibration  float64
+	Samples      int
+	PositiveRate float64
+}
+
+// Evaluate runs inference over the batches and computes held-out metrics.
+func (m *Model) Evaluate(batches []*reader.Batch, mode Mode) (EvalMetrics, error) {
+	var preds []float64
+	var labels []float32
+	for _, b := range batches {
+		p, err := m.Predict(b, mode)
+		if err != nil {
+			return EvalMetrics{}, err
+		}
+		preds = append(preds, p...)
+		labels = append(labels, b.Labels...)
+	}
+	return ComputeMetrics(preds, labels)
+}
+
+// ComputeMetrics computes log loss, AUC, and calibration for predictions
+// against binary labels.
+func ComputeMetrics(preds []float64, labels []float32) (EvalMetrics, error) {
+	if len(preds) != len(labels) {
+		return EvalMetrics{}, fmt.Errorf("trainer: %d predictions for %d labels", len(preds), len(labels))
+	}
+	if len(preds) == 0 {
+		return EvalMetrics{}, fmt.Errorf("trainer: no samples to evaluate")
+	}
+	const eps = 1e-12
+	var ll, meanPred, meanLabel float64
+	for i, p := range preds {
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		y := float64(labels[i])
+		ll += -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		meanPred += p
+		meanLabel += y
+	}
+	n := float64(len(preds))
+	m := EvalMetrics{
+		LogLoss:      ll / n,
+		Samples:      len(preds),
+		PositiveRate: meanLabel / n,
+	}
+	if meanLabel > 0 {
+		m.Calibration = meanPred / meanLabel
+	}
+	m.AUC = auc(preds, labels)
+	return m, nil
+}
+
+// auc computes the ROC AUC via the rank-sum (Mann-Whitney) formulation,
+// with tie handling through average ranks.
+func auc(preds []float64, labels []float32) float64 {
+	type pair struct {
+		p float64
+		y float32
+	}
+	pairs := make([]pair, len(preds))
+	for i := range preds {
+		pairs[i] = pair{preds[i], labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].p < pairs[j].p })
+
+	var nPos, nNeg float64
+	var rankSum float64
+	i := 0
+	rank := 1.0
+	for i < len(pairs) {
+		j := i
+		for j < len(pairs) && pairs[j].p == pairs[i].p {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avgRank := (rank + rank + float64(j-i) - 1) / 2
+		for k := i; k < j; k++ {
+			if pairs[k].y > 0 {
+				rankSum += avgRank
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		rank += float64(j - i)
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}

@@ -1,0 +1,117 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	preds := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []float32{0, 0, 1, 1}
+	m, err := ComputeMetrics(preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC != 1.0 {
+		t.Fatalf("perfect ranking AUC = %v", m.AUC)
+	}
+}
+
+func TestAUCReversedRanking(t *testing.T) {
+	preds := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{0, 0, 1, 1}
+	m, _ := ComputeMetrics(preds, labels)
+	if m.AUC != 0.0 {
+		t.Fatalf("reversed ranking AUC = %v", m.AUC)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	// All predictions tied → AUC must be exactly 0.5 by tie handling.
+	preds := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []float32{0, 1, 0, 1}
+	m, _ := ComputeMetrics(preds, labels)
+	if m.AUC != 0.5 {
+		t.Fatalf("all-tied AUC = %v want 0.5", m.AUC)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	m, _ := ComputeMetrics([]float64{0.2, 0.8}, []float32{1, 1})
+	if m.AUC != 0.5 {
+		t.Fatalf("single-class AUC = %v want 0.5 fallback", m.AUC)
+	}
+}
+
+func TestAUCPartialTies(t *testing.T) {
+	// One tie straddling classes: pairs (0.3:0, 0.3:1, 0.7:1).
+	// Comparisons: pos 0.3 vs neg 0.3 → 0.5; pos 0.7 vs neg 0.3 → 1.
+	// AUC = (0.5 + 1) / 2 = 0.75.
+	m, _ := ComputeMetrics([]float64{0.3, 0.3, 0.7}, []float32{0, 1, 1})
+	if math.Abs(m.AUC-0.75) > 1e-12 {
+		t.Fatalf("tied AUC = %v want 0.75", m.AUC)
+	}
+}
+
+func TestLogLossKnown(t *testing.T) {
+	// Perfectly confident correct predictions → loss ≈ 0.
+	m, _ := ComputeMetrics([]float64{1, 0}, []float32{1, 0})
+	if m.LogLoss > 1e-9 {
+		t.Fatalf("confident correct loss = %v", m.LogLoss)
+	}
+	// p=0.5 everywhere → ln 2.
+	m, _ = ComputeMetrics([]float64{0.5, 0.5}, []float32{1, 0})
+	if math.Abs(m.LogLoss-math.Ln2) > 1e-9 {
+		t.Fatalf("uniform loss = %v want ln2", m.LogLoss)
+	}
+	// Clamping keeps confident-wrong finite.
+	m, _ = ComputeMetrics([]float64{0}, []float32{1})
+	if math.IsInf(m.LogLoss, 0) || math.IsNaN(m.LogLoss) {
+		t.Fatalf("clamped loss = %v", m.LogLoss)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	// Mean prediction 0.4, mean label 0.5 → calibration 0.8.
+	m, _ := ComputeMetrics([]float64{0.4, 0.4}, []float32{1, 0})
+	if math.Abs(m.Calibration-0.8) > 1e-9 {
+		t.Fatalf("calibration = %v want 0.8", m.Calibration)
+	}
+	if m.PositiveRate != 0.5 {
+		t.Fatalf("positive rate = %v", m.PositiveRate)
+	}
+}
+
+func TestComputeMetricsErrors(t *testing.T) {
+	if _, err := ComputeMetrics([]float64{0.5}, []float32{1, 0}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := ComputeMetrics(nil, nil); err == nil {
+		t.Fatal("expected empty input error")
+	}
+}
+
+// TestEvaluateOnModel wires Evaluate through a real model and checks the
+// metrics are finite and AUC-consistent between modes.
+func TestEvaluateOnModel(t *testing.T) {
+	batches := makeBatches(t, 20, 32)
+	m, err := New(modelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Evaluate(batches, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recd, err := m.Evaluate(batches, RecD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward passes are bit-identical, so metrics must match exactly.
+	if base.AUC != recd.AUC || base.LogLoss != recd.LogLoss {
+		t.Fatalf("metrics differ between modes: %+v vs %+v", base, recd)
+	}
+	if base.Samples == 0 || math.IsNaN(base.LogLoss) {
+		t.Fatalf("bad metrics: %+v", base)
+	}
+}

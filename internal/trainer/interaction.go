@@ -1,0 +1,114 @@
+package trainer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// InteractionCache stores the inputs of one interaction forward.
+type InteractionCache struct {
+	inputs []tensor.Dense
+}
+
+// InteractionForward computes the DLRM feature-interaction layer (paper
+// §2.2): given F same-dimension vectors per row (the bottom-MLP output
+// first, then one pooled vector per sparse feature), it emits the
+// bottom-MLP output concatenated with all pairwise dot products —
+// D + F·(F−1)/2 values per row.
+func InteractionForward(inputs []tensor.Dense) (tensor.Dense, *InteractionCache, error) {
+	if len(inputs) == 0 {
+		return tensor.Dense{}, nil, fmt.Errorf("trainer: interaction needs inputs")
+	}
+	b := inputs[0].RowsN
+	d := inputs[0].Cols
+	for i, in := range inputs {
+		if in.RowsN != b || in.Cols != d {
+			return tensor.Dense{}, nil, fmt.Errorf("trainer: interaction input %d is %dx%d, want %dx%d",
+				i, in.RowsN, in.Cols, b, d)
+		}
+	}
+	f := len(inputs)
+	pairs := f * (f - 1) / 2
+	out := tensor.NewDense(b, d+pairs)
+	for r := 0; r < b; r++ {
+		o := out.Row(r)
+		copy(o[:d], inputs[0].Row(r))
+		p := d
+		for i := 0; i < f; i++ {
+			vi := inputs[i].Row(r)
+			for j := i + 1; j < f; j++ {
+				vj := inputs[j].Row(r)
+				var dot float32
+				for k := 0; k < d; k++ {
+					dot += vi[k] * vj[k]
+				}
+				o[p] = dot
+				p++
+			}
+		}
+	}
+	return out, &InteractionCache{inputs: inputs}, nil
+}
+
+// InteractionBackward propagates dOut through the interaction, returning
+// one gradient per input.
+func InteractionBackward(c *InteractionCache, dOut tensor.Dense) []tensor.Dense {
+	f := len(c.inputs)
+	b := c.inputs[0].RowsN
+	d := c.inputs[0].Cols
+	grads := make([]tensor.Dense, f)
+	for i := range grads {
+		grads[i] = tensor.NewDense(b, d)
+	}
+	for r := 0; r < b; r++ {
+		do := dOut.Row(r)
+		copy(grads[0].Row(r), do[:d])
+		p := d
+		for i := 0; i < f; i++ {
+			vi := c.inputs[i].Row(r)
+			gi := grads[i].Row(r)
+			for j := i + 1; j < f; j++ {
+				vj := c.inputs[j].Row(r)
+				gj := grads[j].Row(r)
+				g := do[p]
+				p++
+				if g == 0 {
+					continue
+				}
+				for k := 0; k < d; k++ {
+					gi[k] += g * vj[k]
+					gj[k] += g * vi[k]
+				}
+			}
+		}
+	}
+	return grads
+}
+
+// InteractionOutputDim returns the interaction layer's output width for F
+// inputs of dimension d.
+func InteractionOutputDim(f, d int) int { return d + f*(f-1)/2 }
+
+// BCEWithLogits computes mean binary cross-entropy over sigmoid(logits)
+// and the gradient with respect to the logits (already divided by the
+// batch size). Labels must be 0 or 1.
+func BCEWithLogits(logits tensor.Dense, labels []float32) (float64, tensor.Dense, error) {
+	if logits.Cols != 1 || logits.RowsN != len(labels) {
+		return 0, tensor.Dense{}, fmt.Errorf("trainer: loss shapes %dx%d vs %d labels",
+			logits.RowsN, logits.Cols, len(labels))
+	}
+	n := len(labels)
+	grad := tensor.NewDense(n, 1)
+	var loss float64
+	for i := 0; i < n; i++ {
+		z := float64(logits.At(i, 0))
+		y := float64(labels[i])
+		// Numerically stable: log(1+e^-|z|) + max(z,0) - z·y.
+		loss += math.Log1p(math.Exp(-math.Abs(z))) + math.Max(z, 0) - z*y
+		p := 1 / (1 + math.Exp(-z))
+		grad.Set(i, 0, float32((p-y)/float64(n)))
+	}
+	return loss / float64(n), grad, nil
+}

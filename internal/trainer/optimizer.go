@@ -1,0 +1,62 @@
+package trainer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer selects the parameter-update rule. Production DLRMs typically
+// train embeddings with Adagrad (per-coordinate adaptive rates are
+// essential for power-law-distributed sparse IDs) and dense layers with
+// SGD or Adagrad; both are supported everywhere here.
+type Optimizer int
+
+const (
+	// SGD is plain stochastic gradient descent.
+	SGD Optimizer = iota
+	// Adagrad divides the rate by the root of the accumulated squared
+	// gradient per coordinate.
+	Adagrad
+)
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	switch o {
+	case SGD:
+		return "sgd"
+	case Adagrad:
+		return "adagrad"
+	}
+	return fmt.Sprintf("Optimizer(%d)", int(o))
+}
+
+// adagradEps stabilizes the adaptive denominator.
+const adagradEps = 1e-8
+
+// adagradApply updates params in place from grads using accumulated
+// squared gradients in state (same length as params), then zeroes grads.
+func adagradApply(params, grads, state []float32, lr float32) {
+	for i, g := range grads {
+		if g == 0 {
+			continue
+		}
+		state[i] += g * g
+		params[i] -= lr * g / (sqrt32(state[i]) + adagradEps)
+		grads[i] = 0
+	}
+}
+
+// sgdApply updates params in place and zeroes grads.
+func sgdApply(params, grads []float32, lr float32) {
+	for i, g := range grads {
+		params[i] -= lr * g
+		grads[i] = 0
+	}
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}

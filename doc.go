@@ -9,4 +9,39 @@
 // substitution table, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation.
+//
+// # Hot paths
+//
+// RecD's premise is that reader-side dedup compute is cheap relative to
+// the IO and preprocessing it saves (paper §6.3), so the dedup/convert
+// kernels are engineered for throughput:
+//
+//   - tensor.Deduper performs grouped exact-match dedup with a
+//     word-at-a-time multiplicative hash and an open-addressed int32
+//     table that is reset — not reallocated — between batches. Outputs
+//     never alias Deduper scratch, so batches can be retained while the
+//     table is reused.
+//   - tensor.JaggedIndexSelectInto expands IKJTs through a caller-reused
+//     destination buffer, making steady-state expansion allocation-free.
+//   - The wire codecs (tensor serialization, DWRF stripe encode/decode)
+//     stage bytes through pooled scratch buffers and reuse flate
+//     encoder/decoder state; DWRF files decode stripes concurrently.
+//
+// # Reader pipeline
+//
+// reader.Reader.Run executes the paper's fill→convert→process loop either
+// serially (the reference path) or as a bounded-channel pipeline:
+// Spec.FillAhead prefetches and decodes files ahead of conversion, and
+// Spec.ConvertWorkers converts independent dedup groups of a batch
+// concurrently. Both modes emit byte-identical batches with identical
+// deterministic Stats counters; the equivalence is pinned under -race by
+// the reader package's tests.
+//
+// # Benchmark regression harness
+//
+// scripts/bench.sh runs the hot-path benchmark set and gates ns/op and
+// allocs/op against the committed benchmarks/baseline.txt (tolerance
+// BENCH_MAX_REGRESSION_PCT); scripts/bench-update.sh promotes fresh
+// numbers. See benchmarks/README.md for the workflow and the recorded
+// before/after history.
 package repro

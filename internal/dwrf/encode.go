@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Column stream encodings. Every stream is a byte slice produced by one of
@@ -67,41 +68,52 @@ func (r *byteReader) float32() (float32, error) {
 
 func (r *byteReader) remaining() int { return len(r.buf) - r.pos }
 
-// compressStream flate-compresses a stream at the given level (0 = default).
-func compressStream(raw []byte, level int) ([]byte, error) {
-	if level == 0 {
-		level = flate.DefaultCompression
-	}
-	var out bytes.Buffer
-	w, err := flate.NewWriter(&out, level)
-	if err != nil {
-		return nil, fmt.Errorf("dwrf: flate init: %w", err)
-	}
-	if _, err := w.Write(raw); err != nil {
-		return nil, fmt.Errorf("dwrf: compress: %w", err)
-	}
-	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("dwrf: compress close: %w", err)
-	}
-	return out.Bytes(), nil
+// inflater bundles a reusable flate reader with its byte source so stripe
+// decoding does not rebuild the (large) flate state per column stream.
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser
 }
 
-// decompressStream inflates a compressed stream; rawLen is the expected
-// decompressed size recorded in the stripe header.
-func decompressStream(comp []byte, rawLen int) ([]byte, error) {
+var inflaterPool = sync.Pool{New: func() any { return &inflater{} }}
+
+// decompressStream inflates a compressed stream into dst's storage (grown
+// if needed); rawLen is the expected decompressed size recorded in the
+// stripe header. Flate state comes from a pool, so concurrent stripe
+// decodes each reuse a warm inflater.
+func decompressStream(dst, comp []byte, rawLen int) ([]byte, error) {
 	if rawLen < 0 || rawLen > maxStreamBytes {
 		return nil, fmt.Errorf("dwrf: invalid raw stream length %d", rawLen)
 	}
-	r := flate.NewReader(bytes.NewReader(comp))
-	defer r.Close()
-	out := make([]byte, rawLen)
-	if _, err := io.ReadFull(r, out); err != nil {
+	fl := inflaterPool.Get().(*inflater)
+	defer func() {
+		// Drop the reference into the caller's file buffer before pooling,
+		// so idle pool entries never pin a decoded file in memory.
+		fl.src.Reset(nil)
+		inflaterPool.Put(fl)
+	}()
+	fl.src.Reset(comp)
+	if fl.fr == nil {
+		fl.fr = flate.NewReader(&fl.src)
+	} else if err := fl.fr.(flate.Resetter).Reset(&fl.src, nil); err != nil {
+		return nil, fmt.Errorf("dwrf: flate reset: %w", err)
+	}
+	if cap(dst) < rawLen {
+		dst = make([]byte, rawLen)
+	} else {
+		dst = dst[:rawLen]
+	}
+	if _, err := io.ReadFull(fl.fr, dst); err != nil {
 		return nil, fmt.Errorf("dwrf: decompress: %w", err)
 	}
 	// A trailing read must hit EOF, otherwise the recorded length lied.
 	var one [1]byte
-	if n, _ := r.Read(one[:]); n != 0 {
+	if n, _ := fl.fr.Read(one[:]); n != 0 {
 		return nil, fmt.Errorf("dwrf: stream longer than recorded length %d", rawLen)
 	}
-	return out, nil
+	return dst, nil
 }
+
+// streamBufPool recycles decompressed column stream buffers across stripe
+// decodes; samples copy their data out, so the buffers never escape.
+var streamBufPool = sync.Pool{New: func() any { return new([]byte) }}

@@ -3,6 +3,9 @@ package dwrf
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/datagen"
 )
@@ -107,15 +110,52 @@ func (r *FileReader) ReadStripe(i int) ([]datagen.Sample, error) {
 	return DecodeStripe(r.data[st.offset:st.offset+st.length], r.keys, r.dense)
 }
 
-// ReadAll decodes every stripe.
+// ReadAll decodes every stripe. Stripes are independent (each carries its
+// own compressed column streams and delta-encoding state), so files with
+// more than one stripe decode them concurrently, bounded by GOMAXPROCS;
+// results are stitched back in stripe order.
 func (r *FileReader) ReadAll() ([]datagen.Sample, error) {
-	out := make([]datagen.Sample, 0, r.rows)
-	for i := range r.stripes {
-		ss, err := r.ReadStripe(i)
-		if err != nil {
-			return nil, err
+	if len(r.stripes) <= 1 {
+		out := make([]datagen.Sample, 0, r.rows)
+		for i := range r.stripes {
+			ss, err := r.ReadStripe(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ss...)
 		}
-		out = append(out, ss...)
+		return out, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(r.stripes) {
+		workers = len(r.stripes)
+	}
+	results := make([][]datagen.Sample, len(r.stripes))
+	errs := make([]error, len(r.stripes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(r.stripes) {
+					return
+				}
+				results[i], errs[i] = r.ReadStripe(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]datagen.Sample, 0, r.rows)
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
 	}
 	return out, nil
 }
@@ -157,14 +197,25 @@ func DecodeStripe(stripe []byte, keys []string, dense int) ([]datagen.Sample, er
 	}
 
 	streams := make([][]byte, nCols)
+	bufs := make([]*[]byte, nCols)
+	defer func() {
+		for _, bp := range bufs {
+			if bp != nil {
+				streamBufPool.Put(bp)
+			}
+		}
+	}()
 	for c := 0; c < nCols; c++ {
 		if compLens[c] > r.remaining() {
 			return nil, fmt.Errorf("dwrf: column %d stream truncated", c)
 		}
-		raw, err := decompressStream(r.buf[r.pos:r.pos+compLens[c]], rawLens[c])
+		bp := streamBufPool.Get().(*[]byte)
+		bufs[c] = bp
+		raw, err := decompressStream(*bp, r.buf[r.pos:r.pos+compLens[c]], rawLens[c])
 		if err != nil {
 			return nil, fmt.Errorf("dwrf: column %d: %w", c, err)
 		}
+		*bp = raw
 		streams[c] = raw
 		r.pos += compLens[c]
 	}

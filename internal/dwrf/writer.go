@@ -2,6 +2,7 @@ package dwrf
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 
@@ -28,6 +29,15 @@ type FileWriter struct {
 	rows    int
 	colRaw  []int64
 	colComp []int64
+
+	// Per-stripe encode/compress scratch, reset (not reallocated) between
+	// stripes: raw column streams, compressed column streams, the shared
+	// flate writer, its output buffer, and the stripe header.
+	streams [][]byte
+	comp    [][]byte
+	fw      *flate.Writer
+	compBuf bytes.Buffer
+	hdr     []byte
 
 	finished bool
 }
@@ -81,16 +91,20 @@ func (w *FileWriter) WriteRows(samples []datagen.Sample) error {
 }
 
 // encodeStripeColumns encodes the pending rows into one raw byte stream
-// per column.
+// per column. Streams are built in the writer's reusable scratch buffers,
+// so steady-state stripe encoding allocates nothing.
 func (w *FileWriter) encodeStripeColumns() [][]byte {
 	nCols := 2 + len(w.schema.Sparse)
-	streams := make([][]byte, nCols)
+	if w.streams == nil {
+		w.streams = make([][]byte, nCols)
+	}
+	streams := w.streams
 
 	// Column 0: metadata. Session IDs and timestamps are delta-encoded —
 	// clustered tables have long runs of equal session IDs and ascending
 	// timestamps, which delta+varint shrinks dramatically even before
 	// flate sees the stream.
-	var meta []byte
+	meta := streams[0][:0]
 	var prevSession, prevTS int64
 	for _, s := range w.pending {
 		meta = putVarint(meta, s.SessionID-prevSession)
@@ -104,7 +118,7 @@ func (w *FileWriter) encodeStripeColumns() [][]byte {
 	streams[0] = meta
 
 	// Column 1: dense floats, raw little-endian.
-	var dense []byte
+	dense := streams[1][:0]
 	for _, s := range w.pending {
 		for _, f := range s.Dense {
 			dense = putFloat32(dense, f)
@@ -114,7 +128,7 @@ func (w *FileWriter) encodeStripeColumns() [][]byte {
 
 	// Sparse columns: per row a varint length then zigzag varint IDs.
 	for fi := range w.schema.Sparse {
-		var col []byte
+		col := streams[2+fi][:0]
 		for _, s := range w.pending {
 			lst := s.Sparse[fi]
 			col = putUvarint(col, uint64(len(lst)))
@@ -125,6 +139,32 @@ func (w *FileWriter) encodeStripeColumns() [][]byte {
 		streams[2+fi] = col
 	}
 	return streams
+}
+
+// compressInto flate-compresses raw into dst's storage using the writer's
+// reused flate state, returning the (possibly regrown) compressed slice.
+func (w *FileWriter) compressInto(dst, raw []byte) ([]byte, error) {
+	w.compBuf.Reset()
+	if w.fw == nil {
+		level := w.opts.CompressionLevel
+		if level == 0 {
+			level = flate.DefaultCompression
+		}
+		fw, err := flate.NewWriter(&w.compBuf, level)
+		if err != nil {
+			return nil, fmt.Errorf("dwrf: flate init: %w", err)
+		}
+		w.fw = fw
+	} else {
+		w.fw.Reset(&w.compBuf)
+	}
+	if _, err := w.fw.Write(raw); err != nil {
+		return nil, fmt.Errorf("dwrf: compress: %w", err)
+	}
+	if err := w.fw.Close(); err != nil {
+		return nil, fmt.Errorf("dwrf: compress close: %w", err)
+	}
+	return append(dst[:0], w.compBuf.Bytes()...), nil
 }
 
 // flushStripe encodes, compresses, and appends the pending rows as one
@@ -140,9 +180,12 @@ func (w *FileWriter) flushStripe() error {
 	}
 	streams := w.encodeStripeColumns()
 
-	comp := make([][]byte, len(streams))
+	if w.comp == nil {
+		w.comp = make([][]byte, len(streams))
+	}
+	comp := w.comp
 	for i, raw := range streams {
-		c, err := compressStream(raw, w.opts.CompressionLevel)
+		c, err := w.compressInto(comp[i], raw)
 		if err != nil {
 			return err
 		}
@@ -152,7 +195,7 @@ func (w *FileWriter) flushStripe() error {
 	}
 
 	offset := int64(w.buf.Len())
-	var hdr []byte
+	hdr := w.hdr[:0]
 	hdr = putUvarint(hdr, uint64(len(w.pending)))
 	hdr = putUvarint(hdr, uint64(len(streams)))
 	for i := range streams {
@@ -160,6 +203,7 @@ func (w *FileWriter) flushStripe() error {
 		hdr = putUvarint(hdr, uint64(len(comp[i])))
 	}
 	w.buf.Write(hdr)
+	w.hdr = hdr
 	for _, c := range comp {
 		w.buf.Write(c)
 	}

@@ -2,6 +2,7 @@ package reader
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +64,11 @@ type Reader struct {
 	store *lakefs.Store
 	spec  Spec
 	stats Stats
+	// dedupers holds one reusable dedup table per spec dedup group. Group
+	// i is always converted by exactly one task per batch, so each deduper
+	// has a single user at a time and its scratch amortizes across the
+	// whole scan.
+	dedupers []*tensor.Deduper
 }
 
 // NewReader validates the spec and builds a reader.
@@ -70,7 +76,11 @@ func NewReader(store *lakefs.Store, spec Spec) (*Reader, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Reader{store: store, spec: spec}, nil
+	dedupers := make([]*tensor.Deduper, len(spec.DedupSparseFeatures))
+	for i := range dedupers {
+		dedupers[i] = tensor.NewDeduper()
+	}
+	return &Reader{store: store, spec: spec, dedupers: dedupers}, nil
 }
 
 // Stats returns the accumulated accounting.
@@ -82,22 +92,52 @@ func (r *Reader) ResetStats() { r.stats = Stats{} }
 // Run scans the assigned files in order, producing preprocessed batches.
 // Rows left over after the last file that do not fill a batch are emitted
 // as a final short batch. emit returning an error aborts the scan.
+//
+// With Spec.FillAhead > 0 the fill stage runs in its own goroutine,
+// prefetching up to FillAhead decoded files through a bounded channel
+// while earlier rows convert and process; batch order, batch contents,
+// and every deterministic Stats counter are identical to the serial path.
 func (r *Reader) Run(files []string, emit func(*Batch) error) error {
+	if r.spec.FillAhead > 0 {
+		return r.runPipelined(files, emit)
+	}
+	return r.runSerial(files, emit)
+}
+
+// fillResult is one decoded file handed from the fill stage to the
+// convert/process consumer.
+type fillResult struct {
+	file    string
+	samples []datagen.Sample
+	keys    []string
+	dense   int
+	err     error
+}
+
+// consumeResults is the single convert/process consumer both execution
+// modes share: it pulls decoded files from next, checks schema
+// consistency, cuts fixed-size batches in order, and emits any leftover
+// rows as a final short batch. Keeping one copy is what guarantees the
+// serial and pipelined paths stay byte-identical.
+func (r *Reader) consumeResults(next func() (fillResult, bool), emit func(*Batch) error) error {
 	var pending []datagen.Sample
 	var keys []string
 	var dense int
 
-	for _, f := range files {
-		samples, fkeys, fdense, err := r.fill(f)
-		if err != nil {
-			return err
+	for {
+		res, ok := next()
+		if !ok {
+			break
+		}
+		if res.err != nil {
+			return res.err
 		}
 		if keys == nil {
-			keys, dense = fkeys, fdense
-		} else if len(fkeys) != len(keys) {
-			return fmt.Errorf("reader: file %q schema mismatch (%d vs %d features)", f, len(fkeys), len(keys))
+			keys, dense = res.keys, res.dense
+		} else if len(res.keys) != len(keys) {
+			return fmt.Errorf("reader: file %q schema mismatch (%d vs %d features)", res.file, len(res.keys), len(keys))
 		}
-		pending = append(pending, samples...)
+		pending = append(pending, res.samples...)
 		for len(pending) >= r.spec.BatchSize {
 			rows := pending[:r.spec.BatchSize]
 			pending = pending[r.spec.BatchSize:]
@@ -107,11 +147,67 @@ func (r *Reader) Run(files []string, emit func(*Batch) error) error {
 		}
 	}
 	if len(pending) > 0 {
-		if err := r.produce(pending, keys, dense, emit); err != nil {
-			return err
-		}
+		return r.produce(pending, keys, dense, emit)
 	}
 	return nil
+}
+
+// runSerial is the reference fill→convert→process loop: one file at a
+// time, entirely on the calling goroutine.
+func (r *Reader) runSerial(files []string, emit func(*Batch) error) error {
+	i := 0
+	return r.consumeResults(func() (fillResult, bool) {
+		if i >= len(files) {
+			return fillResult{}, false
+		}
+		f := files[i]
+		i++
+		samples, keys, dense, err := r.fill(f)
+		return fillResult{file: f, samples: samples, keys: keys, dense: dense, err: err}, true
+	}, emit)
+}
+
+// runPipelined overlaps fill with convert/process. The fill goroutine is
+// the only writer of the fill-stage Stats fields (FillTime, ReadBytes,
+// RowsDecoded); the consumer owns the rest, so accounting stays exact
+// without locks. Batches are cut and emitted on the consumer goroutine in
+// file order, preserving the serial path's deterministic output.
+func (r *Reader) runPipelined(files []string, emit func(*Batch) error) error {
+	done := make(chan struct{})
+	var fillWG sync.WaitGroup
+	defer fillWG.Wait() // runs after close(done): never leak a filling goroutine
+	defer close(done)
+
+	ch := make(chan fillResult, r.spec.FillAhead)
+	fillWG.Add(1)
+	go func() {
+		defer fillWG.Done()
+		defer close(ch)
+		for _, f := range files {
+			// Check for abort before paying for a fill: after an emit
+			// error the consumer is gone, and the buffered send below
+			// could otherwise keep winning the select.
+			select {
+			case <-done:
+				return
+			default:
+			}
+			samples, keys, dense, err := r.fill(f)
+			select {
+			case ch <- fillResult{file: f, samples: samples, keys: keys, dense: dense, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	return r.consumeResults(func() (fillResult, bool) {
+		res, ok := <-ch
+		return res, ok
+	}, emit)
 }
 
 // fetchCPUPasses is how many per-byte passes the simulated fetch path
@@ -177,8 +273,83 @@ func (r *Reader) produce(rows []datagen.Sample, keys []string, dense int, emit f
 	return emit(b)
 }
 
+// gatherFeature copies one sparse feature's rows into a jagged tensor
+// sized exactly, returning the gathered value count. It touches no Reader
+// state, so convert tasks may call it concurrently.
+func gatherFeature(rows []datagen.Sample, index map[string]int, key string) (tensor.Jagged, int, error) {
+	fi, ok := index[key]
+	if !ok {
+		return tensor.Jagged{}, 0, fmt.Errorf("reader: feature %q not in table schema", key)
+	}
+	total := 0
+	for i := range rows {
+		total += len(rows[i].Sparse[fi])
+	}
+	j := tensor.Jagged{
+		Values:  make([]tensor.Value, 0, total),
+		Offsets: make([]int32, len(rows)),
+	}
+	for i := range rows {
+		j.Offsets[i] = int32(len(j.Values))
+		j.Values = append(j.Values, rows[i].Sparse[fi]...)
+	}
+	return j, total, nil
+}
+
+// groupResult is one dedup group's conversion output plus the raw
+// (pre-dedup) value count it must contribute to Stats. Duplicate
+// detection hashes every gathered value once more (paper §6.3), so the
+// group charges 2×values to ConvertValues.
+type groupResult struct {
+	ik     *tensor.IKJT
+	values int
+}
+
+// convertGroup gathers and deduplicates one dedup group using that
+// group's reusable Deduper. Safe to run concurrently with other groups.
+func (r *Reader) convertGroup(gi int, rows []datagen.Sample, index map[string]int) (groupResult, error) {
+	group := r.spec.DedupSparseFeatures[gi]
+	tensors := make([]tensor.Jagged, len(group))
+	res := groupResult{}
+	for i, key := range group {
+		j, n, err := gatherFeature(rows, index, key)
+		if err != nil {
+			return groupResult{}, err
+		}
+		tensors[i] = j
+		res.values += n
+	}
+	ik, err := r.dedupers[gi].Dedup(group, tensors)
+	if err != nil {
+		return groupResult{}, err
+	}
+	res.ik = ik
+	return res, nil
+}
+
+// partialResult mirrors groupResult for one partial-dedup feature:
+// shift detection also hashes/scans every gathered value.
+type partialResult struct {
+	p      *tensor.PartialIKJT
+	values int
+}
+
+// convertPartial gathers and shift-deduplicates one partial feature.
+func (r *Reader) convertPartial(pi int, rows []datagen.Sample, index map[string]int) (partialResult, error) {
+	key := r.spec.PartialDedupFeatures[pi]
+	j, n, err := gatherFeature(rows, index, key)
+	if err != nil {
+		return partialResult{}, err
+	}
+	return partialResult{p: tensor.PartialDedup(key, j), values: n}, nil
+}
+
 // convert is the feature-conversion stage: copy raw rows into structured
-// tensors, deduplicating the spec's feature groups into IKJTs (O3).
+// tensors, deduplicating the spec's feature groups into IKJTs (O3). Dedup
+// groups and partial features are independent, so with
+// Spec.ConvertWorkers > 1 they convert concurrently; results land in spec
+// order and counters are summed after the join, keeping output and Stats
+// identical to serial conversion.
 func (r *Reader) convert(rows []datagen.Sample, keys []string, dense int) (*Batch, error) {
 	start := time.Now()
 	defer func() { r.stats.ConvertTime += time.Since(start) }()
@@ -199,30 +370,16 @@ func (r *Reader) convert(rows []datagen.Sample, keys []string, dense int) (*Batc
 		b.Labels[i] = float32(s.Label)
 	}
 
-	gather := func(key string) (tensor.Jagged, error) {
-		fi, ok := index[key]
-		if !ok {
-			return tensor.Jagged{}, fmt.Errorf("reader: feature %q not in table schema", key)
-		}
-		lists := make([][]tensor.Value, len(rows))
-		values := 0
-		for i, s := range rows {
-			lists[i] = s.Sparse[fi]
-			values += len(s.Sparse[fi])
-		}
-		r.stats.ConvertValues += int64(values)
-		b.OriginalSparseValues += values
-		return tensor.NewJagged(lists), nil
-	}
-
 	if len(r.spec.SparseFeatures) > 0 {
 		tensors := make([]tensor.Jagged, len(r.spec.SparseFeatures))
 		for i, key := range r.spec.SparseFeatures {
-			j, err := gather(key)
+			j, n, err := gatherFeature(rows, index, key)
 			if err != nil {
 				return nil, err
 			}
 			tensors[i] = j
+			r.stats.ConvertValues += int64(n)
+			b.OriginalSparseValues += n
 		}
 		kjt, err := tensor.NewKJT(r.spec.SparseFeatures, tensors)
 		if err != nil {
@@ -231,36 +388,65 @@ func (r *Reader) convert(rows []datagen.Sample, keys []string, dense int) (*Batc
 		b.KJT = kjt
 	}
 
-	for _, group := range r.spec.DedupSparseFeatures {
-		tensors := make([]tensor.Jagged, len(group))
-		for i, key := range group {
-			j, err := gather(key)
-			if err != nil {
-				return nil, err
-			}
-			tensors[i] = j
+	nGroups := len(r.spec.DedupSparseFeatures)
+	nPartials := len(r.spec.PartialDedupFeatures)
+	groupRes := make([]groupResult, nGroups)
+	groupErr := make([]error, nGroups)
+	partialRes := make([]partialResult, nPartials)
+	partialErr := make([]error, nPartials)
+
+	workers := r.spec.ConvertWorkers
+	if workers > nGroups+nPartials {
+		workers = nGroups + nPartials
+	}
+	if workers <= 1 {
+		for gi := 0; gi < nGroups; gi++ {
+			groupRes[gi], groupErr[gi] = r.convertGroup(gi, rows, index)
 		}
-		ik, err := tensor.DedupJagged(group, tensors)
-		if err != nil {
-			return nil, err
+		for pi := 0; pi < nPartials; pi++ {
+			partialRes[pi], partialErr[pi] = r.convertPartial(pi, rows, index)
 		}
-		// Duplicate detection hashes every value once more (paper §6.3:
-		// conversion time rises, offset by fill/process savings).
-		for _, t := range tensors {
-			r.stats.ConvertValues += int64(t.NumValues())
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for gi := 0; gi < nGroups; gi++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				groupRes[gi], groupErr[gi] = r.convertGroup(gi, rows, index)
+			}(gi)
 		}
-		b.IKJTs = append(b.IKJTs, ik)
+		for pi := 0; pi < nPartials; pi++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pi int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				partialRes[pi], partialErr[pi] = r.convertPartial(pi, rows, index)
+			}(pi)
+		}
+		wg.Wait()
 	}
 
-	for _, key := range r.spec.PartialDedupFeatures {
-		j, err := gather(key)
-		if err != nil {
-			return nil, err
+	for gi := 0; gi < nGroups; gi++ {
+		if groupErr[gi] != nil {
+			return nil, groupErr[gi]
 		}
-		p := tensor.PartialDedup(key, j)
-		// Shift detection also hashes/scans every value.
-		r.stats.ConvertValues += int64(j.NumValues())
-		b.Partials = append(b.Partials, p)
+		res := groupRes[gi]
+		r.stats.ConvertValues += 2 * int64(res.values) // gather + hash pass
+		b.OriginalSparseValues += res.values
+		b.IKJTs = append(b.IKJTs, res.ik)
+	}
+	for pi := 0; pi < nPartials; pi++ {
+		if partialErr[pi] != nil {
+			return nil, partialErr[pi]
+		}
+		res := partialRes[pi]
+		r.stats.ConvertValues += 2 * int64(res.values) // gather + shift scan
+		b.OriginalSparseValues += res.values
+		b.Partials = append(b.Partials, res.p)
 	}
 	return b, nil
 }

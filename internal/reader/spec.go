@@ -35,6 +35,17 @@ type Spec struct {
 	SparseTransforms []SparseTransform
 	// DenseTransforms are applied to the dense feature matrix.
 	DenseTransforms []DenseTransform
+
+	// FillAhead bounds how many decoded files the fill stage may prefetch
+	// ahead of conversion. 0 keeps fill inline with conversion (the serial
+	// reference path); N > 0 runs fill in its own goroutine feeding a
+	// channel of capacity N, overlapping storage IO/decode with
+	// convert/process. Batch order and contents are identical either way.
+	FillAhead int
+	// ConvertWorkers bounds how many feature-conversion tasks (one per
+	// dedup group, one per partial feature — they are independent) run
+	// concurrently within a batch. 0 or 1 converts serially.
+	ConvertWorkers int
 }
 
 // Validate checks internal consistency: no feature may appear twice across
@@ -46,6 +57,12 @@ func (s Spec) Validate() error {
 	}
 	if s.BatchSize <= 0 {
 		return fmt.Errorf("reader: batch size %d", s.BatchSize)
+	}
+	if s.FillAhead < 0 {
+		return fmt.Errorf("reader: negative fill-ahead %d", s.FillAhead)
+	}
+	if s.ConvertWorkers < 0 {
+		return fmt.Errorf("reader: negative convert workers %d", s.ConvertWorkers)
 	}
 	seen := map[string]bool{}
 	for _, k := range s.SparseFeatures {

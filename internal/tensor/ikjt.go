@@ -40,123 +40,6 @@ func (s DedupStats) Factor() float64 {
 	return float64(s.OriginalValues) / float64(s.DedupValues)
 }
 
-// dedupIndex locates prior identical rows via hashing with full-equality
-// verification, mirroring the reader-side duplicate detection the paper
-// describes ("RecD requires additional compute at readers to detect
-// duplicate values (via hashing) during feature conversion", §6.3).
-type dedupIndex struct {
-	buckets map[uint64][]int32
-}
-
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-func hashRowGroup(features []Jagged, row int) uint64 {
-	h := uint64(fnvOffset64)
-	for fi := range features {
-		// Separate features and encode row length so [1,2]+[3] cannot
-		// collide with [1]+[2,3].
-		vals := features[fi].Row(row)
-		h ^= uint64(len(vals))
-		h *= fnvPrime64
-		for _, v := range vals {
-			u := uint64(v)
-			for s := 0; s < 64; s += 8 {
-				h ^= (u >> s) & 0xff
-				h *= fnvPrime64
-			}
-		}
-	}
-	return h
-}
-
-func rowGroupEqual(features []Jagged, a int, uniques []Jagged, b int32) bool {
-	for fi := range features {
-		ra := features[fi].Row(a)
-		rb := uniques[fi].Row(int(b))
-		if len(ra) != len(rb) {
-			return false
-		}
-		for i := range ra {
-			if ra[i] != rb[i] {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// DedupKJT deduplicates the given feature keys of kjt into a single grouped
-// IKJT. The features form one group and share the inverseLookup slice. It
-// errors if any key is missing from kjt.
-func DedupKJT(kjt *KJT, keys []string) (*IKJT, error) {
-	features := make([]Jagged, len(keys))
-	for i, key := range keys {
-		jt, ok := kjt.Feature(key)
-		if !ok {
-			return nil, fmt.Errorf("tensor: dedup: missing key %q", key)
-		}
-		features[i] = jt
-	}
-	return DedupJagged(keys, features)
-}
-
-// DedupJagged deduplicates a parallel set of jagged tensors (one per key,
-// identical row counts) into a grouped IKJT.
-func DedupJagged(keys []string, features []Jagged) (*IKJT, error) {
-	if len(keys) == 0 {
-		return nil, fmt.Errorf("tensor: dedup: empty key group")
-	}
-	if len(keys) != len(features) {
-		return nil, fmt.Errorf("tensor: dedup: %d keys but %d tensors", len(keys), len(features))
-	}
-	batch := features[0].Rows()
-	for i := 1; i < len(features); i++ {
-		if features[i].Rows() != batch {
-			return nil, fmt.Errorf("tensor: dedup: key %q has %d rows, want %d", keys[i], features[i].Rows(), batch)
-		}
-	}
-
-	idx := dedupIndex{buckets: make(map[uint64][]int32, batch)}
-	uniques := make([]Jagged, len(features))
-	for i := range uniques {
-		uniques[i] = Jagged{Offsets: make([]int32, 0, batch)}
-	}
-	inverse := make([]int32, batch)
-	next := int32(0)
-
-	for row := 0; row < batch; row++ {
-		h := hashRowGroup(features, row)
-		found := int32(-1)
-		for _, cand := range idx.buckets[h] {
-			if rowGroupEqual(features, row, uniques, cand) {
-				found = cand
-				break
-			}
-		}
-		if found >= 0 {
-			inverse[row] = found
-			continue
-		}
-		for fi := range features {
-			uniques[fi].Offsets = append(uniques[fi].Offsets, int32(len(uniques[fi].Values)))
-			uniques[fi].Values = append(uniques[fi].Values, features[fi].Row(row)...)
-		}
-		idx.buckets[h] = append(idx.buckets[h], next)
-		inverse[row] = next
-		next++
-	}
-
-	return &IKJT{
-		keys:          append([]string(nil), keys...),
-		tensors:       uniques,
-		inverseLookup: inverse,
-		batch:         batch,
-	}, nil
-}
-
 // Keys returns the ordered feature keys in this group.
 func (ik *IKJT) Keys() []string { return ik.keys }
 
@@ -232,12 +115,19 @@ func (ik *IKJT) Stats(originalValues int) DedupStats {
 
 // MeasuredFactor recomputes the dedup factor by expanding the IKJT: the
 // ratio of expanded to stored values. It needs no external bookkeeping.
+// One pass over the inverse lookup counts how often each unique row
+// expands; every tensor then reuses those counts, making the walk
+// O(batch + keys*unique) instead of O(keys*batch).
 func (ik *IKJT) MeasuredFactor() float64 {
-	stored, expanded := 0, 0
+	counts := make([]int64, ik.UniqueRows())
+	for _, u := range ik.inverseLookup {
+		counts[u]++
+	}
+	var stored, expanded int64
 	for _, t := range ik.tensors {
-		stored += t.NumValues()
-		for _, u := range ik.inverseLookup {
-			expanded += t.RowLen(int(u))
+		stored += int64(t.NumValues())
+		for u, c := range counts {
+			expanded += c * int64(t.RowLen(u))
 		}
 	}
 	if stored == 0 {

@@ -10,19 +10,38 @@ package tensor
 // of j. Indices may repeat (that is the point: expanding an IKJT duplicates
 // unique rows back out) and must be valid row indices of j.
 func JaggedIndexSelect(j Jagged, indices []int32) Jagged {
+	return JaggedIndexSelectInto(Jagged{}, j, indices)
+}
+
+// JaggedIndexSelectInto is JaggedIndexSelect with an optional destination:
+// dst's value and offset storage is reused when its capacity suffices, so
+// steady-state expansion loops (e.g. a trainer expanding every batch's
+// IKJTs) run allocation-free. The zero Jagged is a valid dst. The result
+// aliases dst's storage; j must not alias dst.
+func JaggedIndexSelectInto(dst Jagged, j Jagged, indices []int32) Jagged {
 	total := 0
 	for _, idx := range indices {
 		total += j.RowLen(int(idx))
 	}
-	out := Jagged{
-		Values:  make([]Value, 0, total),
-		Offsets: make([]int32, len(indices)),
+	values := dst.Values
+	if cap(values) < total {
+		values = make([]Value, total)
+	} else {
+		values = values[:total]
 	}
+	offsets := dst.Offsets
+	if cap(offsets) < len(indices) {
+		offsets = make([]int32, len(indices))
+	} else {
+		offsets = offsets[:len(indices)]
+	}
+	pos := 0
 	for i, idx := range indices {
-		out.Offsets[i] = int32(len(out.Values))
-		out.Values = append(out.Values, j.Row(int(idx))...)
+		offsets[i] = int32(pos)
+		start, end := j.RowBounds(int(idx))
+		pos += copy(values[pos:], j.Values[start:end])
 	}
-	return out
+	return Jagged{Values: values, Offsets: offsets}
 }
 
 // DenseIndexSelect gathers rows of a dense tensor by index; the dense

@@ -35,16 +35,12 @@ func PartialDedup(key string, j Jagged) *PartialIKJT {
 	seen := make(map[uint64][]window, j.Rows())
 
 	hashRow := func(vals []Value) uint64 {
-		h := uint64(fnvOffset64)
-		h ^= uint64(len(vals))
-		h *= fnvPrime64
+		h := mix64(0x9e3779b97f4a7c15, uint64(len(vals)))
 		for _, v := range vals {
-			u := uint64(v)
-			for s := 0; s < 64; s += 8 {
-				h ^= (u >> s) & 0xff
-				h *= fnvPrime64
-			}
+			h = mix64(h, uint64(v))
 		}
+		h *= mixMul2
+		h ^= h >> 29
 		return h
 	}
 	windowEqual := func(vals []Value, w window) bool {

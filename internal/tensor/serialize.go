@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Wire serialization for jagged tensors, KJTs and IKJTs. Readers serialize
@@ -24,6 +25,24 @@ const (
 )
 
 var wireOrder = binary.LittleEndian
+
+// scratchPool recycles the byte staging buffers the value/offset/dense
+// codecs use between the in-memory representation and the wire. Encoding
+// or decoding a tensor no longer costs a `make([]byte, 8*n)` per call;
+// buffers grow to the largest tensor seen and are reused.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getScratch returns a pooled buffer resized to exactly n bytes.
+func getScratch(n int) *[]byte {
+	bp := scratchPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putScratch(bp *[]byte) { scratchPool.Put(bp) }
 
 func writeUvarint(w io.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
@@ -61,7 +80,9 @@ func writeValues(w io.Writer, vals []Value) error {
 	if err := writeUvarint(w, uint64(len(vals))); err != nil {
 		return err
 	}
-	buf := make([]byte, 8*len(vals))
+	bp := getScratch(8 * len(vals))
+	defer putScratch(bp)
+	buf := *bp
 	for i, v := range vals {
 		wireOrder.PutUint64(buf[i*8:], uint64(v))
 	}
@@ -74,7 +95,9 @@ func readValues(r byteReader) ([]Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 8*n)
+	bp := getScratch(8 * int(n))
+	defer putScratch(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -89,7 +112,9 @@ func writeInt32s(w io.Writer, vals []int32) error {
 	if err := writeUvarint(w, uint64(len(vals))); err != nil {
 		return err
 	}
-	buf := make([]byte, 4*len(vals))
+	bp := getScratch(4 * len(vals))
+	defer putScratch(bp)
+	buf := *bp
 	for i, v := range vals {
 		wireOrder.PutUint32(buf[i*4:], uint32(v))
 	}
@@ -102,7 +127,9 @@ func readInt32s(r byteReader) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 4*n)
+	bp := getScratch(4 * int(n))
+	defer putScratch(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -253,7 +280,9 @@ func WriteDense(w io.Writer, d Dense) error {
 	if err := writeUvarint(w, uint64(d.Cols)); err != nil {
 		return err
 	}
-	buf := make([]byte, 4*len(d.Data))
+	bp := getScratch(4 * len(d.Data))
+	defer putScratch(bp)
+	buf := *bp
 	for i, v := range d.Data {
 		wireOrder.PutUint32(buf[i*4:], math.Float32bits(v))
 	}
@@ -278,7 +307,9 @@ func ReadDense(r byteReader) (Dense, error) {
 	if err != nil {
 		return Dense{}, err
 	}
-	buf := make([]byte, 4*rows*cols)
+	bp := getScratch(4 * int(rows) * int(cols))
+	defer putScratch(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Dense{}, err
 	}

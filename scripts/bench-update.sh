@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench-update.sh — promote fresh benchmark numbers to the committed
+# baseline. Run this on the same class of machine the gate will run on,
+# after verifying the change that moved the numbers is intentional, then
+# commit benchmarks/baseline.txt.
+#
+# Usage:
+#   scripts/bench-update.sh            # re-run benchmarks, overwrite baseline
+#   BENCH_PROMOTE_LATEST=1 scripts/bench-update.sh   # promote latest.txt as-is
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
+LATEST=${BENCH_LATEST:-benchmarks/latest.txt}
+
+if [[ "${BENCH_PROMOTE_LATEST:-0}" == "1" ]]; then
+    if [[ ! -f "$LATEST" ]]; then
+        echo "bench-update: no $LATEST to promote; run scripts/bench.sh first" >&2
+        exit 1
+    fi
+else
+    BENCH_BASELINE=/dev/null BENCH_LATEST="$LATEST" scripts/bench.sh
+fi
+
+mkdir -p "$(dirname "$BASELINE")"
+cp "$LATEST" "$BASELINE"
+echo "bench-update: promoted $LATEST -> $BASELINE"

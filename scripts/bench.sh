@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmark set and gate against the committed
+# baseline.
+#
+# Usage:
+#   scripts/bench.sh                      # run + compare against benchmarks/baseline.txt
+#   BENCH_MAX_REGRESSION_PCT=10 scripts/bench.sh
+#   BENCH_COUNT=5 scripts/bench.sh       # more -count repetitions for stability
+#
+# The gate fails (exit 1) if any benchmark's ns/op regresses more than
+# BENCH_MAX_REGRESSION_PCT percent (default 20) versus the baseline, or if
+# allocs/op regresses at all beyond the allowed percentage. New benchmarks
+# absent from the baseline are reported but never fail the gate; promote
+# them with scripts/bench-update.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkPipelineEndToEnd$'}
+BENCH_COUNT=${BENCH_COUNT:-1}
+MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-20}
+BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
+LATEST=${BENCH_LATEST:-benchmarks/latest.txt}
+
+mkdir -p "$(dirname "$LATEST")"
+go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count "$BENCH_COUNT" . | tee "$LATEST"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench: no baseline at $BASELINE — run scripts/bench-update.sh to create one" >&2
+    exit 0
+fi
+
+awk -v max="$MAX_PCT" '
+    # Collect the best (minimum) ns/op and allocs/op per benchmark name,
+    # so -count > 1 runs gate on the least-noisy sample.
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+        ns = ""; allocs = ""
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (FNR == NR) {
+            if (!(name in base_ns) || ns + 0 < base_ns[name]) {
+                base_ns[name] = ns + 0
+                base_allocs[name] = allocs + 0
+            }
+        } else {
+            seen[name] = 1
+            if (!(name in latest_ns) || ns + 0 < latest_ns[name]) {
+                latest_ns[name] = ns + 0
+                latest_allocs[name] = allocs + 0
+            }
+        }
+    }
+    END {
+        fail = 0
+        printf "%-36s %14s %14s %9s\n", "benchmark", "baseline ns/op", "latest ns/op", "delta"
+        for (name in seen) {
+            if (!(name in base_ns)) {
+                printf "%-36s %14s %14.0f %9s\n", name, "(new)", latest_ns[name], "-"
+                continue
+            }
+            pct = (latest_ns[name] - base_ns[name]) / base_ns[name] * 100
+            mark = ""
+            if (pct > max) { mark = "  << REGRESSION"; fail = 1 }
+            printf "%-36s %14.0f %14.0f %+8.1f%%%s\n", name, base_ns[name], latest_ns[name], pct, mark
+            # A zero-alloc baseline is a hard contract: any alloc at all
+            # regresses it. Non-zero baselines get the percentage gate.
+            if ((base_allocs[name] == 0 && latest_allocs[name] > 0) ||
+                (base_allocs[name] > 0 && latest_allocs[name] > base_allocs[name] * (1 + max / 100))) {
+                printf "%-36s allocs/op %.0f -> %.0f  << ALLOC REGRESSION\n", name, base_allocs[name], latest_allocs[name]
+                fail = 1
+            }
+        }
+        missing = 0
+        for (name in base_ns) {
+            if (!(name in seen)) {
+                printf "%-36s %14.0f %14s %9s  (baseline entry uncompared)\n", name, base_ns[name], "(absent)", "-"
+                missing = 1
+            }
+        }
+        if (missing) {
+            printf "bench: WARNING — baseline entries missing from this run (narrowed BENCH_PATTERN, or a renamed/deleted benchmark that needs scripts/bench-update.sh)\n"
+        }
+        if (fail) {
+            printf "bench: FAIL — regression beyond %s%% versus baseline\n", max
+            exit 1
+        }
+        printf "bench: OK (gate %s%%)\n", max
+    }
+' "$BASELINE" "$LATEST"

@@ -12,11 +12,14 @@
 package repro_test
 
 import (
+	"context"
+	"io"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dpp"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/experiments"
@@ -336,7 +339,7 @@ func BenchmarkReaderTier(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := r.Run(files, func(*reader.Batch) error { return nil }); err != nil {
+		if err := r.Run(context.Background(), files, func(*reader.Batch) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -372,9 +375,57 @@ func BenchmarkReaderTierPipelined(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := r.Run(files, func(*reader.Batch) error { return nil }); err != nil {
+		if err := r.Run(context.Background(), files, func(*reader.Batch) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceSession measures the dpp session API over the exact
+// scan BenchmarkReaderTier runs through a direct Reader — the iterator
+// overhead (service admission, one worker goroutine, a bounded-channel
+// hop per batch) must stay within noise of the callback path.
+func BenchmarkServiceSession(b *testing.B) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 256,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Buffer: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, err := sess.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		sess.Close()
 	}
 }
 
@@ -405,7 +456,7 @@ func benchTrainStep(b *testing.B, mode trainer.Mode) {
 	}
 	files, _ := catalog.AllFiles("t")
 	var batches []*reader.Batch
-	if err := r.Run(files, func(bb *reader.Batch) error {
+	if err := r.Run(context.Background(), files, func(bb *reader.Batch) error {
 		batches = append(batches, bb)
 		return nil
 	}); err != nil {

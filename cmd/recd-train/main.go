@@ -11,13 +11,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dpp"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/lakefs"
@@ -120,23 +123,36 @@ func main() {
 		fatal(err)
 	}
 
+	// Read both partitions through the preprocessing service: one session
+	// per partition, scoped to the partition's files, pulling batches
+	// until the scan is exhausted.
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
 	readHour := func(hour int64) []*reader.Batch {
-		r, err := reader.NewReader(store, spec)
-		if err != nil {
-			fatal(err)
-		}
 		files, err := catalog.Files("train", hour)
 		if err != nil {
 			fatal(err)
 		}
-		var out []*reader.Batch
-		if err := r.Run(files, func(b *reader.Batch) error {
-			out = append(out, b)
-			return nil
-		}); err != nil {
+		sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Files: files})
+		if err != nil {
 			fatal(err)
 		}
-		return out
+		defer sess.Close()
+		var out []*reader.Batch
+		for {
+			b, err := sess.Next(ctx)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				fatal(err)
+			}
+			out = append(out, b)
+		}
 	}
 	trainBatches := readHour(0)
 	evalBatches := readHour(1)

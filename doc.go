@@ -10,6 +10,36 @@
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation.
 //
+// # Ingestion service architecture
+//
+// The paper's central artifact is a disaggregated Data PreProcessing
+// service that many training jobs share; the reproduction mirrors that
+// shape in three layers:
+//
+//   - storage.Backend / storage.Catalog are the blob-store and table
+//     metadata interfaces (Get/ReadRange/Size/List/Exists and AllFiles).
+//     lakefs.Store and lakefs.Catalog are the canonical in-memory
+//     implementations with Tectonic/Hive-style IO accounting.
+//   - reader.Reader executes one fill→convert→process scan over any
+//     Backend. Reader.Run takes a context.Context and tears its pipeline
+//     goroutines down promptly on cancellation; the context reaches all
+//     the way into concurrent DWRF stripe decode
+//     (dwrf.FileReader.ReadAllContext).
+//   - dpp.Service hosts concurrent sessions. A training job submits a
+//     dpp.Spec (the DataLoader spec plus Readers/Buffer execution shape)
+//     and pulls preprocessed batches from the returned Session via
+//     Next(ctx) — no push callbacks. Each session plans its file scan
+//     round-robin across per-session reader workers, buffers at most
+//     Buffer batches per worker (backpressure), aggregates deterministic
+//     per-session reader.Stats, and dies cleanly on Close or job-context
+//     cancellation. Batch streams are deterministic: a Readers == 1
+//     session is byte-identical to a serial Reader.Run scan
+//     (internal/dpp's tests pin this under -race, concurrently with a
+//     second session of a different spec).
+//
+// reader.Tier survives as a thin adapter over the same planning for
+// code not yet migrated; new code should open sessions on a Service.
+//
 // # Hot paths
 //
 // RecD's premise is that reader-side dedup compute is cheap relative to
@@ -39,7 +69,9 @@
 //
 // # Benchmark regression harness
 //
-// scripts/bench.sh runs the hot-path benchmark set and gates ns/op and
+// scripts/bench.sh runs the hot-path benchmark set — including
+// BenchmarkServiceSession, which pins the session iterator's overhead
+// against the direct-Reader BenchmarkReaderTier — and gates ns/op and
 // allocs/op against the committed benchmarks/baseline.txt (tolerance
 // BENCH_MAX_REGRESSION_PCT); scripts/bench-update.sh promotes fresh
 // numbers. See benchmarks/README.md for the workflow and the recorded

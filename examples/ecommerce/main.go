@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 
 	"repro/internal/datagen"
+	"repro/internal/dpp"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/lakefs"
@@ -91,17 +94,28 @@ func main() {
 				spec.SparseFeatures = append(spec.SparseFeatures, f.Key)
 			}
 		}
-		r, err := reader.NewReader(store, spec)
+		// Pull batches through a preprocessing-service session — the
+		// DPP-style API a production training job would use.
+		svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
 		if err != nil {
 			log.Fatal(err)
 		}
-		files, _ := catalog.AllFiles("cart")
-		var batches []*reader.Batch
-		if err := r.Run(files, func(b *reader.Batch) error {
-			batches = append(batches, b)
-			return nil
-		}); err != nil {
+		defer svc.Close()
+		ctx := context.Background()
+		sess, err := svc.Open(ctx, dpp.Spec{Spec: spec})
+		if err != nil {
 			log.Fatal(err)
+		}
+		var batches []*reader.Batch
+		for {
+			b, err := sess.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			batches = append(batches, b)
 		}
 
 		model, err := trainer.New(trainer.Config{
@@ -129,7 +143,7 @@ func main() {
 			}
 			loss = l
 		}
-		return r.Stats(), pstats.CompressionRatio(), loss
+		return sess.Stats(), pstats.CompressionRatio(), loss
 	}
 
 	baseStats, baseComp, baseLoss := run("baseline", false, nil, 128, trainer.Baseline)

@@ -1,15 +1,27 @@
 // Quickstart walks the paper's Figure 5 worked example: a batch of three
 // rows with features a–d, where a stays a KJT, b is deduplicated into its
 // own IKJT, and c,d form a grouped IKJT sharing one inverse lookup. It
-// then shows the §4.2 analytic model and the §7 partial-IKJT extension.
+// then shows the §4.2 analytic model, the §7 partial-IKJT extension, and
+// finally the service-shaped ingestion API: a dpp.Service session that a
+// training job pulls preprocessed batches from (the pull loop replaces
+// the old Reader.Run push callback — see also the ExampleService godoc
+// example in internal/dpp).
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
 	"repro/internal/tensor"
 )
 
@@ -92,5 +104,51 @@ func main() {
 	fmt.Println("partial IKJT for feature_b:")
 	fmt.Printf("  values: %v\n  lookup: %v (paper: values [3,4,5,6], lookup [[0,3],[1,3],[0,3]])\n",
 		p.Values, p.Lookup)
-	fmt.Printf("  partial factor %.2f vs exact %.2f\n", p.Factor(), ikB.MeasuredFactor())
+	fmt.Printf("  partial factor %.2f vs exact %.2f\n\n", p.Factor(), ikB.MeasuredFactor())
+
+	// Finally, ingestion at service scale: land a small synthetic
+	// partition and pull IKJT batches through a preprocessing-service
+	// session — the API a training job uses instead of a push callback.
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 1, UserElem: 1, Item: 1, Dense: 2, SeqLen: 8, Seed: 1,
+	})
+	samples := etl.ClusterBySession(datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 30, MeanSamplesPerSession: 6, Seed: 2,
+	}).GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "clicks", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 64, Writer: dwrf.WriterOptions{StripeRows: 32}}); err != nil {
+		log.Fatal(err)
+	}
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	sess, err := svc.Open(ctx, dpp.Spec{Spec: reader.Spec{
+		Table:               "clicks",
+		BatchSize:           32,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0"}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	batches, rows := 0, 0
+	for {
+		bt, err := sess.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		batches++
+		rows += bt.Size
+	}
+	fmt.Printf("service session: pulled %d batches (%d rows, %d read bytes) from table \"clicks\"\n",
+		batches, rows, sess.Stats().ReadBytes)
 }

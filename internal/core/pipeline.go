@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/datagen"
+	"repro/internal/dpp"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/lakefs"
@@ -39,6 +42,12 @@ type PipelineConfig struct {
 	// TrainSteps caps the numeric training steps (default 6; the cost
 	// model extrapolates cluster behaviour from their cost reports).
 	TrainSteps int
+	// StatsOnly skips training and cluster simulation entirely: the
+	// reader session is drained for its accounting (ingest/egress bytes,
+	// stage times, dedup factor) and every batch is discarded as soon as
+	// it is measured. The count-only path for experiments that never
+	// look at FinalLoss/Cost/Iteration (Table 3, Fig 10).
+	StatsOnly bool
 	// DedupeThreshold overrides the selection heuristic's threshold.
 	DedupeThreshold float64
 }
@@ -185,29 +194,51 @@ func Run(cfg PipelineConfig) (*Result, error) {
 		return nil, err
 	}
 
-	tier, err := reader.NewTier(store, catalog, spec, cfg.Readers)
+	// --- Reader tier, DPP-style: open one session on a preprocessing
+	// service and pull batches. Streaming (rather than the old
+	// Tier.Collect) keeps only the first TrainSteps batches resident —
+	// dedup-factor accounting folds in per batch and the rest of the
+	// table is discarded as it is measured.
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
 	if err != nil {
 		return nil, err
 	}
-	batches, rstats, err := tier.Collect()
+	defer svc.Close()
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: cfg.Readers})
 	if err != nil {
 		return nil, err
 	}
-	res.Reader = rstats
-	res.ReaderThroughput = reader.ThroughputSamplesPerSec(rstats)
-
-	// Measured dedup factor across IKJT groups.
+	var trainBatches []*reader.Batch
 	var origValues, dedupValues float64
-	for _, b := range batches {
+	for {
+		b, err := sess.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 		for _, ik := range b.IKJTs {
 			dedupValues += float64(ik.SDDWireBytes())
 			origValues += float64(ik.SDDWireBytes()) * ik.MeasuredFactor()
 		}
+		if !cfg.StatsOnly && len(trainBatches) < cfg.TrainSteps {
+			trainBatches = append(trainBatches, b)
+		}
 	}
+	rstats := sess.Stats()
+	res.Reader = rstats
+	res.ReaderThroughput = reader.ThroughputSamplesPerSec(rstats)
+
+	// Measured dedup factor across IKJT groups.
 	if dedupValues > 0 {
 		res.MeasuredDedupFactor = origValues / dedupValues
 	} else {
 		res.MeasuredDedupFactor = 1
+	}
+
+	if cfg.StatsOnly {
+		return res, nil
 	}
 
 	// --- Training: numeric steps for correctness + cost reports for the
@@ -221,12 +252,8 @@ func Run(cfg PipelineConfig) (*Result, error) {
 		mode = trainer.RecD
 	}
 	var costs []*trainer.CostReport
-	steps := cfg.TrainSteps
-	if steps > len(batches) {
-		steps = len(batches)
-	}
-	for i := 0; i < steps; i++ {
-		loss, cost, err := model.TrainStep(batches[i], mode)
+	for _, b := range trainBatches {
+		loss, cost, err := model.TrainStep(b, mode)
 		if err != nil {
 			return nil, err
 		}

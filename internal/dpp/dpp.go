@@ -1,0 +1,181 @@
+// Package dpp implements the paper's disaggregated Data PreProcessing
+// service shape (§2.1): a long-lived Service that many training jobs
+// submit DataLoader Specs to, each getting back a Session — a pull-based
+// batch iterator — instead of registering a push callback.
+//
+// A Session plans its table scan across per-session reader workers
+// (generalizing the old reader.Tier fan-out), multiplexes with every
+// other session over one shared storage.Backend, buffers at most
+// Spec.Buffer decoded batches per worker (backpressure: slow trainers
+// stall their own readers, not the service), and tears everything down
+// promptly on context cancellation or Close. Batch order is
+// deterministic: the stream equals the concatenation of serial
+// reader.Run scans over each worker's planned file assignment, so a
+// session with Readers == 1 is byte-identical to a direct serial scan.
+package dpp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Config wires a Service to its storage tier.
+type Config struct {
+	// Backend is the shared blob store every session reads through.
+	Backend storage.Backend
+	// Catalog resolves Spec.Table to its scan set. May be nil if every
+	// session supplies an explicit Spec.Files list.
+	Catalog storage.Catalog
+	// MaxSessions caps concurrently open sessions; 0 means unlimited.
+	MaxSessions int
+}
+
+// Service hosts concurrent preprocessing sessions over shared storage.
+// All methods are safe for concurrent use.
+type Service struct {
+	backend storage.Backend
+	catalog storage.Catalog
+	max     int
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	sessions map[int64]*Session
+	// reserved counts admissions granted but not yet registered, so the
+	// MaxSessions cap holds across concurrent Opens.
+	reserved int
+
+	opened        int64
+	batchesServed int64
+}
+
+// New validates the config and builds an empty service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("dpp: config needs a storage backend")
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("dpp: negative session cap %d", cfg.MaxSessions)
+	}
+	return &Service{
+		backend:  cfg.Backend,
+		catalog:  cfg.Catalog,
+		max:      cfg.MaxSessions,
+		sessions: make(map[int64]*Session),
+	}, nil
+}
+
+// Stats is a snapshot of service-level accounting.
+type Stats struct {
+	// SessionsOpened counts every session ever opened.
+	SessionsOpened int64
+	// ActiveSessions counts sessions currently open.
+	ActiveSessions int
+	// BatchesServed counts batches handed out across all sessions.
+	BatchesServed int64
+}
+
+// Stats returns a snapshot of the service accounting.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		SessionsOpened: s.opened,
+		ActiveSessions: len(s.sessions),
+		BatchesServed:  s.batchesServed,
+	}
+}
+
+// Open admits a new session for one training job. The session's scan is
+// planned immediately and its reader workers start filling their bounded
+// buffers right away. Cancelling ctx — the job's context — tears the
+// session down as if Close had been called; the service's other sessions
+// are unaffected.
+func (s *Service) Open(ctx context.Context, spec Spec) (*Session, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	files := spec.Files
+	if files == nil {
+		if s.catalog == nil {
+			return nil, fmt.Errorf("dpp: service has no catalog and spec %q names no files", spec.Table)
+		}
+		var err error
+		files, err = s.catalog.AllFiles(spec.Table)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Reserve an admission slot atomically with the cap/closed checks,
+	// register under the same lock once the session exists, and give the
+	// slot back on any failure — concurrent Opens cannot overshoot the
+	// cap and a racing Close cannot strand a live session.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dpp: service closed")
+	}
+	if s.max > 0 && len(s.sessions)+s.reserved >= s.max {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dpp: session cap %d reached", s.max)
+	}
+	s.reserved++
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	sess, err := newSession(ctx, s, id, spec, files)
+	s.mu.Lock()
+	s.reserved--
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.closed {
+		s.mu.Unlock()
+		sess.Close()
+		return nil, fmt.Errorf("dpp: service closed")
+	}
+	s.sessions[id] = sess
+	s.opened++
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// Close shuts the service down, cancelling every open session and
+// rejecting future Opens. Safe to call more than once.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	open := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range open {
+		sess.Close()
+	}
+	return nil
+}
+
+func (s *Service) noteBatch() {
+	s.mu.Lock()
+	s.batchesServed++
+	s.mu.Unlock()
+}
+
+func (s *Service) forget(id int64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}

@@ -1,0 +1,517 @@
+package dpp_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
+)
+
+// testEnv lands one clustered partition of synthetic data.
+type testEnv struct {
+	store   *lakefs.Store
+	catalog *lakefs.Catalog
+	samples []datagen.Sample
+}
+
+func newTestEnv(t testing.TB, sessions int) *testEnv {
+	t.Helper()
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 2, UserElem: 3, Item: 2, Dense: 4, SeqLen: 24, Seed: 11,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: sessions, MeanSamplesPerSession: 6, Seed: 99,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "tbl", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 256, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{store: store, catalog: catalog, samples: samples}
+}
+
+func newService(t testing.TB, env *testEnv, cfg dpp.Config) *dpp.Service {
+	t.Helper()
+	cfg.Backend = env.store
+	cfg.Catalog = env.catalog
+	svc, err := dpp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+func dedupSpec() reader.Spec {
+	return reader.Spec{
+		Table:          "tbl",
+		BatchSize:      64,
+		SparseFeatures: []string{"item_0", "item_1"},
+		DedupSparseFeatures: [][]string{
+			{"user_seq_0", "user_seq_1"},
+			{"user_elem_0", "user_elem_1", "user_elem_2"},
+		},
+	}
+}
+
+func kjtSpec() reader.Spec {
+	return reader.Spec{
+		Table:     "tbl",
+		BatchSize: 48,
+		SparseFeatures: []string{
+			"item_0", "item_1", "user_seq_0", "user_seq_1",
+			"user_elem_0", "user_elem_1", "user_elem_2",
+		},
+		SparseTransforms: []reader.SparseTransform{
+			reader.HashMod{Features: []string{"user_seq_0"}, TableSize: 1 << 20},
+		},
+	}
+}
+
+// serialReference runs one Reader serially over the whole table — the
+// reference stream a Readers==1 session must match byte for byte.
+func serialReference(t *testing.T, env *testEnv, spec reader.Spec) ([][]byte, reader.Stats) {
+	t.Helper()
+	r, err := reader.NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := env.catalog.AllFiles(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc [][]byte
+	if err := r.Run(context.Background(), files, func(b *reader.Batch) error {
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			return err
+		}
+		enc = append(enc, buf.Bytes())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return enc, r.Stats()
+}
+
+// counters extracts the deterministic Stats fields.
+func counters(s reader.Stats) [6]int64 {
+	return [6]int64{s.ReadBytes, s.SentBytes, s.RowsDecoded, s.BatchesProduced, s.ConvertValues, s.ProcessOps}
+}
+
+func drainSession(t *testing.T, sess *dpp.Session) [][]byte {
+	t.Helper()
+	var enc [][]byte
+	for {
+		b, err := sess.Next(context.Background())
+		if err == io.EOF {
+			return enc
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		enc = append(enc, buf.Bytes())
+	}
+}
+
+// TestConcurrentSessionsMatchSerial is the service determinism contract
+// (run under -race in CI): two sessions with different specs consumed
+// concurrently over one Service must each produce batches byte-identical
+// to their serial single-reader reference runs, with identical
+// deterministic Stats counters.
+func TestConcurrentSessionsMatchSerial(t *testing.T) {
+	env := newTestEnv(t, 60)
+	svc := newService(t, env, dpp.Config{})
+
+	specs := []reader.Spec{dedupSpec(), kjtSpec()}
+	wantEnc := make([][][]byte, len(specs))
+	wantStats := make([]reader.Stats, len(specs))
+	for i, spec := range specs {
+		wantEnc[i], wantStats[i] = serialReference(t, env, spec)
+	}
+
+	gotEnc := make([][][]byte, len(specs))
+	gotStats := make([]reader.Stats, len(specs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sess *dpp.Session) {
+			defer wg.Done()
+			for {
+				b, err := sess.Next(context.Background())
+				if err == io.EOF {
+					gotStats[i] = sess.Stats()
+					return
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				var buf bytes.Buffer
+				if err := b.Encode(&buf); err != nil {
+					errs[i] = err
+					return
+				}
+				gotEnc[i] = append(gotEnc[i], buf.Bytes())
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if len(gotEnc[i]) != len(wantEnc[i]) {
+			t.Fatalf("session %d produced %d batches, serial reference %d", i, len(gotEnc[i]), len(wantEnc[i]))
+		}
+		for bi := range wantEnc[i] {
+			if !bytes.Equal(gotEnc[i][bi], wantEnc[i][bi]) {
+				t.Fatalf("session %d batch %d differs from serial reference", i, bi)
+			}
+		}
+		if got, want := counters(gotStats[i]), counters(wantStats[i]); got != want {
+			t.Fatalf("session %d stats counters %v, serial reference %v", i, got, want)
+		}
+	}
+
+	st := svc.Stats()
+	if st.SessionsOpened != 2 {
+		t.Fatalf("SessionsOpened = %d want 2", st.SessionsOpened)
+	}
+	if st.ActiveSessions != 0 {
+		t.Fatalf("ActiveSessions = %d want 0 after exhaustion", st.ActiveSessions)
+	}
+	if want := int64(len(wantEnc[0]) + len(wantEnc[1])); st.BatchesServed != want {
+		t.Fatalf("BatchesServed = %d want %d", st.BatchesServed, want)
+	}
+}
+
+// TestMultiReaderSessionMatchesPlan: with Readers > 1 the batch stream
+// equals the concatenation of serial scans over each planned assignment,
+// and the aggregate counters equal the per-assignment sums.
+func TestMultiReaderSessionMatchesPlan(t *testing.T) {
+	env := newTestEnv(t, 60)
+	svc := newService(t, env, dpp.Config{})
+	spec := dedupSpec()
+
+	files, err := env.catalog.AllFiles(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	var wantEnc [][]byte
+	var wantStats reader.Stats
+	for _, assigned := range reader.PlanRoundRobin(files, workers) {
+		r, err := reader.NewReader(env.store, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(context.Background(), assigned, func(b *reader.Batch) error {
+			var buf bytes.Buffer
+			if err := b.Encode(&buf); err != nil {
+				return err
+			}
+			wantEnc = append(wantEnc, buf.Bytes())
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wantStats.Add(r.Stats())
+	}
+
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: workers, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEnc := drainSession(t, sess)
+
+	if len(gotEnc) != len(wantEnc) {
+		t.Fatalf("session produced %d batches, plan reference %d", len(gotEnc), len(wantEnc))
+	}
+	for i := range wantEnc {
+		if !bytes.Equal(gotEnc[i], wantEnc[i]) {
+			t.Fatalf("batch %d differs from plan reference", i)
+		}
+	}
+	if got, want := counters(sess.Stats()), counters(wantStats); got != want {
+		t.Fatalf("stats counters %v, plan reference %v", got, want)
+	}
+}
+
+// TestSessionCancellation: cancelling the job context mid-stream makes
+// Next fail with the context error and tears the workers down without
+// leaking goroutines.
+func TestSessionCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	env := newTestEnv(t, 40)
+	svc := newService(t, env, dpp.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := dedupSpec()
+	spec.FillAhead = 2 // exercise the pipelined reader path too
+	sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Readers: 2, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		_, err := sess.Next(context.Background())
+		if err == nil {
+			continue // batches already buffered may still surface
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+		}
+		break
+	}
+	sess.Close()
+
+	waitForGoroutines(t, before)
+}
+
+// TestSessionClose: Close mid-stream unblocks parked workers, later Next
+// calls report ErrClosed, and the service slot is released.
+func TestSessionClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	env := newTestEnv(t, 40)
+	svc := newService(t, env, dpp.Config{})
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec(), Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	for {
+		_, err := sess.Next(context.Background())
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, dpp.ErrClosed) {
+			t.Fatalf("Next after Close = %v, want ErrClosed", err)
+		}
+		break
+	}
+	if n := svc.Stats().ActiveSessions; n != 0 {
+		t.Fatalf("ActiveSessions = %d want 0 after Close", n)
+	}
+
+	waitForGoroutines(t, before)
+}
+
+// TestServiceAdmission covers the service lifecycle errors: session cap,
+// closed service, unknown table, and spec validation.
+func TestServiceAdmission(t *testing.T) {
+	env := newTestEnv(t, 10)
+
+	if _, err := dpp.New(dpp.Config{}); err == nil {
+		t.Fatal("expected error for missing backend")
+	}
+
+	svc := newService(t, env, dpp.Config{MaxSessions: 1})
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()}); err == nil {
+		t.Fatal("expected session-cap error")
+	}
+	sess.Close()
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()}); err != nil {
+		t.Fatalf("slot should free after Close: %v", err)
+	}
+
+	bad := dedupSpec()
+	bad.Table = "missing"
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: bad}); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+	invalid := dedupSpec()
+	invalid.BatchSize = 0
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: invalid}); err == nil {
+		t.Fatal("expected spec validation error")
+	}
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec(), Readers: -1}); err == nil {
+		t.Fatal("expected negative-readers error")
+	}
+
+	svc.Close()
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()}); err == nil {
+		t.Fatal("expected closed-service error")
+	}
+}
+
+// TestSessionReaderError: a runtime reader failure (a dedup group naming
+// a feature the table lacks) surfaces out of Next, not silently as EOF,
+// and the dead session releases its service slot without an explicit
+// Close.
+func TestSessionReaderError(t *testing.T) {
+	env := newTestEnv(t, 10)
+	svc := newService(t, env, dpp.Config{MaxSessions: 1})
+	spec := dedupSpec()
+	spec.DedupSparseFeatures = append(spec.DedupSparseFeatures, []string{"not_a_feature"})
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := sess.Next(context.Background())
+		if err == io.EOF {
+			t.Fatal("reader error swallowed: got EOF")
+		}
+		if err != nil {
+			break
+		}
+	}
+	if n := svc.Stats().ActiveSessions; n != 0 {
+		t.Fatalf("ActiveSessions = %d want 0 after reader error", n)
+	}
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()}); err != nil {
+		t.Fatalf("errored session should free its cap slot: %v", err)
+	}
+}
+
+// TestConcurrentOpenRespectsCap hammers Open from many goroutines
+// against a capped service: admissions must never exceed the cap even
+// under contention (the check and the registration are one atomic
+// admission).
+func TestConcurrentOpenRespectsCap(t *testing.T) {
+	env := newTestEnv(t, 10)
+	const maxSessions = 3
+	svc := newService(t, env, dpp.Config{MaxSessions: maxSessions})
+
+	const attempts = 16
+	sessions := make([]*dpp.Session, attempts)
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()})
+			if err == nil {
+				sessions[i] = sess
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	admitted := 0
+	for _, sess := range sessions {
+		if sess != nil {
+			admitted++
+		}
+	}
+	if admitted > maxSessions {
+		t.Fatalf("admitted %d sessions, cap %d", admitted, maxSessions)
+	}
+	if admitted == 0 {
+		t.Fatal("no session admitted at all")
+	}
+	if n := svc.Stats().ActiveSessions; n != admitted {
+		t.Fatalf("ActiveSessions = %d want %d", n, admitted)
+	}
+	for _, sess := range sessions {
+		if sess != nil {
+			sess.Close()
+		}
+	}
+}
+
+// TestSessionExplicitFiles: Spec.Files scopes the session to a subset of
+// the table (recd-train reads per-hour partitions this way).
+func TestSessionExplicitFiles(t *testing.T) {
+	env := newTestEnv(t, 30)
+	svc := newService(t, env, dpp.Config{})
+
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Skip("partition landed in a single file")
+	}
+	sub := files[:1]
+
+	r, err := reader.NewReader(env.store, dedupSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRows int64
+	if err := r.Run(context.Background(), sub, func(b *reader.Batch) error {
+		wantRows += int64(b.Size)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec(), Files: sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRows int64
+	for {
+		b, err := sess.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRows += int64(b.Size)
+	}
+	if gotRows != wantRows || gotRows == 0 {
+		t.Fatalf("explicit-files session rows = %d want %d (nonzero)", gotRows, wantRows)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count settles back to the
+// pre-test level (plus slack for runtime helpers), failing after 5s.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before %d now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,79 @@
+package dpp_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
+)
+
+// ExampleService is the service-API replacement for the old callback
+// idiom: instead of handing Reader.Run a push callback, a training job
+// opens a Session on the shared Service and pulls batches at its own
+// pace, closing (or cancelling) when done.
+func ExampleService() {
+	// Land one small clustered partition in the in-memory store.
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 1, UserElem: 1, Item: 1, Dense: 2, SeqLen: 8, Seed: 1,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 20, MeanSamplesPerSession: 6, Seed: 2,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "clicks", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 64, Writer: dwrf.WriterOptions{StripeRows: 32}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// One service, shared by every training job in the process.
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A job submits its DataLoader spec and pulls preprocessed batches.
+	ctx := context.Background()
+	sess, err := svc.Open(ctx, dpp.Spec{
+		Spec: reader.Spec{
+			Table:               "clicks",
+			BatchSize:           32,
+			SparseFeatures:      []string{"item_0"},
+			DedupSparseFeatures: [][]string{{"user_seq_0"}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	batches, rows := 0, 0
+	for {
+		b, err := sess.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		batches++
+		rows += b.Size
+	}
+	st := sess.Stats()
+	fmt.Printf("pulled %d batches, %d rows\n", batches, rows)
+	fmt.Printf("rows decoded: %d, batches produced: %d\n", st.RowsDecoded, st.BatchesProduced)
+	fmt.Printf("exact same data as the partition: %v\n", rows == len(samples))
+	// Output:
+	// pulled 4 batches, 123 rows
+	// rows decoded: 123, batches produced: 4
+	// exact same data as the partition: true
+}

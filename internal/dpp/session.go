@@ -1,0 +1,232 @@
+package dpp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/reader"
+)
+
+// ErrClosed is returned by Next after the session has been closed.
+var ErrClosed = errors.New("dpp: session closed")
+
+// Spec is what a training job submits to the service: the DataLoader
+// spec (which features, which dedup groups, which transforms) plus the
+// session-level execution shape.
+type Spec struct {
+	reader.Spec
+
+	// Readers is the per-session reader-worker count; files are split
+	// across workers round-robin exactly as reader.Tier splits them.
+	// 0 defaults to 1, which makes the session's batch stream
+	// byte-identical to a serial reader.Run over the whole scan set.
+	Readers int
+	// Buffer bounds how many decoded batches each worker may hold ahead
+	// of the consumer (backpressure). 0 defaults to 2.
+	Buffer int
+	// Files optionally fixes the scan set explicitly — a partition's
+	// files, a sampled subset — bypassing catalog resolution of Table.
+	Files []string
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Readers == 0 {
+		s.Readers = 1
+	}
+	if s.Buffer == 0 {
+		s.Buffer = 2
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Readers < 0 {
+		return fmt.Errorf("dpp: negative reader count %d", s.Readers)
+	}
+	if s.Buffer < 0 {
+		return fmt.Errorf("dpp: negative buffer %d", s.Buffer)
+	}
+	return s.Spec.Validate()
+}
+
+// Session is one job's pull-based batch stream. Next and Close may be
+// called from different goroutines, but Next itself is single-consumer:
+// one goroutine (the training loop) pulls batches in order.
+type Session struct {
+	svc    *Service
+	id     int64
+	cancel context.CancelFunc
+	ctx    context.Context
+
+	chans []chan *reader.Batch
+	cur   int // next channel to drain (consumer-owned)
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	stats    reader.Stats
+	firstErr error
+	closed   bool
+	done     bool
+}
+
+// newSession plans the scan and starts the reader workers. Workers begin
+// filling their bounded buffers immediately; nothing blocks on Open.
+func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []string) (*Session, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{svc: svc, id: id, cancel: cancel, ctx: sctx}
+
+	assignments := reader.PlanRoundRobin(files, spec.Readers)
+	for _, assigned := range assignments {
+		if len(assigned) == 0 {
+			continue
+		}
+		r, err := reader.NewReader(svc.backend, spec.Spec)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		ch := make(chan *reader.Batch, spec.Buffer)
+		s.chans = append(s.chans, ch)
+		s.wg.Add(1)
+		go s.runWorker(r, assigned, ch)
+	}
+	return s, nil
+}
+
+// runWorker drives one reader over its file assignment, publishing
+// batches through the worker's bounded channel. The channel is closed
+// only after the worker's error and stats are recorded, so a consumer
+// that observes the close also observes the outcome.
+func (s *Session) runWorker(r *reader.Reader, files []string, ch chan *reader.Batch) {
+	defer s.wg.Done()
+	err := r.Run(s.ctx, files, func(b *reader.Batch) error {
+		select {
+		case ch <- b:
+			return nil
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	})
+	s.mu.Lock()
+	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
+		s.firstErr = err
+	}
+	s.stats.Add(r.Stats())
+	s.mu.Unlock()
+	close(ch)
+}
+
+// Next returns the session's next preprocessed batch. It blocks until a
+// batch is buffered, the scan is exhausted (io.EOF), a reader fails (the
+// first error), ctx is cancelled (ctx.Err()), or the session is closed
+// (ErrClosed). Batches arrive in deterministic order: each worker's
+// batches in its serial scan order, workers in planning order.
+func (s *Session) Next(ctx context.Context) (*reader.Batch, error) {
+	for {
+		if s.cur >= len(s.chans) {
+			return nil, s.finish()
+		}
+		select {
+		case b, ok := <-s.chans[s.cur]:
+			if !ok {
+				// Worker finished. Fail fast on its error rather than
+				// streaming later workers' batches first.
+				s.mu.Lock()
+				err := s.firstErr
+				s.mu.Unlock()
+				if err != nil {
+					// Tear down like finish(): an errored session must
+					// not keep occupying a service slot.
+					s.cancel()
+					s.wg.Wait()
+					s.release()
+					return nil, err
+				}
+				s.cur++
+				continue
+			}
+			s.svc.noteBatch()
+			return b, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.ctx.Done():
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+			return nil, s.ctx.Err()
+		}
+	}
+}
+
+// finish is reached once every worker channel has drained: wait for the
+// workers, settle the accounting, and report the scan outcome. A scan
+// cut short by Close or by job-context cancellation reports that, never
+// a clean io.EOF.
+func (s *Session) finish() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	err := s.firstErr
+	closed := s.closed
+	s.mu.Unlock()
+	s.release()
+	if err == nil {
+		if closed {
+			err = ErrClosed
+		} else if ctxErr := s.ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// Close cancels the session's workers, waits for them to exit, and
+// releases the session's service slot. Idempotent; always returns nil.
+// Batches already returned by Next remain valid — they never alias
+// worker state.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	// Unblock workers parked on their bounded channels, then wait so a
+	// closed session leaves no goroutine behind.
+	s.wg.Wait()
+	s.release()
+	return nil
+}
+
+// release gives the session's service slot back exactly once; EOF,
+// reader failure, and Close all funnel through it.
+func (s *Session) release() {
+	s.mu.Lock()
+	done := s.done
+	s.done = true
+	s.mu.Unlock()
+	if !done {
+		s.svc.forget(s.id)
+	}
+}
+
+// Stats returns the session's aggregated reader accounting. The
+// deterministic counters (bytes, rows, batches, work) are exact and
+// reproducible once Next has returned io.EOF or Close has completed;
+// mid-scan it is a monotone snapshot of finished workers.
+func (s *Session) Stats() reader.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

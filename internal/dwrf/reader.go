@@ -1,6 +1,7 @@
 package dwrf
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -110,14 +111,24 @@ func (r *FileReader) ReadStripe(i int) ([]datagen.Sample, error) {
 	return DecodeStripe(r.data[st.offset:st.offset+st.length], r.keys, r.dense)
 }
 
-// ReadAll decodes every stripe. Stripes are independent (each carries its
-// own compressed column streams and delta-encoding state), so files with
-// more than one stripe decode them concurrently, bounded by GOMAXPROCS;
-// results are stitched back in stripe order.
+// ReadAll decodes every stripe. See ReadAllContext.
 func (r *FileReader) ReadAll() ([]datagen.Sample, error) {
+	return r.ReadAllContext(context.Background())
+}
+
+// ReadAllContext decodes every stripe, honouring ctx cancellation between
+// stripes. Stripes are independent (each carries its own compressed
+// column streams and delta-encoding state), so files with more than one
+// stripe decode them concurrently, bounded by GOMAXPROCS; results are
+// stitched back in stripe order. On cancellation every decode worker
+// stops before taking its next stripe and ctx.Err() is returned.
+func (r *FileReader) ReadAllContext(ctx context.Context) ([]datagen.Sample, error) {
 	if len(r.stripes) <= 1 {
 		out := make([]datagen.Sample, 0, r.rows)
 		for i := range r.stripes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ss, err := r.ReadStripe(i)
 			if err != nil {
 				return nil, err
@@ -140,6 +151,9 @@ func (r *FileReader) ReadAll() ([]datagen.Sample, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(r.stripes) {
 					return
@@ -149,6 +163,9 @@ func (r *FileReader) ReadAll() ([]datagen.Sample, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	out := make([]datagen.Sample, 0, r.rows)
 	for i := range results {

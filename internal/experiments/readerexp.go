@@ -17,17 +17,20 @@ func init() {
 func runTable3(scale Scale) (*Result, error) {
 	rm := scaledRM(core.RM1(), scale)
 
-	baseline, err := core.Run(core.PipelineConfig{RM: rm, Readers: 1})
+	// Table 3 reads nothing but reader byte accounting, so the runs are
+	// stats-only: every batch is discarded as soon as it is measured.
+	baseline, err := core.Run(core.PipelineConfig{RM: rm, Readers: 1, StatsOnly: true})
 	if err != nil {
 		return nil, err
 	}
-	clustered, err := core.Run(core.PipelineConfig{RM: rm, Clustered: true, Readers: 1})
+	clustered, err := core.Run(core.PipelineConfig{RM: rm, Clustered: true, Readers: 1, StatsOnly: true})
 	if err != nil {
 		return nil, err
 	}
 	ikjt, err := core.Run(core.PipelineConfig{
 		RM: rm, Clustered: true, Dedup: true, UseJaggedIndexSelect: true,
 		Batch: rm.BaselineBatch, Readers: 1, // fixed batch: isolate the byte effect
+		StatsOnly: true,
 	})
 	if err != nil {
 		return nil, err
@@ -69,13 +72,15 @@ func runFig10(scale Scale) (*Result, error) {
 	}
 	for _, rm := range core.AllRMs() {
 		rm = scaledRM(rm, scale)
-		base, err := core.Run(core.PipelineConfig{RM: rm, Batch: rm.BaselineBatch, Readers: 1})
+		// Fig 10 reads only the per-stage reader CPU times: stats-only.
+		base, err := core.Run(core.PipelineConfig{RM: rm, Batch: rm.BaselineBatch, Readers: 1, StatsOnly: true})
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", rm.Name, err)
 		}
 		recd, err := core.Run(core.PipelineConfig{
 			RM: rm, Clustered: true, Dedup: true,
 			UseJaggedIndexSelect: true, Batch: rm.BaselineBatch, Readers: 1,
+			StatsOnly: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s recd: %w", rm.Name, err)

@@ -4,7 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/storage"
 )
+
+// Catalog is the canonical storage.Catalog of the reproduction.
+var _ storage.Catalog = (*Catalog)(nil)
 
 // Catalog is the Hive-metastore stand-in: it maps table → hourly partition
 // → file paths in a Store. Partition landing and retention mirror the

@@ -13,7 +13,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/storage"
 )
+
+// Store is the canonical storage.Backend of the reproduction; keep it
+// conforming as the interface evolves.
+var _ storage.Backend = (*Store)(nil)
 
 // Store is an exabyte-scale-filesystem stand-in: a flat namespace of
 // immutable blobs with IO accounting. All methods are safe for concurrent

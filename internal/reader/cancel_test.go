@@ -1,0 +1,147 @@
+package reader
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count settles back to the
+// pre-test level, failing with a stack dump after 5s.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before %d now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunCancelledMidScan: cancelling the context mid-run returns
+// ctx.Err() promptly — without finishing the remaining files — and leaks
+// no goroutines, on both the serial and pipelined paths.
+func TestRunCancelledMidScan(t *testing.T) {
+	for _, cfg := range []struct {
+		name                      string
+		fillAhead, convertWorkers int
+	}{
+		{"serial", 0, 0},
+		{"pipelined", 3, 2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			// A wide scan set so the prefetching fill stage (at most
+			// FillAhead buffered + one in flight) cannot decode the whole
+			// table before the consumer observes the cancellation.
+			env := newTestEnv(t, 400, true)
+			spec := baseSpec()
+			spec.FillAhead = cfg.fillAhead
+			spec.ConvertWorkers = cfg.convertWorkers
+			r, err := NewReader(env.store, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files, _ := env.catalog.AllFiles("tbl")
+			if len(files) < cfg.fillAhead+5 {
+				t.Fatalf("need a wide multi-file scan, got %d files", len(files))
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			emitted := 0
+			err = r.Run(ctx, files, func(*Batch) error {
+				emitted++
+				if emitted == 1 {
+					cancel() // cancel mid-run, with most of the scan left
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run after cancel = %v, want context.Canceled", err)
+			}
+			if emitted == 0 {
+				t.Fatal("scan never started before cancellation")
+			}
+			// Promptness: the scan must not have run to completion.
+			if got, all := r.Stats().RowsDecoded, int64(len(env.samples)); got >= all {
+				t.Fatalf("cancelled run decoded all %d rows", all)
+			}
+
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestRunCancelledBeforeStart: an already-cancelled context never emits.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	env := newTestEnv(t, 10, true)
+	r, err := NewReader(env.store, baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := env.catalog.AllFiles("tbl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = r.Run(ctx, files, func(*Batch) error {
+		t.Fatal("emit called under cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v want context.Canceled", err)
+	}
+}
+
+// TestTierCancelled: cancellation propagates through the tier adapter.
+func TestTierCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	env := newTestEnv(t, 40, true)
+	tier, err := NewTier(env.store, env.catalog, baseSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tier.Run(ctx, func(*Batch) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("tier err = %v want context.Canceled", err)
+	}
+
+	waitForGoroutines(t, before)
+}
+
+// TestTierDrain: the count-only path reports the same deterministic
+// stats and batch count as Collect without retaining any batch.
+func TestTierDrain(t *testing.T) {
+	env := newTestEnv(t, 40, true)
+	spec := baseSpec()
+
+	tier, err := NewTier(env.store, env.catalog, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, collectStats, err := tier.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, drainStats, err := tier.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(batches) {
+		t.Fatalf("Drain counted %d batches, Collect returned %d", n, len(batches))
+	}
+	if got, want := counters(drainStats), counters(collectStats); got != want {
+		t.Fatalf("Drain stats %v, Collect stats %v", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package reader
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/datagen"
@@ -51,7 +52,7 @@ func TestPartialBatchesEncodeExactData(t *testing.T) {
 	}
 	files, _ := env.catalog.AllFiles("tbl")
 	row := 0
-	if err := r.Run(files, func(b *Batch) error {
+	if err := r.Run(context.Background(), files, func(b *Batch) error {
 		if err := b.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestPartialBeatsExactOnShiftedFeatures(t *testing.T) {
 			t.Fatal(err)
 		}
 		files, _ := env.catalog.AllFiles("tbl")
-		if err := r.Run(files, func(*Batch) error { return nil }); err != nil {
+		if err := r.Run(context.Background(), files, func(*Batch) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 		return r.Stats().SentBytes
@@ -174,14 +175,14 @@ func TestPartialTransforms(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got, want []tensor.Jagged
-	if err := r.Run(files, func(b *Batch) error {
+	if err := r.Run(context.Background(), files, func(b *Batch) error {
 		j, _ := b.Feature("user_seq_0")
 		got = append(got, j)
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := rr.Run(files, func(b *Batch) error {
+	if err := rr.Run(context.Background(), files, func(b *Batch) error {
 		j, _ := b.Feature("user_seq_0")
 		want = append(want, j)
 		return nil
@@ -211,7 +212,7 @@ func TestPartialTransforms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rb.Run(files, func(*Batch) error { return nil }); err == nil {
+	if err := rb.Run(context.Background(), files, func(*Batch) error { return nil }); err == nil {
 		t.Fatal("expected error for non-element-wise transform on partial feature")
 	}
 }
@@ -228,7 +229,7 @@ func TestPartialTrainerConsumption(t *testing.T) {
 	}
 	files, _ := env.catalog.AllFiles("tbl")
 	var batches []*Batch
-	if err := r.Run(files, func(b *Batch) error {
+	if err := r.Run(context.Background(), files, func(b *Batch) error {
 		batches = append(batches, b)
 		return nil
 	}); err != nil {

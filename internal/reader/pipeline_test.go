@@ -2,6 +2,7 @@ package reader
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 )
@@ -103,7 +104,7 @@ func TestPipelinedEmitErrorAborts(t *testing.T) {
 	files, _ := env.catalog.AllFiles("tbl")
 	wantErr := fmt.Errorf("stop")
 	calls := 0
-	err = r.Run(files, func(b *Batch) error {
+	err = r.Run(context.Background(), files, func(b *Batch) error {
 		calls++
 		return wantErr
 	})
@@ -131,7 +132,7 @@ func TestPipelinedUnknownFeature(t *testing.T) {
 		t.Fatal(err)
 	}
 	files, _ := env.catalog.AllFiles("tbl")
-	if err := r.Run(files, func(*Batch) error { return nil }); err == nil {
+	if err := r.Run(context.Background(), files, func(*Batch) error { return nil }); err == nil {
 		t.Fatal("expected error for unknown feature")
 	}
 }
@@ -164,7 +165,7 @@ func benchReaderRun(b *testing.B, fillAhead, convertWorkers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := r.Run(files, func(*Batch) error { return nil }); err != nil {
+		if err := r.Run(context.Background(), files, func(*Batch) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package reader
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,7 +9,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/dwrf"
-	"repro/internal/lakefs"
+	"repro/internal/storage"
 	"repro/internal/tensor"
 )
 
@@ -61,7 +62,7 @@ func (s *Stats) Add(o Stats) {
 // Reader is one stateless reader node executing the fill → convert →
 // process pipeline over an assigned list of files.
 type Reader struct {
-	store *lakefs.Store
+	store storage.Backend
 	spec  Spec
 	stats Stats
 	// dedupers holds one reusable dedup table per spec dedup group. Group
@@ -71,8 +72,9 @@ type Reader struct {
 	dedupers []*tensor.Deduper
 }
 
-// NewReader validates the spec and builds a reader.
-func NewReader(store *lakefs.Store, spec Spec) (*Reader, error) {
+// NewReader validates the spec and builds a reader over any storage
+// backend (lakefs.Store in production, fakes in tests).
+func NewReader(store storage.Backend, spec Spec) (*Reader, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,15 +95,19 @@ func (r *Reader) ResetStats() { r.stats = Stats{} }
 // Rows left over after the last file that do not fill a batch are emitted
 // as a final short batch. emit returning an error aborts the scan.
 //
+// Cancelling ctx aborts the scan promptly — between files on the serial
+// path, and before the next batch conversion on the pipelined path — and
+// Run returns ctx.Err() with every pipeline goroutine torn down.
+//
 // With Spec.FillAhead > 0 the fill stage runs in its own goroutine,
 // prefetching up to FillAhead decoded files through a bounded channel
 // while earlier rows convert and process; batch order, batch contents,
 // and every deterministic Stats counter are identical to the serial path.
-func (r *Reader) Run(files []string, emit func(*Batch) error) error {
+func (r *Reader) Run(ctx context.Context, files []string, emit func(*Batch) error) error {
 	if r.spec.FillAhead > 0 {
-		return r.runPipelined(files, emit)
+		return r.runPipelined(ctx, files, emit)
 	}
-	return r.runSerial(files, emit)
+	return r.runSerial(ctx, files, emit)
 }
 
 // fillResult is one decoded file handed from the fill stage to the
@@ -119,12 +125,15 @@ type fillResult struct {
 // consistency, cuts fixed-size batches in order, and emits any leftover
 // rows as a final short batch. Keeping one copy is what guarantees the
 // serial and pipelined paths stay byte-identical.
-func (r *Reader) consumeResults(next func() (fillResult, bool), emit func(*Batch) error) error {
+func (r *Reader) consumeResults(ctx context.Context, next func() (fillResult, bool), emit func(*Batch) error) error {
 	var pending []datagen.Sample
 	var keys []string
 	var dense int
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, ok := next()
 		if !ok {
 			break
@@ -139,12 +148,18 @@ func (r *Reader) consumeResults(next func() (fillResult, bool), emit func(*Batch
 		}
 		pending = append(pending, res.samples...)
 		for len(pending) >= r.spec.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rows := pending[:r.spec.BatchSize]
 			pending = pending[r.spec.BatchSize:]
 			if err := r.produce(rows, keys, dense, emit); err != nil {
 				return err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if len(pending) > 0 {
 		return r.produce(pending, keys, dense, emit)
@@ -154,15 +169,15 @@ func (r *Reader) consumeResults(next func() (fillResult, bool), emit func(*Batch
 
 // runSerial is the reference fill→convert→process loop: one file at a
 // time, entirely on the calling goroutine.
-func (r *Reader) runSerial(files []string, emit func(*Batch) error) error {
+func (r *Reader) runSerial(ctx context.Context, files []string, emit func(*Batch) error) error {
 	i := 0
-	return r.consumeResults(func() (fillResult, bool) {
+	return r.consumeResults(ctx, func() (fillResult, bool) {
 		if i >= len(files) {
 			return fillResult{}, false
 		}
 		f := files[i]
 		i++
-		samples, keys, dense, err := r.fill(f)
+		samples, keys, dense, err := r.fill(ctx, f)
 		return fillResult{file: f, samples: samples, keys: keys, dense: dense, err: err}, true
 	}, emit)
 }
@@ -172,7 +187,7 @@ func (r *Reader) runSerial(files []string, emit func(*Batch) error) error {
 // RowsDecoded); the consumer owns the rest, so accounting stays exact
 // without locks. Batches are cut and emitted on the consumer goroutine in
 // file order, preserving the serial path's deterministic output.
-func (r *Reader) runPipelined(files []string, emit func(*Batch) error) error {
+func (r *Reader) runPipelined(ctx context.Context, files []string, emit func(*Batch) error) error {
 	done := make(chan struct{})
 	var fillWG sync.WaitGroup
 	defer fillWG.Wait() // runs after close(done): never leak a filling goroutine
@@ -185,17 +200,21 @@ func (r *Reader) runPipelined(files []string, emit func(*Batch) error) error {
 		defer close(ch)
 		for _, f := range files {
 			// Check for abort before paying for a fill: after an emit
-			// error the consumer is gone, and the buffered send below
-			// could otherwise keep winning the select.
+			// error or a cancellation the consumer is gone, and the
+			// buffered send below could otherwise keep winning the select.
 			select {
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			default:
 			}
-			samples, keys, dense, err := r.fill(f)
+			samples, keys, dense, err := r.fill(ctx, f)
 			select {
 			case ch <- fillResult{file: f, samples: samples, keys: keys, dense: dense, err: err}:
 			case <-done:
+				return
+			case <-ctx.Done():
 				return
 			}
 			if err != nil {
@@ -204,7 +223,7 @@ func (r *Reader) runPipelined(files []string, emit func(*Batch) error) error {
 		}
 	}()
 
-	return r.consumeResults(func() (fillResult, bool) {
+	return r.consumeResults(ctx, func() (fillResult, bool) {
 		res, ok := <-ch
 		return res, ok
 	}, emit)
@@ -235,11 +254,15 @@ func simulateFetchWork(data []byte) {
 }
 
 // fill reads one file from the store and decodes all rows (the paper's
-// fill stage: fetch, decrypt, decompress, decode).
-func (r *Reader) fill(path string) ([]datagen.Sample, []string, int, error) {
+// fill stage: fetch, decrypt, decompress, decode). Cancellation is
+// honoured before the fetch and between stripe decodes.
+func (r *Reader) fill(ctx context.Context, path string) ([]datagen.Sample, []string, int, error) {
 	start := time.Now()
 	defer func() { r.stats.FillTime += time.Since(start) }()
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 	data, err := r.store.Get(path)
 	if err != nil {
 		return nil, nil, 0, err
@@ -251,8 +274,11 @@ func (r *Reader) fill(path string) ([]datagen.Sample, []string, int, error) {
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("reader: %s: %w", path, err)
 	}
-	samples, err := fr.ReadAll()
+	samples, err := fr.ReadAllContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, 0, ctx.Err()
+		}
 		return nil, nil, 0, fmt.Errorf("reader: %s: %w", path, err)
 	}
 	r.stats.RowsDecoded += int64(len(samples))

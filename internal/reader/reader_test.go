@@ -1,6 +1,7 @@
 package reader
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -64,7 +65,7 @@ func runAll(t *testing.T, env *testEnv, spec Spec) ([]*Batch, Stats) {
 		t.Fatal(err)
 	}
 	var batches []*Batch
-	if err := r.Run(files, func(b *Batch) error {
+	if err := r.Run(context.Background(), files, func(b *Batch) error {
 		batches = append(batches, b)
 		return nil
 	}); err != nil {
@@ -354,7 +355,7 @@ func TestTierMatchesSingleReader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batches, stats, err := tier.Collect()
+	batches, stats, err := tier.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestTierErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := tier.Collect(); err == nil {
+	if _, _, err := tier.Collect(context.Background()); err == nil {
 		t.Fatal("expected error for missing table")
 	}
 }
@@ -398,7 +399,7 @@ func TestEmitErrorAborts(t *testing.T) {
 	files, _ := env.catalog.AllFiles("tbl")
 	wantErr := fmt.Errorf("stop")
 	calls := 0
-	err = r.Run(files, func(b *Batch) error {
+	err = r.Run(context.Background(), files, func(b *Batch) error {
 		calls++
 		return wantErr
 	})
@@ -419,7 +420,7 @@ func TestUnknownFeature(t *testing.T) {
 		t.Fatal(err)
 	}
 	files, _ := env.catalog.AllFiles("tbl")
-	if err := r.Run(files, func(*Batch) error { return nil }); err == nil {
+	if err := r.Run(context.Background(), files, func(*Batch) error { return nil }); err == nil {
 		t.Fatal("expected error for unknown feature")
 	}
 }
@@ -431,7 +432,7 @@ func BenchmarkReaderPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, _ := NewReader(env.store, spec)
-		if err := r.Run(files, func(*Batch) error { return nil }); err != nil {
+		if err := r.Run(context.Background(), files, func(*Batch) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

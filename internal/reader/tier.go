@@ -1,26 +1,41 @@
 package reader
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
-	"repro/internal/lakefs"
+	"repro/internal/storage"
 )
 
-// Tier is a fleet of stateless readers launched for one training job
-// (paper §2.1: "the number of readers for each job is scaled to meet
-// trainers' ingestion bandwidth demands"). Files are split across readers
-// round-robin; each reader runs its own fill→convert→process pipeline
-// concurrently.
+// PlanRoundRobin splits a scan set across n workers round-robin, the
+// file-level sharding policy the paper's reader tier uses ("the number of
+// readers for each job is scaled to meet trainers' ingestion bandwidth
+// demands"). Both the legacy Tier and the dpp session planner share it so
+// worker assignments stay identical across the two APIs.
+func PlanRoundRobin(files []string, n int) [][]string {
+	assignments := make([][]string, n)
+	for i, f := range files {
+		assignments[i%n] = append(assignments[i%n], f)
+	}
+	return assignments
+}
+
+// Tier is a fleet of stateless readers launched for one training job.
+//
+// Deprecated-in-spirit: Tier predates the dpp service API and is kept as
+// a thin adapter during the transition. New code should open a session on
+// a dpp.Service, which adds pull-based iteration, per-session
+// backpressure, and cancellation on top of the same planning.
 type Tier struct {
-	store   *lakefs.Store
-	catalog *lakefs.Catalog
+	store   storage.Backend
+	catalog storage.Catalog
 	spec    Spec
 	n       int
 }
 
 // NewTier builds a tier of n readers over one store/catalog.
-func NewTier(store *lakefs.Store, catalog *lakefs.Catalog, spec Spec, n int) (*Tier, error) {
+func NewTier(store storage.Backend, catalog storage.Catalog, spec Spec, n int) (*Tier, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("reader: tier needs at least one reader, got %d", n)
 	}
@@ -32,16 +47,12 @@ func NewTier(store *lakefs.Store, catalog *lakefs.Catalog, spec Spec, n int) (*T
 
 // Run scans the spec's whole table with all readers and invokes emit for
 // every batch. emit may be called concurrently from different readers and
-// must be safe for concurrent use. Returns aggregate stats.
-func (t *Tier) Run(emit func(*Batch) error) (Stats, error) {
+// must be safe for concurrent use. Cancelling ctx aborts every reader and
+// Run returns ctx.Err(). Returns aggregate stats.
+func (t *Tier) Run(ctx context.Context, emit func(*Batch) error) (Stats, error) {
 	files, err := t.catalog.AllFiles(t.spec.Table)
 	if err != nil {
 		return Stats{}, err
-	}
-
-	assignments := make([][]string, t.n)
-	for i, f := range files {
-		assignments[i%t.n] = append(assignments[i%t.n], f)
 	}
 
 	var (
@@ -50,8 +61,8 @@ func (t *Tier) Run(emit func(*Batch) error) (Stats, error) {
 		agg      Stats
 		firstErr error
 	)
-	for i := 0; i < t.n; i++ {
-		if len(assignments[i]) == 0 {
+	for _, assigned := range PlanRoundRobin(files, t.n) {
+		if len(assigned) == 0 {
 			continue
 		}
 		wg.Add(1)
@@ -59,7 +70,7 @@ func (t *Tier) Run(emit func(*Batch) error) (Stats, error) {
 			defer wg.Done()
 			r, err := NewReader(t.store, t.spec)
 			if err == nil {
-				err = r.Run(files, emit)
+				err = r.Run(ctx, files, emit)
 			}
 			mu.Lock()
 			defer mu.Unlock()
@@ -69,24 +80,44 @@ func (t *Tier) Run(emit func(*Batch) error) (Stats, error) {
 			if r != nil {
 				agg.Add(r.Stats())
 			}
-		}(assignments[i])
+		}(assigned)
 	}
 	wg.Wait()
 	return agg, firstErr
 }
 
 // Collect runs the tier and gathers every batch into a slice, in no
-// particular cross-reader order. Convenient for tests and experiments.
-func (t *Tier) Collect() ([]*Batch, Stats, error) {
+// particular cross-reader order. Convenient for tests and experiments
+// that inspect batch contents. Callers that only need the accounting
+// should use Drain, which does not hold the whole table in memory.
+func (t *Tier) Collect(ctx context.Context) ([]*Batch, Stats, error) {
 	var mu sync.Mutex
 	var batches []*Batch
-	stats, err := t.Run(func(b *Batch) error {
+	stats, err := t.Run(ctx, func(b *Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
 		batches = append(batches, b)
 		return nil
 	})
 	return batches, stats, err
+}
+
+// Drain runs the tier, discards every batch, and returns the aggregate
+// stats plus the batch count — the count-only twin of Collect for
+// callers that need only the accounting, which previously buffered the
+// entire decoded table just to throw it away. (The service-era
+// equivalent is core.PipelineConfig.StatsOnly, which streams a dpp
+// session and discards batches as they are measured.)
+func (t *Tier) Drain(ctx context.Context) (int, Stats, error) {
+	var batches int64
+	var mu sync.Mutex
+	stats, err := t.Run(ctx, func(*Batch) error {
+		mu.Lock()
+		batches++
+		mu.Unlock()
+		return nil
+	})
+	return int(batches), stats, err
 }
 
 // ThroughputSamplesPerSec converts stats into the paper's reader metric:

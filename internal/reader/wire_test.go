@@ -2,6 +2,7 @@ package reader
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -13,7 +14,7 @@ func collectBatches(t *testing.T, env *testEnv, spec Spec) []*Batch {
 	}
 	files, _ := env.catalog.AllFiles(spec.Table)
 	var batches []*Batch
-	if err := r.Run(files, func(b *Batch) error {
+	if err := r.Run(context.Background(), files, func(b *Batch) error {
 		batches = append(batches, b)
 		return nil
 	}); err != nil {

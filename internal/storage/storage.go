@@ -1,0 +1,36 @@
+// Package storage defines the blob-store and catalog interfaces the
+// ingestion service reads training data through. The paper's DPP service
+// sits between many training jobs and Tectonic; decoupling the readers
+// from one concrete store is what lets the same session API serve an
+// in-memory store in tests, lakefs in the reproduction, and (eventually)
+// sharded or cached multi-backend deployments named in the ROADMAP.
+//
+// lakefs.Store and lakefs.Catalog are the canonical implementations;
+// both interfaces are small enough that a test fake is a dozen lines.
+package storage
+
+// Backend is the read surface of a blob store holding immutable DWRF
+// files. Implementations must be safe for concurrent use: one Backend is
+// shared by every reader worker of every session.
+type Backend interface {
+	// Get returns the full blob at path. The returned slice must be
+	// treated as immutable.
+	Get(path string) ([]byte, error)
+	// ReadRange returns n bytes starting at off. Reads past end-of-blob
+	// return a short slice (object-store range-read semantics).
+	ReadRange(path string, off, n int64) ([]byte, error)
+	// Size reports the stored size of the blob at path.
+	Size(path string) (int64, error)
+	// List returns all paths with the given prefix, sorted.
+	List(prefix string) []string
+	// Exists reports whether a blob is stored at path.
+	Exists(path string) bool
+}
+
+// Catalog resolves a table name to the ordered file list a full scan of
+// that table reads. Implementations must be safe for concurrent use.
+type Catalog interface {
+	// AllFiles returns every file of every partition of the table, in
+	// deterministic scan order.
+	AllFiles(table string) ([]string, error)
+}

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func makeBatches(t testing.TB, sessions, batchSize int) []*reader.Batch {
 	}
 	files, _ := catalog.AllFiles("tbl")
 	var batches []*reader.Batch
-	if err := r.Run(files, func(b *reader.Batch) error {
+	if err := r.Run(context.Background(), files, func(b *reader.Batch) error {
 		batches = append(batches, b)
 		return nil
 	}); err != nil {

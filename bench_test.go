@@ -14,6 +14,7 @@ package repro_test
 import (
 	"context"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/comm"
@@ -428,6 +429,79 @@ func BenchmarkServiceSession(b *testing.B) {
 		sess.Close()
 	}
 }
+
+// benchTwoSessions measures the aggregate cost of two concurrent
+// same-spec sessions scanning one table, with or without cross-session
+// scan sharing. Each iteration opens a fresh service, so the shared case
+// always measures "two sessions, one decode" (single-flight coalescing +
+// cache reuse), never a pre-warmed cache.
+func benchTwoSessions(b *testing.B, share bool) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	// 256 rows per file so files align to the 256-row batch: every file
+	// boundary is a batch boundary and the whole scan is shareable.
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 256, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 256,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for s := 0; s < 2; s++ {
+			sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Buffer: 1, ShareScans: share})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(s int, sess *dpp.Session) {
+				defer wg.Done()
+				for {
+					_, err := sess.Next(ctx)
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						errs[s] = err
+						return
+					}
+				}
+			}(s, sess)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		svc.Close()
+	}
+}
+
+// BenchmarkSharedSessions and BenchmarkUnsharedSessions are the
+// cross-session scan-sharing headline pair: two jobs with equal specs
+// over one table, batches memoized via the service ScanCache versus
+// decoded twice. scripts/bench.sh gates the unshared/shared ns/op ratio
+// (aggregate throughput gain) at BENCH_MIN_SHARED_RATIO, default 1.5.
+func BenchmarkSharedSessions(b *testing.B)   { benchTwoSessions(b, true) }
+func BenchmarkUnsharedSessions(b *testing.B) { benchTwoSessions(b, false) }
 
 // BenchmarkTrainStepBaseline and BenchmarkTrainStepRecD measure the
 // numeric DLRM step in both modes on identical batches.

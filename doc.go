@@ -3,10 +3,19 @@
 // Infrastructure" (Zhao et al., MLSys 2023).
 //
 // The public surface lives in the command-line tools (cmd/recd-bench,
-// cmd/recd-datagen, cmd/recd-inspect) and the runnable examples
-// (examples/...); the library packages are under internal/. See README.md
-// for the architecture overview, DESIGN.md for the system inventory and
-// substitution table, and EXPERIMENTS.md for paper-vs-measured results.
+// cmd/recd-datagen, cmd/recd-inspect, cmd/recd-train) and the runnable
+// examples (examples/...); the library packages are under internal/.
+//
+// Documentation map:
+//   - docs/ARCHITECTURE.md — the layer diagram, the life of a batch from
+//     lakefs bytes to Session.Next, and where dedup, caching, and
+//     backpressure each live.
+//   - docs/OPERATIONS.md — flags and typical invocations for the four
+//     cmd/ binaries, and how cmd/recd-bench (paper results) relates to
+//     scripts/bench.sh (hot-path regression gate).
+//   - benchmarks/README.md — the benchmark-regression workflow and the
+//     recorded before/after history.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation.
 //
@@ -36,6 +45,15 @@
 //     session is byte-identical to a serial Reader.Run scan
 //     (internal/dpp's tests pin this under -race, concurrently with a
 //     second session of a different spec).
+//
+// Sessions with equal-output specs can additionally share scans
+// (dpp.Spec.ShareScans): the Service's dpp.ScanCache memoizes decoded,
+// deduplicated, preprocessed batches per (file, reader.Spec.Fingerprint)
+// with single-flight coalescing and byte-bounded LRU eviction, so N jobs
+// over the same hour of data decode each DWRF file once instead of N
+// times — with the batch stream pinned byte-identical to an unshared
+// session's. storage.CachingBackend provides the raw-byte tier of the
+// same idea for sessions whose specs differ.
 //
 // reader.Tier survives as a thin adapter over the same planning for
 // code not yet migrated; new code should open sessions on a Service.

@@ -143,7 +143,7 @@ func main() {
 			}
 			loss = l
 		}
-		return sess.Stats(), pstats.CompressionRatio(), loss
+		return sess.Stats().Reader, pstats.CompressionRatio(), loss
 	}
 
 	baseStats, baseComp, baseLoss := run("baseline", false, nil, 128, trainer.Baseline)

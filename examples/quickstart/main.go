@@ -150,5 +150,5 @@ func main() {
 		rows += bt.Size
 	}
 	fmt.Printf("service session: pulled %d batches (%d rows, %d read bytes) from table \"clicks\"\n",
-		batches, rows, sess.Stats().ReadBytes)
+		batches, rows, sess.Stats().Reader.ReadBytes)
 }

@@ -48,6 +48,13 @@ type PipelineConfig struct {
 	// it is measured. The count-only path for experiments that never
 	// look at FinalLoss/Cost/Iteration (Table 3, Fig 10).
 	StatsOnly bool
+	// ShareScans opts the run's reader session into the service's
+	// cross-session ScanCache (dpp.Spec.ShareScans). A single Run opens
+	// one session over a freshly landed table, so this changes nothing
+	// measurable here — it exists so callers embedding core in
+	// multi-session setups (several jobs over one landed partition, as
+	// cmd/recd-train does per epoch) inherit the sharing path.
+	ShareScans bool
 	// DedupeThreshold overrides the selection heuristic's threshold.
 	DedupeThreshold float64
 }
@@ -204,7 +211,7 @@ func Run(cfg PipelineConfig) (*Result, error) {
 		return nil, err
 	}
 	defer svc.Close()
-	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: cfg.Readers})
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: cfg.Readers, ShareScans: cfg.ShareScans})
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +233,7 @@ func Run(cfg PipelineConfig) (*Result, error) {
 			trainBatches = append(trainBatches, b)
 		}
 	}
-	rstats := sess.Stats()
+	rstats := sess.Stats().Reader
 	res.Reader = rstats
 	res.ReaderThroughput = reader.ThroughputSamplesPerSec(rstats)
 

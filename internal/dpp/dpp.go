@@ -12,6 +12,14 @@
 // deterministic: the stream equals the concatenation of serial
 // reader.Run scans over each worker's planned file assignment, so a
 // session with Readers == 1 is byte-identical to a direct serial scan.
+//
+// Sessions may additionally opt into cross-session scan sharing
+// (Spec.ShareScans): the Service owns a ScanCache that memoizes decoded,
+// deduplicated, preprocessed batches per (file, spec fingerprint) with
+// single-flight coalescing and byte-bounded LRU eviction, so N jobs over
+// the same data pay for each file's decode once instead of N times —
+// without changing any session's batch stream. See docs/ARCHITECTURE.md
+// for where this sits in the overall pipeline.
 package dpp
 
 import (
@@ -31,7 +39,19 @@ type Config struct {
 	Catalog storage.Catalog
 	// MaxSessions caps concurrently open sessions; 0 means unlimited.
 	MaxSessions int
+	// ScanCacheBytes bounds the service's cross-session ScanCache, which
+	// memoizes decoded batches per (file, spec fingerprint) for sessions
+	// that opt in via Spec.ShareScans. 0 picks DefaultScanCacheBytes;
+	// negative disables the cache entirely (ShareScans sessions are then
+	// rejected at Open).
+	ScanCacheBytes int64
 }
+
+// DefaultScanCacheBytes is the scan-cache budget used when Config leaves
+// ScanCacheBytes zero: large enough to hold a few partitions of decoded
+// batches at the reproduction's scales, small enough to stay invisible
+// next to a training job's own working set.
+const DefaultScanCacheBytes = 256 << 20
 
 // Service hosts concurrent preprocessing sessions over shared storage.
 // All methods are safe for concurrent use.
@@ -39,6 +59,9 @@ type Service struct {
 	backend storage.Backend
 	catalog storage.Catalog
 	max     int
+	// cache memoizes file scans across ShareScans sessions; nil when
+	// disabled by Config.ScanCacheBytes < 0.
+	cache *ScanCache
 
 	mu       sync.Mutex
 	closed   bool
@@ -60,13 +83,27 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxSessions < 0 {
 		return nil, fmt.Errorf("dpp: negative session cap %d", cfg.MaxSessions)
 	}
+	var cache *ScanCache
+	if cfg.ScanCacheBytes >= 0 {
+		budget := cfg.ScanCacheBytes
+		if budget == 0 {
+			budget = DefaultScanCacheBytes
+		}
+		cache = NewScanCache(budget)
+	}
 	return &Service{
 		backend:  cfg.Backend,
 		catalog:  cfg.Catalog,
 		max:      cfg.MaxSessions,
+		cache:    cache,
 		sessions: make(map[int64]*Session),
 	}, nil
 }
+
+// ScanCache returns the service's cross-session scan cache, or nil when
+// disabled. Exposed for operational introspection (hit ratios, resident
+// entries); sessions use it automatically via Spec.ShareScans.
+func (s *Service) ScanCache() *ScanCache { return s.cache }
 
 // Stats is a snapshot of service-level accounting.
 type Stats struct {
@@ -76,16 +113,24 @@ type Stats struct {
 	ActiveSessions int
 	// BatchesServed counts batches handed out across all sessions.
 	BatchesServed int64
+	// Cache is the cross-session scan cache's aggregate accounting;
+	// zero-valued when the cache is disabled.
+	Cache ScanCacheStats
 }
 
 // Stats returns a snapshot of the service accounting.
 func (s *Service) Stats() Stats {
+	var cache ScanCacheStats
+	if s.cache != nil {
+		cache = s.cache.Stats()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
 		SessionsOpened: s.opened,
 		ActiveSessions: len(s.sessions),
 		BatchesServed:  s.batchesServed,
+		Cache:          cache,
 	}
 }
 

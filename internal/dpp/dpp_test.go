@@ -162,7 +162,7 @@ func TestConcurrentSessionsMatchSerial(t *testing.T) {
 			for {
 				b, err := sess.Next(context.Background())
 				if err == io.EOF {
-					gotStats[i] = sess.Stats()
+					gotStats[i] = sess.Stats().Reader
 					return
 				}
 				if err != nil {
@@ -256,7 +256,7 @@ func TestMultiReaderSessionMatchesPlan(t *testing.T) {
 			t.Fatalf("batch %d differs from plan reference", i)
 		}
 	}
-	if got, want := counters(sess.Stats()), counters(wantStats); got != want {
+	if got, want := counters(sess.Stats().Reader), counters(wantStats); got != want {
 		t.Fatalf("stats counters %v, plan reference %v", got, want)
 	}
 }
@@ -495,6 +495,198 @@ func TestSessionExplicitFiles(t *testing.T) {
 	if gotRows != wantRows || gotRows == 0 {
 		t.Fatalf("explicit-files session rows = %d want %d (nonzero)", gotRows, wantRows)
 	}
+}
+
+// TestSharedSessionsMatchSerial is the cross-session scan-sharing
+// determinism contract (run under -race in CI): concurrent ShareScans
+// sessions — three with one spec (batch-aligned files, fully shareable),
+// one with a different spec (misaligned batch size, so rows carry across
+// files and only some boundaries share), and one unshared control — must
+// each produce batch streams byte-identical to their serial single-reader
+// references, while the aligned trio decodes the table exactly once
+// between them.
+func TestSharedSessionsMatchSerial(t *testing.T) {
+	env := newTestEnv(t, 60)
+	svc := newService(t, env, dpp.Config{})
+
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFiles := int64(len(files))
+	if nFiles < 2 {
+		t.Skip("partition landed in a single file")
+	}
+
+	// Sessions 0-2 share dedupSpec; 3 is kjtSpec (BatchSize 48, which 256
+	// rows/file does not divide); 4 is an unshared dedupSpec control.
+	specs := []reader.Spec{dedupSpec(), dedupSpec(), dedupSpec(), kjtSpec(), dedupSpec()}
+	share := []bool{true, true, true, true, false}
+
+	wantEnc := make([][][]byte, len(specs))
+	wantStats := make([]reader.Stats, len(specs))
+	for i, spec := range specs {
+		wantEnc[i], wantStats[i] = serialReference(t, env, spec)
+	}
+
+	gotEnc := make([][][]byte, len(specs))
+	gotStats := make([]dpp.SessionStats, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, ShareScans: share[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sess *dpp.Session) {
+			defer wg.Done()
+			for {
+				b, err := sess.Next(context.Background())
+				if err == io.EOF {
+					gotStats[i] = sess.Stats()
+					return
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				var buf bytes.Buffer
+				if err := b.Encode(&buf); err != nil {
+					errs[i] = err
+					return
+				}
+				gotEnc[i] = append(gotEnc[i], buf.Bytes())
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if len(gotEnc[i]) != len(wantEnc[i]) {
+			t.Fatalf("session %d produced %d batches, serial reference %d", i, len(gotEnc[i]), len(wantEnc[i]))
+		}
+		for bi := range wantEnc[i] {
+			if !bytes.Equal(gotEnc[i][bi], wantEnc[i][bi]) {
+				t.Fatalf("session %d batch %d differs from serial reference", i, bi)
+			}
+		}
+		// Egress is real for every session, hits or not.
+		if got, want := gotStats[i].Reader.BatchesProduced, wantStats[i].BatchesProduced; got != want {
+			t.Fatalf("session %d BatchesProduced = %d, serial reference %d", i, got, want)
+		}
+		if got, want := gotStats[i].Reader.SentBytes, wantStats[i].SentBytes; got != want {
+			t.Fatalf("session %d SentBytes = %d, serial reference %d", i, got, want)
+		}
+	}
+
+	// The aligned trio decodes every file exactly once between them: with
+	// no eviction possible at this scale, misses across the three equal
+	// the file count and their decoded rows sum to one serial scan.
+	var trioHits, trioMisses, trioRows int64
+	for i := 0; i < 3; i++ {
+		st := gotStats[i]
+		if got := st.Cache.Hits + st.Cache.Misses; got != nFiles {
+			t.Fatalf("session %d cache lookups = %d, want %d (one per file)", i, got, nFiles)
+		}
+		trioHits += st.Cache.Hits
+		trioMisses += st.Cache.Misses
+		trioRows += st.Reader.RowsDecoded
+	}
+	if trioMisses != nFiles || trioHits != 2*nFiles {
+		t.Fatalf("trio cache traffic hits=%d misses=%d, want %d/%d", trioHits, trioMisses, 2*nFiles, nFiles)
+	}
+	if trioRows != wantStats[0].RowsDecoded {
+		t.Fatalf("trio decoded %d rows, want %d (each file decoded once)", trioRows, wantStats[0].RowsDecoded)
+	}
+	// The unshared control never touches the cache.
+	if c := gotStats[4].Cache; c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("unshared session reported cache traffic %+v", c)
+	}
+	// The misaligned session shares only boundary-aligned files (at least
+	// the first), and falls back to local decode for the rest.
+	if c := gotStats[3].Cache; c.Hits+c.Misses == 0 || c.Hits+c.Misses == nFiles {
+		t.Fatalf("misaligned session cache traffic %+v, want partial sharing over %d files", c, nFiles)
+	}
+
+	if st := svc.Stats().Cache; st.Hits != trioHits || st.Evictions != 0 {
+		t.Fatalf("service cache stats %+v, want %d hits, 0 evictions", st, trioHits)
+	}
+}
+
+// TestSharedSessionEvictionPressure runs ShareScans sessions against a
+// cache far smaller than the table, so entries are evicted mid-scan, and
+// pins that post-eviction re-reads still match the uncached reference.
+func TestSharedSessionEvictionPressure(t *testing.T) {
+	env := newTestEnv(t, 200)
+	spec := dedupSpec()
+	wantEnc, _ := serialReference(t, env, spec)
+
+	// Budget two files' worth of decoded batches: the scan itself evicts.
+	r, err := reader.NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Skip("need at least 3 files for eviction pressure")
+	}
+	one, err := r.ScanFile(context.Background(), files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newService(t, env, dpp.Config{ScanCacheBytes: 2 * one.MemBytes()})
+
+	for pass := 0; pass < 2; pass++ {
+		sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, ShareScans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEnc := drainSession(t, sess)
+		if len(gotEnc) != len(wantEnc) {
+			t.Fatalf("pass %d produced %d batches, reference %d", pass, len(gotEnc), len(wantEnc))
+		}
+		for bi := range wantEnc {
+			if !bytes.Equal(gotEnc[bi], wantEnc[bi]) {
+				t.Fatalf("pass %d batch %d differs from reference", pass, bi)
+			}
+		}
+	}
+	st := svc.Stats().Cache
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under memory pressure")
+	}
+	if st.Bytes > 2*one.MemBytes() {
+		t.Fatalf("cache holds %d bytes, budget %d", st.Bytes, 2*one.MemBytes())
+	}
+	// Both passes completed byte-identically even though pass 2's early
+	// files had been evicted by pass 1's tail — they were simply
+	// recomputed (and counted as misses again).
+	if st.Misses <= int64(len(files)) {
+		t.Fatalf("misses = %d, want > %d (evicted entries recomputed)", st.Misses, len(files))
+	}
+}
+
+// TestShareScansRejectedWhenCacheDisabled: a service built with the scan
+// cache disabled refuses ShareScans sessions instead of silently running
+// them unshared.
+func TestShareScansRejectedWhenCacheDisabled(t *testing.T) {
+	env := newTestEnv(t, 10)
+	svc := newService(t, env, dpp.Config{ScanCacheBytes: -1})
+	if _, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec(), ShareScans: true}); err == nil {
+		t.Fatal("expected error: ShareScans with disabled cache")
+	}
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: dedupSpec()})
+	if err != nil {
+		t.Fatalf("unshared session must still open: %v", err)
+	}
+	sess.Close()
 }
 
 // waitForGoroutines polls until the goroutine count settles back to the

@@ -70,10 +70,75 @@ func ExampleService() {
 	}
 	st := sess.Stats()
 	fmt.Printf("pulled %d batches, %d rows\n", batches, rows)
-	fmt.Printf("rows decoded: %d, batches produced: %d\n", st.RowsDecoded, st.BatchesProduced)
+	fmt.Printf("rows decoded: %d, batches produced: %d\n", st.Reader.RowsDecoded, st.Reader.BatchesProduced)
 	fmt.Printf("exact same data as the partition: %v\n", rows == len(samples))
 	// Output:
 	// pulled 4 batches, 123 rows
 	// rows decoded: 123, batches produced: 4
 	// exact same data as the partition: true
+}
+
+// ExampleScanCache is cross-session scan sharing end to end: two jobs
+// with the same DataLoader spec read the same table, and the second
+// decodes nothing — its batches are served from the service's ScanCache,
+// byte for byte what an unshared session would have produced.
+func ExampleScanCache() {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 1, UserElem: 1, Item: 1, Dense: 2, SeqLen: 8, Seed: 1,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 20, MeanSamplesPerSession: 6, Seed: 2,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "clicks", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 64, Writer: dwrf.WriterOptions{StripeRows: 32}}); err != nil {
+		log.Fatal(err)
+	}
+
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	spec := dpp.Spec{
+		Spec: reader.Spec{
+			Table:               "clicks",
+			BatchSize:           32,
+			SparseFeatures:      []string{"item_0"},
+			DedupSparseFeatures: [][]string{{"user_seq_0"}},
+		},
+		ShareScans: true, // opt into the cross-session ScanCache
+	}
+
+	ctx := context.Background()
+	for job := 1; job <= 2; job++ {
+		sess, err := svc.Open(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := 0
+		for {
+			b, err := sess.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows += b.Size
+		}
+		st := sess.Stats()
+		fmt.Printf("job %d: %d rows pulled, %d decoded, cache hits/misses %d/%d\n",
+			job, rows, st.Reader.RowsDecoded, st.Cache.Hits, st.Cache.Misses)
+		sess.Close()
+	}
+	cs := svc.Stats().Cache
+	fmt.Printf("service cache: %d entries, %d hits, %d misses\n", cs.Entries, cs.Hits, cs.Misses)
+	// Output:
+	// job 1: 123 rows pulled, 123 decoded, cache hits/misses 0/2
+	// job 2: 123 rows pulled, 0 decoded, cache hits/misses 2/0
+	// service cache: 2 entries, 2 hits, 2 misses
 }

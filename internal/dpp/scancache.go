@@ -1,0 +1,233 @@
+package dpp
+
+import (
+	"container/list"
+	"context"
+
+	"sync"
+
+	"repro/internal/reader"
+)
+
+// ScanCache memoizes decoded, deduplicated, preprocessed batches across
+// sessions: the cross-session scan sharing the paper's service exists to
+// provide. N training jobs whose DataLoader specs agree (same batch size,
+// features, dedup groups, and transforms — reader.Spec.Fingerprint) and
+// whose scans cover the same files pay for each file's fill → convert →
+// process once, not N times.
+//
+// Entries are keyed by (file, spec fingerprint) and hold a
+// reader.FileScan: the file's complete batches plus its carry-out tail
+// rows. Both halves of the key are load-bearing for soundness — the file
+// names the bytes, the fingerprint names every spec field that can change
+// what those bytes convert to — and FileScan's file alignment is what
+// lets cached entries compose into a stream byte-identical to an
+// uncached serial scan (pinned by the reader and dpp determinism tests).
+//
+// Concurrent requests for a missing entry coalesce: one caller computes
+// while the rest block on that computation (single-flight), so a burst of
+// sessions opening over the same partition decodes each file once.
+// Memory is bounded in bytes: completed entries are evicted least-
+// recently-used once the budget is exceeded. Evicted entries remain valid
+// for sessions already holding them — entries are immutable and the
+// cache never recycles their memory.
+//
+// All methods are safe for concurrent use.
+type ScanCache struct {
+	max int64
+
+	mu      sync.Mutex
+	bytes   int64
+	entries map[scanKey]*scanEntry
+	lru     *list.List // complete entries only; front = most recent
+
+	hits, misses, evictions int64
+}
+
+// scanKey is the identity of one shareable unit of scan work.
+type scanKey struct {
+	file        string
+	fingerprint string
+}
+
+// scanEntry is one cached (or in-flight) file scan.
+type scanEntry struct {
+	key  scanKey
+	el   *list.Element // nil while in flight
+	cost int64
+	hits int64
+
+	ready chan struct{} // closed when scan/err are set
+	scan  *reader.FileScan
+	err   error
+}
+
+// NewScanCache builds a cache bounded to maxBytes of estimated batch and
+// tail-row memory (reader.FileScan.MemBytes). maxBytes must be positive.
+func NewScanCache(maxBytes int64) *ScanCache {
+	if maxBytes <= 0 {
+		panic("dpp: scan cache needs a positive byte budget")
+	}
+	return &ScanCache{
+		max:     maxBytes,
+		entries: make(map[scanKey]*scanEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the scan for (file, fingerprint), computing and caching it
+// via compute on a miss. Concurrent Gets of the same key share one
+// compute call; callers served a result another caller computed (or a
+// cached entry) report hit == true. If the computing caller fails, its
+// waiters retry — one caller's cancellation must not fail another
+// session's scan. Cancelling ctx abandons the wait (the in-flight
+// compute itself is cancelled only by its own caller's context).
+func (c *ScanCache) Get(ctx context.Context, file, fingerprint string, compute func(context.Context) (*reader.FileScan, error)) (scan *reader.FileScan, hit bool, err error) {
+	key := scanKey{file: file, fingerprint: fingerprint}
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready: // complete
+				if e.err == nil {
+					c.touch(e)
+					c.hits++
+					e.hits++
+					c.mu.Unlock()
+					return e.scan, true, nil
+				}
+				// Failed entries are removed by their computer; if one is
+				// still visible we lost a race — fall through and wait.
+			default:
+			}
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			c.mu.Lock()
+			if e.err == nil {
+				c.touch(e)
+				c.hits++
+				e.hits++
+				c.mu.Unlock()
+				return e.scan, true, nil
+			}
+			c.mu.Unlock()
+			continue // leader failed; retry (and possibly lead)
+		}
+
+		e := &scanEntry{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		e.scan, e.err = compute(ctx)
+
+		c.mu.Lock()
+		if e.err != nil {
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.ready)
+			return nil, false, e.err
+		}
+		e.cost = e.scan.MemBytes()
+		e.el = c.lru.PushFront(e)
+		c.bytes += e.cost
+		c.evict()
+		c.mu.Unlock()
+		close(e.ready)
+		return e.scan, false, nil
+	}
+}
+
+// touch marks an entry most-recently-used. Callers hold c.mu.
+func (c *ScanCache) touch(e *scanEntry) {
+	if e.el != nil {
+		c.lru.MoveToFront(e.el)
+	}
+}
+
+// evict drops least-recently-used complete entries until the budget
+// holds. Callers hold c.mu. A single entry larger than the whole budget
+// is evicted immediately after insertion — it is served to its computer
+// and its coalesced waiters but never retained.
+func (c *ScanCache) evict() {
+	for c.bytes > c.max {
+		last := c.lru.Back()
+		if last == nil {
+			return
+		}
+		e := last.Value.(*scanEntry)
+		c.lru.Remove(last)
+		delete(c.entries, e.key)
+		c.bytes -= e.cost
+		e.el = nil
+		c.evictions++
+	}
+}
+
+// Contains reports whether a completed entry for (file, fingerprint) is
+// currently resident, without touching its recency.
+func (c *ScanCache) Contains(file, fingerprint string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[scanKey{file: file, fingerprint: fingerprint}]
+	return ok && e.el != nil
+}
+
+// ScanCacheStats is a snapshot of cache-wide accounting.
+type ScanCacheStats struct {
+	// Hits counts Gets served from a resident entry or coalesced onto
+	// another caller's compute; Misses counts Gets that computed.
+	Hits, Misses int64
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64
+	// Entries and Bytes describe current occupancy (complete entries).
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *ScanCache) Stats() ScanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ScanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// EntryStats describes one resident entry, most-recently-used first —
+// the per-entry view of hit traffic and memory cost.
+type EntryStats struct {
+	File string
+	// Fingerprint is the spec fingerprint half of the key.
+	Fingerprint string
+	// Hits counts Gets served by this entry since it was inserted.
+	Hits int64
+	// Bytes is the entry's estimated resident cost.
+	Bytes int64
+}
+
+// Entries returns the resident entries in recency order (most recently
+// used first) — the order in which eviction will NOT happen.
+func (c *ScanCache) Entries() []EntryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryStats, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*scanEntry)
+		out = append(out, EntryStats{
+			File:        e.key.file,
+			Fingerprint: e.key.fingerprint,
+			Hits:        e.hits,
+			Bytes:       e.cost,
+		})
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/datagen"
 	"repro/internal/reader"
 )
 
@@ -30,6 +31,21 @@ type Spec struct {
 	// Files optionally fixes the scan set explicitly — a partition's
 	// files, a sampled subset — bypassing catalog resolution of Table.
 	Files []string
+	// ShareScans opts the session into the service's cross-session
+	// ScanCache: decoded, deduped, preprocessed batches are memoized per
+	// (file, spec fingerprint), so concurrent or successive sessions with
+	// equal-output specs over the same files decode each file once
+	// instead of once per session. The batch stream is byte-identical to
+	// an unshared session's; batches served from the cache are shared
+	// between sessions and must be treated as read-only (which Batch
+	// consumers already must: batches never alias writer state).
+	//
+	// Caveat: the shared scan loop runs fill inline, so reader.Spec's
+	// FillAhead prefetch knob has no effect on a ShareScans session's
+	// cache misses (ConvertWorkers still applies). Miss-heavy workloads
+	// that depend on fill/convert overlap should stay unshared until
+	// the cache grows miss-path prefetch (see ROADMAP open items).
+	ShareScans bool
 }
 
 func (s Spec) withDefaults() Spec {
@@ -68,6 +84,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	stats    reader.Stats
+	cache    SessionCacheStats
 	firstErr error
 	closed   bool
 	done     bool
@@ -76,9 +93,16 @@ type Session struct {
 // newSession plans the scan and starts the reader workers. Workers begin
 // filling their bounded buffers immediately; nothing blocks on Open.
 func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []string) (*Session, error) {
+	if spec.ShareScans && svc.cache == nil {
+		return nil, fmt.Errorf("dpp: spec requests ShareScans but the service's scan cache is disabled")
+	}
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{svc: svc, id: id, cancel: cancel, ctx: sctx}
 
+	fingerprint := ""
+	if spec.ShareScans {
+		fingerprint = spec.Spec.Fingerprint()
+	}
 	assignments := reader.PlanRoundRobin(files, spec.Readers)
 	for _, assigned := range assignments {
 		if len(assigned) == 0 {
@@ -92,7 +116,11 @@ func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []
 		ch := make(chan *reader.Batch, spec.Buffer)
 		s.chans = append(s.chans, ch)
 		s.wg.Add(1)
-		go s.runWorker(r, assigned, ch)
+		if spec.ShareScans {
+			go s.runSharedWorker(r, fingerprint, assigned, ch)
+		} else {
+			go s.runWorker(r, assigned, ch)
+		}
 	}
 	return s, nil
 }
@@ -118,6 +146,131 @@ func (s *Session) runWorker(r *reader.Reader, files []string, ch chan *reader.Ba
 	s.stats.Add(r.Stats())
 	s.mu.Unlock()
 	close(ch)
+}
+
+// runSharedWorker drives one reader over its file assignment through the
+// service's cross-session ScanCache. The emitted batch stream is
+// byte-identical to runWorker's (the cache unit is file-aligned and the
+// fingerprint covers every output-relevant spec field); what changes is
+// the accounting — a fully cache-hit scan decodes nothing, so its
+// RowsDecoded/ReadBytes/ConvertValues/ProcessOps stay zero while
+// BatchesProduced and SentBytes still count every batch handed to the
+// consumer (the session's egress is real either way).
+func (s *Session) runSharedWorker(r *reader.Reader, fingerprint string, files []string, ch chan *reader.Batch) {
+	defer s.wg.Done()
+	var served reader.Stats // egress accounting for cache-hit batches
+	var cache SessionCacheStats
+	err := s.scanShared(r, fingerprint, files, &served, &cache, func(b *reader.Batch) error {
+		select {
+		case ch <- b:
+			return nil
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	})
+	s.mu.Lock()
+	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
+		s.firstErr = err
+	}
+	s.stats.Add(r.Stats())
+	s.stats.Add(served)
+	s.cache.Hits += cache.Hits
+	s.cache.Misses += cache.Misses
+	s.mu.Unlock()
+	close(ch)
+}
+
+// scanShared is the cached twin of reader.Run's consume loop. Files whose
+// scan starts on a batch boundary (no carried rows) go through the
+// ScanCache as whole file-aligned units; files entered mid-batch cannot
+// share batches — their boundaries depend on the carry — so they fill and
+// convert locally, exactly as the uncached path would.
+func (s *Session) scanShared(r *reader.Reader, fingerprint string, files []string, served *reader.Stats, cache *SessionCacheStats, emit func(*reader.Batch) error) error {
+	batchSize := r.BatchSize()
+	var carry []datagen.Sample
+	var keys []string
+	var dense int
+	checkSchema := func(file string, fileKeys []string) error {
+		if keys == nil {
+			return nil
+		}
+		if len(fileKeys) != len(keys) {
+			return fmt.Errorf("dpp: file %q schema mismatch (%d vs %d features)", file, len(fileKeys), len(keys))
+		}
+		return nil
+	}
+	for _, f := range files {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		if len(carry) == 0 {
+			scan, hit, err := s.svc.cache.Get(s.ctx, f, fingerprint, func(ctx context.Context) (*reader.FileScan, error) {
+				return r.ScanFile(ctx, f)
+			})
+			if err != nil {
+				return err
+			}
+			if hit {
+				cache.Hits++
+			} else {
+				cache.Misses++
+			}
+			if err := checkSchema(f, scan.Keys); err != nil {
+				return err
+			}
+			if keys == nil {
+				keys, dense = scan.Keys, scan.Dense
+			}
+			for _, b := range scan.Batches {
+				if hit {
+					served.BatchesProduced++
+					served.SentBytes += int64(b.WireBytes())
+				}
+				if err := emit(b); err != nil {
+					return err
+				}
+			}
+			// Copy the tail: the cached scan is shared and immutable, and
+			// the carry slice is appended to below.
+			carry = append([]datagen.Sample(nil), scan.Tail...)
+			continue
+		}
+		samples, fileKeys, fileDense, err := r.FillFile(s.ctx, f)
+		if err != nil {
+			return err
+		}
+		if err := checkSchema(f, fileKeys); err != nil {
+			return err
+		}
+		if keys == nil {
+			keys, dense = fileKeys, fileDense
+		}
+		carry = append(carry, samples...)
+		for len(carry) >= batchSize {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+			b, err := r.ProduceBatch(carry[:batchSize], keys, dense)
+			if err != nil {
+				return err
+			}
+			if err := emit(b); err != nil {
+				return err
+			}
+			carry = carry[batchSize:]
+		}
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if len(carry) > 0 {
+		b, err := r.ProduceBatch(carry, keys, dense)
+		if err != nil {
+			return err
+		}
+		return emit(b)
+	}
+	return nil
 }
 
 // Next returns the session's next preprocessed batch. It blocks until a
@@ -221,12 +374,37 @@ func (s *Session) release() {
 	}
 }
 
-// Stats returns the session's aggregated reader accounting. The
-// deterministic counters (bytes, rows, batches, work) are exact and
-// reproducible once Next has returned io.EOF or Close has completed;
-// mid-scan it is a monotone snapshot of finished workers.
-func (s *Session) Stats() reader.Stats {
+// SessionStats is the session's aggregated accounting: the per-reader
+// pipeline counters plus the session's view of the cross-session scan
+// cache.
+type SessionStats struct {
+	// Reader aggregates the session's reader accounting. For a
+	// ShareScans session these counters reflect work this session
+	// actually performed plus batches it actually served: cache-hit
+	// files contribute BatchesProduced and SentBytes (the session still
+	// ships those batches to its trainer) but no fill/convert/process
+	// work — the ingest-and-compute saving cross-session sharing exists
+	// to create.
+	Reader reader.Stats
+	// Cache is this session's scan-cache traffic; zero for sessions
+	// without ShareScans.
+	Cache SessionCacheStats
+}
+
+// SessionCacheStats counts one session's ScanCache lookups.
+type SessionCacheStats struct {
+	// Hits counts file scans served from the cache (including scans this
+	// session waited on another session to compute); Misses counts file
+	// scans this session computed and published.
+	Hits, Misses int64
+}
+
+// Stats returns the session's aggregated accounting. The deterministic
+// reader counters (bytes, rows, batches, work) are exact and reproducible
+// once Next has returned io.EOF or Close has completed; mid-scan it is a
+// monotone snapshot of finished workers.
+func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	return SessionStats{Reader: s.stats, Cache: s.cache}
 }

@@ -1,6 +1,12 @@
-// Package metrics provides the lightweight counters, timers and histograms
-// shared by every tier of the pipeline (Scribe, ETL, storage, readers,
-// trainers). All types are safe for concurrent use.
+// Package metrics provides the lightweight counters, timers and
+// histograms shared by every tier of the pipeline (Scribe, ETL, storage,
+// readers, trainers). It exists so tiers can account their work without
+// importing each other: a Counter is one atomic word, a Timer attributes
+// wall-clock time to pipeline stages (the paper's Fig 10 CPU breakdown),
+// and a Histogram records into fixed pre-sized buckets so observation
+// never allocates on a hot path. All types are safe for concurrent use —
+// reader fill loops and scribe appends record from many goroutines at
+// once.
 package metrics
 
 import (

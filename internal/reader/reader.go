@@ -287,16 +287,29 @@ func (r *Reader) fill(ctx context.Context, path string) ([]datagen.Sample, []str
 
 // produce converts and preprocesses one run of rows and emits the batch.
 func (r *Reader) produce(rows []datagen.Sample, keys []string, dense int, emit func(*Batch) error) error {
-	b, err := r.convert(rows, keys, dense)
+	b, err := r.ProduceBatch(rows, keys, dense)
 	if err != nil {
 		return err
 	}
+	return emit(b)
+}
+
+// ProduceBatch runs the convert and process stages over one run of rows,
+// charging the reader's Stats exactly as a Run-emitted batch would. It is
+// the batch-construction primitive the shared-scan path (dpp.ScanCache)
+// composes when batches straddle file boundaries; Run-based scans never
+// need it directly.
+func (r *Reader) ProduceBatch(rows []datagen.Sample, keys []string, dense int) (*Batch, error) {
+	b, err := r.convert(rows, keys, dense)
+	if err != nil {
+		return nil, err
+	}
 	if err := r.process(b); err != nil {
-		return err
+		return nil, err
 	}
 	r.stats.BatchesProduced++
 	r.stats.SentBytes += int64(b.WireBytes())
-	return emit(b)
+	return b, nil
 }
 
 // gatherFeature copies one sparse feature's rows into a jagged tensor

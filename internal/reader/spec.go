@@ -11,6 +11,7 @@ package reader
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Spec is the DataLoader specification a training job submits: which
@@ -117,6 +118,38 @@ func (s Spec) IsPartial(key string) bool {
 		}
 	}
 	return false
+}
+
+// Fingerprint returns a canonical string covering exactly the spec
+// fields that determine batch output for a given input file: batch size,
+// feature lists, dedup grouping, and the transforms with their
+// parameters. Two specs with equal fingerprints produce byte-identical
+// batches from identical rows, which is what makes the fingerprint a
+// sound cache-key component for cross-session scan sharing
+// (dpp.ScanCache keys entries by (file, fingerprint)).
+//
+// Deliberately excluded: Table (it only resolves the scan set — the file
+// path is the other key half), and the execution knobs FillAhead and
+// ConvertWorkers (they change scheduling, never output — the reader's
+// pipelined/serial equivalence tests pin that).
+//
+// Transforms are fingerprinted by their Go type and printed value, so
+// custom SparseTransform/DenseTransform implementations must be value
+// types whose %+v representation captures their behaviour — true of any
+// plain parameter struct, including all transforms in this package.
+func (s Spec) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch=%d;sparse=%q;dedup=%q;partial=%q;st=[",
+		s.BatchSize, s.SparseFeatures, s.DedupSparseFeatures, s.PartialDedupFeatures)
+	for _, tr := range s.SparseTransforms {
+		fmt.Fprintf(&b, "%T%+v;", tr, tr)
+	}
+	b.WriteString("];dt=[")
+	for _, tr := range s.DenseTransforms {
+		fmt.Fprintf(&b, "%T%+v;", tr, tr)
+	}
+	b.WriteString("]")
+	return b.String()
 }
 
 // DedupGroupOf returns the index of the dedup group containing key, or -1.

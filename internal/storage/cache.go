@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachingBackend wraps another Backend with a byte-bounded LRU cache of
+// whole blobs, so that many sessions scanning the same files fetch each
+// blob from the underlying store once instead of once per session. It is
+// the raw-byte tier of cross-session scan sharing: sessions whose specs
+// differ cannot share decoded batches (dpp.ScanCache), but they can still
+// share the fetched bytes underneath.
+//
+// Concurrent Gets of the same uncached path are coalesced: one caller
+// fetches from the inner backend while the rest wait for that fetch
+// (single-flight), so a thundering herd of sessions opening on the same
+// partition costs one inner read per file.
+//
+// The cached slices are the inner backend's return values and are served
+// to every caller; Backend's contract already requires callers to treat
+// returned slices as immutable, so sharing them is safe.
+type CachingBackend struct {
+	inner Backend
+	max   int64
+
+	mu       sync.Mutex
+	bytes    int64
+	entries  map[string]*list.Element // -> *blobEntry, in lru
+	lru      *list.List               // front = most recently used
+	inflight map[string]*blobFetch
+
+	hits, misses, evictions int64
+}
+
+// blobEntry is one cached blob with its LRU bookkeeping.
+type blobEntry struct {
+	path string
+	data []byte
+}
+
+// blobFetch coalesces concurrent misses on one path.
+type blobFetch struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+var _ Backend = (*CachingBackend)(nil)
+
+// NewCachingBackend wraps inner with a cache of at most maxBytes of blob
+// data. maxBytes must be positive; blobs larger than the whole budget are
+// served but never retained.
+func NewCachingBackend(inner Backend, maxBytes int64) *CachingBackend {
+	if maxBytes <= 0 {
+		panic("storage: caching backend needs a positive byte budget")
+	}
+	return &CachingBackend{
+		inner:    inner,
+		max:      maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*blobFetch),
+	}
+}
+
+// Get returns the blob at path, serving from cache when possible. Misses
+// fetch from the inner backend exactly once per concurrent group of
+// callers and then populate the cache, evicting least-recently-used blobs
+// to stay within the byte budget. A fetch error propagates only to the
+// caller that performed the fetch; coalesced waiters retry (and one of
+// them fetches), so one caller's transient failure cannot poison another
+// session's scan — the same contract as dpp.ScanCache.
+func (c *CachingBackend) Get(path string) ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[path]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			data := el.Value.(*blobEntry).data
+			c.mu.Unlock()
+			return data, nil
+		}
+		if f, ok := c.inflight[path]; ok {
+			c.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				return f.data, nil
+			}
+			continue // leader failed; retry (and possibly fetch ourselves)
+		}
+		f := &blobFetch{done: make(chan struct{})}
+		c.inflight[path] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.data, f.err = c.inner.Get(path)
+
+		c.mu.Lock()
+		delete(c.inflight, path)
+		if f.err == nil {
+			c.insert(path, f.data)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.data, f.err
+	}
+}
+
+// insert adds a blob and evicts from the LRU tail until the budget holds.
+// Callers hold c.mu.
+func (c *CachingBackend) insert(path string, data []byte) {
+	if int64(len(data)) > c.max {
+		return // would evict the entire cache for one unretainable blob
+	}
+	if el, ok := c.entries[path]; ok { // raced with another insert
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[path] = c.lru.PushFront(&blobEntry{path: path, data: data})
+	c.bytes += int64(len(data))
+	for c.bytes > c.max {
+		last := c.lru.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*blobEntry)
+		c.lru.Remove(last)
+		delete(c.entries, e.path)
+		c.bytes -= int64(len(e.data))
+		c.evictions++
+	}
+}
+
+// ReadRange serves the range from a cached blob when present (charging a
+// hit) and delegates to the inner backend otherwise. Range reads do not
+// populate the cache — partial reads cannot be safely promoted to whole
+// blobs.
+func (c *CachingBackend) ReadRange(path string, off, n int64) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[path]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		data := el.Value.(*blobEntry).data
+		c.mu.Unlock()
+		if off < 0 || n < 0 {
+			return c.inner.ReadRange(path, off, n) // let inner report the error idiomatically
+		}
+		if off > int64(len(data)) {
+			return c.inner.ReadRange(path, off, n)
+		}
+		end := off + n
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		return data[off:end], nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	return c.inner.ReadRange(path, off, n)
+}
+
+// Size delegates to the inner backend.
+func (c *CachingBackend) Size(path string) (int64, error) { return c.inner.Size(path) }
+
+// List delegates to the inner backend.
+func (c *CachingBackend) List(prefix string) []string { return c.inner.List(prefix) }
+
+// Exists delegates to the inner backend.
+func (c *CachingBackend) Exists(path string) bool { return c.inner.Exists(path) }
+
+// CacheStats is a snapshot of a CachingBackend's accounting.
+type CacheStats struct {
+	// Hits and Misses count Get/ReadRange lookups served from / past the
+	// cache. Coalesced waiters of one in-flight fetch count as one miss
+	// for the fetcher and no hit or miss for the waiters.
+	Hits, Misses int64
+	// Evictions counts blobs dropped to respect the byte budget.
+	Evictions int64
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *CachingBackend) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+	}
+}

@@ -12,10 +12,16 @@
 # allocs/op regresses at all beyond the allowed percentage. New benchmarks
 # absent from the baseline are reported but never fail the gate; promote
 # them with scripts/bench-update.sh.
+#
+# It also gates cross-session scan sharing: BenchmarkUnsharedSessions
+# ns/op divided by BenchmarkSharedSessions ns/op (two same-spec sessions,
+# decoded twice vs once) must be at least BENCH_MIN_SHARED_RATIO (default
+# 1.5). The measured ratio is printed, and appended to the CI job summary
+# when GITHUB_STEP_SUMMARY is set.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkPipelineEndToEnd$'}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkPipelineEndToEnd$'}
 BENCH_COUNT=${BENCH_COUNT:-1}
 MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-20}
 BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
@@ -23,6 +29,33 @@ LATEST=${BENCH_LATEST:-benchmarks/latest.txt}
 
 mkdir -p "$(dirname "$LATEST")"
 go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count "$BENCH_COUNT" . | tee "$LATEST"
+
+# --- Cross-session scan-sharing gate: two same-spec sessions through the
+# ScanCache must beat two uncached sessions by at least
+# BENCH_MIN_SHARED_RATIO in aggregate ns/op (ISSUE 3 criterion: >= 1.5x
+# aggregate throughput). Computed from this run, not the baseline, so the
+# gate holds on every machine the benchmarks actually ran on.
+MIN_SHARED_RATIO=${BENCH_MIN_SHARED_RATIO:-1.5}
+awk -v min="$MIN_SHARED_RATIO" '
+    /^BenchmarkSharedSessions/   { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < shared || !shared)) shared = $i + 0 }
+    /^BenchmarkUnsharedSessions/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < unshared || !unshared)) unshared = $i + 0 }
+    END {
+        if (!shared || !unshared) {
+            print "bench: shared-session ratio not measured (pattern excluded the session pair)"
+            exit 0
+        }
+        ratio = unshared / shared
+        printf "bench: shared-vs-unshared sessions: %.0f / %.0f ns/op = %.2fx aggregate throughput (gate %.2fx)\n", unshared, shared, ratio, min
+        summary = ENVIRON["GITHUB_STEP_SUMMARY"]
+        if (summary != "") {
+            printf "### Cross-session scan sharing\n\n| sessions | ns/op |\n|---|---|\n| 2 unshared | %.0f |\n| 2 shared (ScanCache) | %.0f |\n\n**%.2fx** aggregate throughput (gate: >= %.2fx)\n", unshared, shared, ratio, min >> summary
+        }
+        if (ratio < min) {
+            printf "bench: FAIL — shared sessions only %.2fx faster, need %.2fx\n", ratio, min
+            exit 1
+        }
+    }
+' "$LATEST"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench: no baseline at $BASELINE — run scripts/bench-update.sh to create one" >&2

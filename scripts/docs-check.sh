@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# docs-check.sh — documentation gate, run by the CI `docs` job.
+#
+#   1. Every internal/* package must carry a package comment (godoc
+#      `// Package <name> ...` on some non-test file).
+#   2. Every ```go fence in docs/*.md and the top-level *.md files must
+#      be gofmt-clean. Snippets without a `package` clause are checked
+#      as-is wrapped in a synthetic `package docs`; write complete
+#      top-level declarations or use a plain ``` fence for shell/pseudo
+#      code.
+#   3. Every relative markdown link in docs/*.md and the top-level
+#      *.md files must resolve to an existing file or directory.
+#
+# Usage: scripts/docs-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. package comments -------------------------------------------------
+# godoc ignores _test.go files, so the comment must live on a non-test
+# file to count.
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    if [[ -z "$files" ]] || ! echo "$files" | xargs grep -l -q "^// Package $pkg" 2>/dev/null; then
+        echo "docs: package $dir has no '// Package $pkg' comment on a non-test file"
+        fail=1
+    fi
+done
+
+# --- 2. go code fences ---------------------------------------------------
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for md in docs/*.md *.md; do
+    [[ -f "$md" ]] || continue
+    awk -v md="$md" -v tmpdir="$tmpdir" '
+        /^```go$/ { infence = 1; n++; start = NR; buf = ""; next }
+        /^```$/ && infence {
+            infence = 0
+            slug = md; gsub(/[^A-Za-z0-9]/, "_", slug)
+            file = sprintf("%s/fence-%s-%d.go", tmpdir, slug, start)
+            printf "%s", buf > file
+            close(file)
+            printf "%s:%d %s\n", md, start, file >> (tmpdir "/index")
+            next
+        }
+        infence { buf = buf $0 "\n" }
+    ' "$md"
+done
+if [[ -f "$tmpdir/index" ]]; then
+    while read -r where file; do
+        src="$file"
+        if ! grep -q '^package ' "$file"; then
+            src="$file.wrapped.go"
+            { echo "package docs"; echo; cat "$file"; } > "$src"
+        fi
+        if ! out=$(gofmt -l -e "$src" 2>&1); then
+            echo "docs: $where: go fence does not parse:"
+            echo "$out" | sed 's/^/    /'
+            fail=1
+        elif [[ -n "$out" ]]; then
+            echo "docs: $where: go fence is not gofmt-clean"
+            fail=1
+        fi
+    done < "$tmpdir/index"
+fi
+
+# --- 3. relative links ---------------------------------------------------
+for md in docs/*.md *.md; do
+    [[ -f "$md" ]] || continue
+    dir=$(dirname "$md")
+    # Markdown inline links: [text](target). Skip absolute URLs and
+    # pure in-page anchors. grep exits 1 on link-free files — that is
+    # fine, not a failure.
+    { grep -o '\[[^][]*\]([^)]*)' "$md" || true; } | sed 's/^.*](\([^)]*\))$/\1/' | while read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [[ -z "$path" ]] && continue
+        if [[ ! -e "$dir/$path" ]]; then
+            echo "docs: $md: broken link -> $target"
+            exit 1
+        fi
+    done || fail=1
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "docs: FAIL"
+    exit 1
+fi
+echo "docs: OK (package comments, go fences, links)"

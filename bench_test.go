@@ -14,6 +14,7 @@ package repro_test
 import (
 	"context"
 	"io"
+	"net"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dpp"
+	"repro/internal/dpp/dppnet"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/experiments"
@@ -427,6 +429,64 @@ func BenchmarkServiceSession(b *testing.B) {
 			}
 		}
 		sess.Close()
+	}
+}
+
+// BenchmarkRemoteSession measures the same scan as
+// BenchmarkServiceSession pulled through the dppnet TCP transport on
+// loopback: dial + handshake, framed batch encode/decode, credit
+// returns, trailing stats. scripts/bench.sh gates the overhead versus
+// BenchmarkServiceSession at BENCH_MAX_REMOTE_OVERHEAD_PCT (default
+// 25%), computed from the same run so host speed cancels out.
+func BenchmarkRemoteSession(b *testing.B) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 256,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := dppnet.NewServer(svc)
+	go srv.Serve(ln)
+	defer srv.Close()
+	client := dppnet.NewClient(ln.Addr().String())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := client.Open(ctx, dpp.Spec{Spec: spec, Buffer: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, err := rs.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rs.Close()
 	}
 }
 

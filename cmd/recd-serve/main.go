@@ -1,0 +1,102 @@
+// Command recd-serve runs the preprocessing service as its own process —
+// the paper's DPP deployment shape — serving dpp sessions to trainers
+// over the dppnet TCP protocol. It lands the same deterministic
+// synthetic table recd-train builds (same -sessions/-batch/-seed ⇒ same
+// files, same spec fingerprints), opens a dpp.Service over it with both
+// cache tiers configured, and listens until SIGINT/SIGTERM.
+//
+// A typical two-process run:
+//
+//	recd-serve -listen 127.0.0.1:7077 &
+//	recd-train -connect 127.0.0.1:7077 -epochs 4
+//
+// Because the ScanCache lives here, sharing now spans processes: a
+// second trainer (same flags) — or the first trainer's later epochs —
+// streams batches this server decoded for someone else.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/dpp"
+	"repro/internal/dpp/dppnet"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		sessions    = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
+		batch       = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
+		seed        = flag.Int64("seed", 11, "random seed (match recd-train)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap; 0 is unlimited")
+		scanCacheMB = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB; 0 or negative disables (ShareScans sessions rejected)")
+		rawCacheMB  = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
+	)
+	flag.Parse()
+
+	tt, err := core.BuildTrainTable(core.TrainTableConfig{
+		Sessions: *sessions, Batch: *batch, Seed: *seed,
+		StoreCacheBytes: *rawCacheMB << 20,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Flag semantics match -store-cache-mb: 0 turns the cache off. The
+	// dpp.Config convention differs (0 picks the default budget), so map
+	// explicitly.
+	scanBudget := int64(-1)
+	if *scanCacheMB > 0 {
+		scanBudget = *scanCacheMB << 20
+	}
+	svc, err := dpp.New(dpp.Config{
+		Backend:        tt.Backend,
+		Catalog:        tt.Catalog,
+		MaxSessions:    *maxSessions,
+		ScanCacheBytes: scanBudget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := dppnet.NewServer(svc)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "recd-serve: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("recd-serve: table %q (%d samples, S=%.1f, %d dedup groups) on %s\n",
+		tt.Spec.Table, tt.TrainRows, tt.S, len(tt.Spec.DedupSparseFeatures), ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+
+	st := svc.Stats()
+	fmt.Printf("recd-serve: served %d sessions, %d batches; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
+		st.SessionsOpened, st.BatchesServed, st.Cache.Hits, st.Cache.Misses,
+		st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))
+	if tt.Cache != nil {
+		bs := tt.Cache.Stats()
+		fmt.Printf("recd-serve: raw-byte tier %d/%d hits/misses\n", bs.Hits, bs.Misses)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recd-serve:", err)
+	os.Exit(1)
+}

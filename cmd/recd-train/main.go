@@ -4,14 +4,23 @@
 // per-epoch held-out evaluation → save a checkpoint. It demonstrates the
 // complete library surface: both execution modes, both optimizers, the
 // model store, and cross-session scan sharing — every epoch opens fresh
-// per-hour sessions over the same landed partitions, so epoch 1 decodes
-// each DWRF file once and every later epoch streams the same batches out
-// of the service's ScanCache (and the raw-byte CachingBackend underneath)
-// without touching the decode path again.
+// per-hour ShareScans sessions over the same landed partitions, so epoch
+// 1 decodes each DWRF file once and every later epoch streams the same
+// batches out of the service's ScanCache (and the raw-byte
+// CachingBackend underneath) without touching the decode path again.
+//
+// With -connect the preprocessing service runs in another process: batches
+// stream from a cmd/recd-serve instance over the dppnet TCP protocol
+// instead of an in-process dpp.Service, and the scan sharing happens in
+// the server — epoch 2 of this trainer (or another trainer with the same
+// flags) hits a cache it never filled. Both processes must be started
+// with the same -sessions/-batch/-seed so they derive the same table.
 //
 // Usage:
 //
 //	recd-train -epochs 4 -mode recd -opt adagrad -ckpt /tmp/model.ckpt
+//	recd-serve -listen 127.0.0.1:7077 &
+//	recd-train -connect 127.0.0.1:7077 -epochs 4
 package main
 
 import (
@@ -24,13 +33,9 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/datagen"
 	"repro/internal/dpp"
-	"repro/internal/dwrf"
-	"repro/internal/etl"
-	"repro/internal/lakefs"
+	"repro/internal/dpp/dppnet"
 	"repro/internal/reader"
-	"repro/internal/storage"
 	"repro/internal/trainer"
 )
 
@@ -44,6 +49,7 @@ func main() {
 		lr       = flag.Float64("lr", 0.05, "learning rate")
 		ckpt     = flag.String("ckpt", "", "checkpoint output path (optional)")
 		seed     = flag.Int64("seed", 11, "random seed")
+		connect  = flag.String("connect", "", "recd-serve address (host:port); empty runs the service in-process")
 	)
 	flag.Parse()
 
@@ -66,96 +72,79 @@ func main() {
 		fatal(fmt.Errorf("unknown optimizer %q", *optStr))
 	}
 
-	// Dataset: session-centric with learnable labels. The cart sequences
-	// form one sync group (a grouped IKJT); the item features use small
-	// ID spaces so the label's item effect is actually learnable at this
-	// scale (unlike production-sized 2^40 spaces).
-	specs := []datagen.FeatureSpec{
-		{Key: "hist_items", Class: datagen.UserFeature, ChangeProb: 0.08,
-			MeanLen: 24, MaxLen: 48, Update: datagen.ShiftAppend,
-			Cardinality: 1 << 34, SyncGroup: "hist"},
-		{Key: "hist_cats", Class: datagen.UserFeature, ChangeProb: 0.08,
-			MeanLen: 24, MaxLen: 48, Update: datagen.ShiftAppend,
-			Cardinality: 1 << 16, SyncGroup: "hist"},
-		{Key: "user_prefs", Class: datagen.UserFeature, ChangeProb: 0.1,
-			MeanLen: 8, MaxLen: 16, Update: datagen.Resample, Cardinality: 1 << 20},
-		{Key: "item_id", Class: datagen.ItemFeature, ChangeProb: 0.95,
-			MeanLen: 1, MaxLen: 2, Update: datagen.Resample, Cardinality: 1 << 8},
-		{Key: "item_cat", Class: datagen.ItemFeature, ChangeProb: 0.9,
-			MeanLen: 2, MaxLen: 4, Update: datagen.Resample, Cardinality: 1 << 6},
+	// Land the dataset. In -connect mode the landing is only the
+	// trainer's local knowledge of the table — schema for the model,
+	// per-hour file lists and the derived spec for its session requests;
+	// the bytes it trains on come from the server, which landed the
+	// identical table from the same flags.
+	storeCache := int64(256 << 20)
+	if *connect != "" {
+		storeCache = 0 // nothing reads the local store in connect mode
 	}
-	schema, err := datagen.NewSchema(specs, 4)
+	tt, err := core.BuildTrainTable(core.TrainTableConfig{
+		Sessions: *sessions, Batch: *batch, Seed: *seed, StoreCacheBytes: storeCache,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	makePartition := func(sessions int, genSeed int64) []datagen.Sample {
-		return datagen.NewGenerator(schema, datagen.GeneratorConfig{
-			Sessions:              sessions,
-			MeanSamplesPerSession: 14,
-			Seed:                  genSeed,
-			LabelSignal:           2.0,
-			CTR:                   0.2,
-		}).GeneratePartition()
-	}
-	train := etl.ClusterBySession(makePartition(*sessions, *seed))
-	eval := etl.ClusterBySession(makePartition(*sessions/4, *seed+1000))
 
-	// Land both partitions and read them back through the reader tier
-	// with the dedup heuristic's groups.
-	store := lakefs.NewStore()
-	catalog := lakefs.NewCatalog()
-	for hour, part := range map[int64][]datagen.Sample{0: train, 1: eval} {
-		if _, err := dwrf.WritePartition(store, catalog, "train", hour, schema, part,
-			dwrf.TableOptions{RowsPerFile: 4096, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
-			fatal(err)
-		}
-	}
-	s := datagen.MeasuredS(train)
-	decisions := core.SelectDedupFeatures(schema, s, *batch, 0)
-	groups := core.DedupGroups(decisions)
-	spec := reader.Spec{Table: "train", BatchSize: *batch, DedupSparseFeatures: groups}
-	inGroup := map[string]bool{}
-	for _, g := range groups {
-		for _, k := range g {
-			inGroup[k] = true
-		}
-	}
-	for _, f := range schema.Sparse {
-		if !inGroup[f.Key] {
-			spec.SparseFeatures = append(spec.SparseFeatures, f.Key)
-		}
-	}
-	if err := spec.Validate(); err != nil {
-		fatal(err)
-	}
-
-	// Read the partitions through the preprocessing service. Every epoch
-	// opens a fresh per-hour session with ShareScans: the first scan of
-	// each partition decodes it and publishes the batches into the
-	// service's ScanCache; every later session (epoch 2's train pass,
-	// every eval pass after the first) streams the identical batches out
-	// of the cache without decoding anything. The CachingBackend under
-	// the service is the raw-byte fallback tier: it only sees traffic
-	// from scans the ScanCache cannot serve (spec-mismatched sessions, or
-	// batch boundaries straddling files). In this binary every session
-	// shares the same aligned spec, so expect its hit count to be zero —
-	// the stats line at the end shows which tier absorbed the reuse.
-	cachedStore := storage.NewCachingBackend(store, 256<<20)
-	svc, err := dpp.New(dpp.Config{Backend: cachedStore, Catalog: catalog})
-	if err != nil {
-		fatal(err)
-	}
-	defer svc.Close()
 	ctx := context.Background()
+
+	// open abstracts where sessions come from: a local service or a
+	// remote dppnet server. Both return the same dpp.Stream pull shape,
+	// so the training loop below does not care which side of the TCP
+	// boundary preprocessing runs on.
+	var open func(hour int64) dpp.Stream
+	var printSharing func()
+	if *connect == "" {
+		svc, err := dpp.New(dpp.Config{Backend: tt.Backend, Catalog: tt.Catalog})
+		if err != nil {
+			fatal(err)
+		}
+		defer svc.Close()
+		open = func(hour int64) dpp.Stream {
+			files, err := tt.Catalog.Files("train", hour)
+			if err != nil {
+				fatal(err)
+			}
+			sess, err := svc.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			if err != nil {
+				fatal(err)
+			}
+			return sess
+		}
+		printSharing = func() {
+			cs := svc.Stats().Cache
+			bs := tt.Cache.Stats()
+			fmt.Printf("\nscan sharing across %d epochs: %d/%d scan-cache hits/misses (%d entries, %.1f MiB); raw-byte fallback tier %d/%d hits/misses\n",
+				*epochs, cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), bs.Hits, bs.Misses)
+		}
+	} else {
+		client := dppnet.NewClient(*connect)
+		open = func(hour int64) dpp.Stream {
+			files, err := tt.Catalog.Files("train", hour)
+			if err != nil {
+				fatal(err)
+			}
+			rs, err := client.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			if err != nil {
+				fatal(err)
+			}
+			return rs
+		}
+		printSharing = func() {
+			st, err := client.ServiceStats(ctx)
+			if err != nil {
+				fatal(fmt.Errorf("statsz from %s: %w", *connect, err))
+			}
+			fmt.Printf("\nremote scan sharing at %s across %d epochs: %d/%d scan-cache hits/misses (%d entries, %.1f MiB); %d sessions served, %d batches shipped\n",
+				*connect, *epochs, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries,
+				float64(st.Cache.Bytes)/(1<<20), st.SessionsOpened, st.BatchesServed)
+		}
+	}
+
 	readHour := func(hour int64) []*reader.Batch {
-		files, err := catalog.Files("train", hour)
-		if err != nil {
-			fatal(err)
-		}
-		sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Files: files, ShareScans: true})
-		if err != nil {
-			fatal(err)
-		}
+		sess := open(hour)
 		defer sess.Close()
 		var out []*reader.Batch
 		for {
@@ -172,7 +161,7 @@ func main() {
 
 	model, err := trainer.New(trainer.Config{
 		EmbDim:       16,
-		DenseIn:      schema.Dense,
+		DenseIn:      tt.Schema.Dense,
 		BottomHidden: []int{32},
 		TopHidden:    []int{64, 32},
 		Features: []trainer.FeatureConfig{
@@ -190,8 +179,12 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("training on %d samples (S=%.1f), %d dedup groups, mode=%s opt=%s\n\n",
-		len(train), s, len(groups), mode, opt)
+	where := "in-process service"
+	if *connect != "" {
+		where = "remote service at " + *connect
+	}
+	fmt.Printf("training on %d samples (S=%.1f), %d dedup groups, mode=%s opt=%s, %s\n\n",
+		tt.TrainRows, tt.S, len(tt.Spec.DedupSparseFeatures), mode, opt, where)
 
 	for e := 1; e <= *epochs; e++ {
 		start := time.Now()
@@ -212,10 +205,7 @@ func main() {
 			e, lastLoss, m.LogLoss, m.AUC, m.Calibration, time.Since(start).Round(time.Millisecond))
 	}
 
-	cs := svc.Stats().Cache
-	bs := cachedStore.Stats()
-	fmt.Printf("\nscan sharing across %d epochs: %d/%d scan-cache hits/misses (%d entries, %.1f MiB); raw-byte fallback tier %d/%d hits/misses\n",
-		*epochs, cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), bs.Hits, bs.Misses)
+	printSharing()
 
 	if *ckpt != "" {
 		var buf bytes.Buffer

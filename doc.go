@@ -3,16 +3,19 @@
 // Infrastructure" (Zhao et al., MLSys 2023).
 //
 // The public surface lives in the command-line tools (cmd/recd-bench,
-// cmd/recd-datagen, cmd/recd-inspect, cmd/recd-train) and the runnable
-// examples (examples/...); the library packages are under internal/.
+// cmd/recd-datagen, cmd/recd-inspect, cmd/recd-train, cmd/recd-serve)
+// and the runnable examples (examples/...); the library packages are
+// under internal/.
 //
 // Documentation map:
 //   - docs/ARCHITECTURE.md — the layer diagram, the life of a batch from
-//     lakefs bytes to Session.Next, and where dedup, caching, and
-//     backpressure each live.
-//   - docs/OPERATIONS.md — flags and typical invocations for the four
-//     cmd/ binaries, and how cmd/recd-bench (paper results) relates to
-//     scripts/bench.sh (hot-path regression gate).
+//     lakefs bytes to Session.Next, the dppnet network service boundary
+//     and its wire format, and where dedup, caching, and backpressure
+//     each live.
+//   - docs/OPERATIONS.md — flags and typical invocations for the five
+//     cmd/ binaries (including the recd-serve / recd-train -connect
+//     two-process pair), and how cmd/recd-bench (paper results) relates
+//     to scripts/bench.sh (hot-path regression gate).
 //   - benchmarks/README.md — the benchmark-regression workflow and the
 //     recorded before/after history.
 //
@@ -55,8 +58,16 @@
 // session's. storage.CachingBackend provides the raw-byte tier of the
 // same idea for sessions whose specs differ.
 //
-// reader.Tier survives as a thin adapter over the same planning for
-// code not yet migrated; new code should open sessions on a Service.
+// The service boundary is also a network boundary: dpp/dppnet serves
+// sessions over a length-prefixed TCP protocol (cmd/recd-serve), and its
+// client's remote sessions satisfy the same dpp.Stream pull contract as
+// local ones, with batch streams pinned byte-identical to a local
+// session across aligned, misaligned, and ShareScans specs. The wire
+// decoders behind that boundary are fuzzed (FuzzDecodeBatch,
+// FuzzSpecFingerprint) and the transport is fault-injection tested with
+// goroutine-leak assertions — malformed or truncated frames fail
+// cleanly, and neither side can strand sessions or goroutines when the
+// other vanishes.
 //
 // # Hot paths
 //
@@ -89,8 +100,10 @@
 //
 // scripts/bench.sh runs the hot-path benchmark set — including
 // BenchmarkServiceSession, which pins the session iterator's overhead
-// against the direct-Reader BenchmarkReaderTier — and gates ns/op and
-// allocs/op against the committed benchmarks/baseline.txt (tolerance
+// against the direct-Reader BenchmarkReaderTier, and
+// BenchmarkRemoteSession, which gates the dppnet loopback overhead at
+// ≤ 25% of the in-process session — and gates ns/op and allocs/op
+// against the committed benchmarks/baseline.txt (tolerance
 // BENCH_MAX_REGRESSION_PCT); scripts/bench-update.sh promotes fresh
 // numbers. See benchmarks/README.md for the workflow and the recorded
 // before/after history.

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
+	"repro/internal/storage"
+)
+
+// TrainTableConfig parameterizes the deterministic synthetic training
+// table cmd/recd-train trains on and cmd/recd-serve serves. Determinism
+// is the point: two processes building with equal configs land
+// byte-identical partitions under identical file names and derive the
+// same reader spec (same fingerprint), which is what lets a trainer
+// submit specs and file lists to a preprocessing server that landed the
+// data independently — and lets its ShareScans sessions hit the server's
+// cache entries.
+type TrainTableConfig struct {
+	// Sessions is the training-partition session count; the eval
+	// partition gets a quarter of it.
+	Sessions int
+	// Batch is the training batch size the derived spec uses.
+	Batch int
+	// Seed drives generation (eval uses Seed+1000, as recd-train always
+	// has).
+	Seed int64
+	// StoreCacheBytes wraps the landed store in a raw-byte
+	// storage.CachingBackend with this budget; 0 leaves the store bare.
+	StoreCacheBytes int64
+}
+
+// TrainTable is the landed dataset plus everything both binaries derive
+// from it.
+type TrainTable struct {
+	Schema  *datagen.Schema
+	Store   *lakefs.Store
+	Catalog *lakefs.Catalog
+	// Backend is what a dpp.Service should read through: the raw store,
+	// or the CachingBackend over it when StoreCacheBytes > 0.
+	Backend storage.Backend
+	// Cache is the raw-byte caching tier, nil when StoreCacheBytes == 0.
+	Cache *storage.CachingBackend
+	// Spec is the derived reader spec: the dedup heuristic's groups over
+	// the measured S, remaining sparse features as plain KJTs.
+	Spec reader.Spec
+	// S is the measured mean samples per session of the train partition.
+	S float64
+	// TrainRows counts landed training samples.
+	TrainRows int
+}
+
+// trainTableSchema is the fixed feature schema of the demo table: the
+// cart sequences form one sync group (a grouped IKJT); the item features
+// use small ID spaces so the label's item effect is learnable at demo
+// scale.
+func trainTableSchema() (*datagen.Schema, error) {
+	specs := []datagen.FeatureSpec{
+		{Key: "hist_items", Class: datagen.UserFeature, ChangeProb: 0.08,
+			MeanLen: 24, MaxLen: 48, Update: datagen.ShiftAppend,
+			Cardinality: 1 << 34, SyncGroup: "hist"},
+		{Key: "hist_cats", Class: datagen.UserFeature, ChangeProb: 0.08,
+			MeanLen: 24, MaxLen: 48, Update: datagen.ShiftAppend,
+			Cardinality: 1 << 16, SyncGroup: "hist"},
+		{Key: "user_prefs", Class: datagen.UserFeature, ChangeProb: 0.1,
+			MeanLen: 8, MaxLen: 16, Update: datagen.Resample, Cardinality: 1 << 20},
+		{Key: "item_id", Class: datagen.ItemFeature, ChangeProb: 0.95,
+			MeanLen: 1, MaxLen: 2, Update: datagen.Resample, Cardinality: 1 << 8},
+		{Key: "item_cat", Class: datagen.ItemFeature, ChangeProb: 0.9,
+			MeanLen: 2, MaxLen: 4, Update: datagen.Resample, Cardinality: 1 << 6},
+	}
+	return datagen.NewSchema(specs, 4)
+}
+
+// BuildTrainTable generates, clusters, and lands the two hourly
+// partitions (hour 0 train, hour 1 eval) and derives the dedup-grouped
+// reader spec.
+func BuildTrainTable(cfg TrainTableConfig) (*TrainTable, error) {
+	schema, err := trainTableSchema()
+	if err != nil {
+		return nil, err
+	}
+	makePartition := func(sessions int, genSeed int64) []datagen.Sample {
+		return datagen.NewGenerator(schema, datagen.GeneratorConfig{
+			Sessions:              sessions,
+			MeanSamplesPerSession: 14,
+			Seed:                  genSeed,
+			LabelSignal:           2.0,
+			CTR:                   0.2,
+		}).GeneratePartition()
+	}
+	train := etl.ClusterBySession(makePartition(cfg.Sessions, cfg.Seed))
+	eval := etl.ClusterBySession(makePartition(cfg.Sessions/4, cfg.Seed+1000))
+
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	for hour, part := range map[int64][]datagen.Sample{0: train, 1: eval} {
+		if _, err := dwrf.WritePartition(store, catalog, "train", hour, schema, part,
+			dwrf.TableOptions{RowsPerFile: 4096, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+			return nil, err
+		}
+	}
+
+	s := datagen.MeasuredS(train)
+	groups := DedupGroups(SelectDedupFeatures(schema, s, cfg.Batch, 0))
+	spec := reader.Spec{Table: "train", BatchSize: cfg.Batch, DedupSparseFeatures: groups}
+	inGroup := map[string]bool{}
+	for _, g := range groups {
+		for _, k := range g {
+			inGroup[k] = true
+		}
+	}
+	for _, f := range schema.Sparse {
+		if !inGroup[f.Key] {
+			spec.SparseFeatures = append(spec.SparseFeatures, f.Key)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	tt := &TrainTable{
+		Schema:    schema,
+		Store:     store,
+		Catalog:   catalog,
+		Backend:   store,
+		Spec:      spec,
+		S:         s,
+		TrainRows: len(train),
+	}
+	if cfg.StoreCacheBytes > 0 {
+		tt.Cache = storage.NewCachingBackend(store, cfg.StoreCacheBytes)
+		tt.Backend = tt.Cache
+	}
+	return tt, nil
+}

@@ -202,8 +202,8 @@ func Run(cfg PipelineConfig) (*Result, error) {
 	}
 
 	// --- Reader tier, DPP-style: open one session on a preprocessing
-	// service and pull batches. Streaming (rather than the old
-	// Tier.Collect) keeps only the first TrainSteps batches resident —
+	// service and pull batches. Streaming (rather than collecting the
+	// whole table) keeps only the first TrainSteps batches resident —
 	// dedup-factor accounting folds in per batch and the rest of the
 	// table is discarded as it is measured.
 	svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog})

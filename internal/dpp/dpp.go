@@ -4,7 +4,7 @@
 // batch iterator — instead of registering a push callback.
 //
 // A Session plans its table scan across per-session reader workers
-// (generalizing the old reader.Tier fan-out), multiplexes with every
+// (reader.PlanRoundRobin, the paper's reader-fleet sharding), multiplexes with every
 // other session over one shared storage.Backend, buffers at most
 // Spec.Buffer decoded batches per worker (backpressure: slow trainers
 // stall their own readers, not the service), and tears everything down

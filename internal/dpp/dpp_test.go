@@ -8,7 +8,6 @@ import (
 	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/dpp"
@@ -16,6 +15,8 @@ import (
 	"repro/internal/etl"
 	"repro/internal/lakefs"
 	"repro/internal/reader"
+	"repro/internal/storage"
+	"repro/internal/testutil"
 )
 
 // testEnv lands one clustered partition of synthetic data.
@@ -292,7 +293,7 @@ func TestSessionCancellation(t *testing.T) {
 	}
 	sess.Close()
 
-	waitForGoroutines(t, before)
+	testutil.WaitForGoroutines(t, before)
 }
 
 // TestSessionClose: Close mid-stream unblocks parked workers, later Next
@@ -329,7 +330,7 @@ func TestSessionClose(t *testing.T) {
 		t.Fatalf("ActiveSessions = %d want 0 after Close", n)
 	}
 
-	waitForGoroutines(t, before)
+	testutil.WaitForGoroutines(t, before)
 }
 
 // TestServiceAdmission covers the service lifecycle errors: session cap,
@@ -673,6 +674,113 @@ func TestSharedSessionEvictionPressure(t *testing.T) {
 	}
 }
 
+// TestShareScansMisalignedFallbackAccounting pins the misaligned-boundary
+// fallback's accounting: when the batch size does not divide rows-per-file,
+// only files entered on a batch boundary (no carried rows) go through the
+// ScanCache; every other file falls back to local fill+convert. The cache
+// must report exactly the boundary-aligned lookups — never a false hit for
+// a fallback file — and a repeat session's reuse must split across the two
+// tiers: batch-level reuse (scan-cache hits, zero decode) for aligned
+// files, fill-only reuse (raw-byte CachingBackend hits, full re-decode)
+// for the rest.
+func TestShareScansMisalignedFallbackAccounting(t *testing.T) {
+	env := newTestEnv(t, 200)
+	spec := kjtSpec() // BatchSize 48; files land with 256 rows each
+
+	files, err := env.catalog.AllFiles(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Skip("need a multi-file partition for misaligned boundaries")
+	}
+
+	// Replay the carry arithmetic to find which files a scan enters on a
+	// batch boundary, probing row counts against the raw store so the
+	// service's caches see no traffic from the setup.
+	probe, err := reader.NewReader(env.store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := map[string]bool{}
+	var alignedCount int
+	var misalignedRows int64
+	carry := 0
+	for _, f := range files {
+		samples, _, _, err := probe.FillFile(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if carry == 0 {
+			aligned[f] = true
+			alignedCount++
+		} else {
+			misalignedRows += int64(len(samples))
+		}
+		carry = (carry + len(samples)) % spec.BatchSize
+	}
+	if alignedCount == 0 || alignedCount == len(files) {
+		t.Fatalf("degenerate alignment: %d/%d files aligned", alignedCount, len(files))
+	}
+
+	wantEnc, wantStats := serialReference(t, env, spec)
+
+	// The raw-byte tier under the service absorbs fill-path reuse the
+	// batch-level cache cannot express.
+	cached := storage.NewCachingBackend(env.store, 64<<20)
+	svc, err := dpp.New(dpp.Config{Backend: cached, Catalog: env.catalog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	var stats [2]dpp.SessionStats
+	for pass := 0; pass < 2; pass++ {
+		sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, ShareScans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEnc := drainSession(t, sess)
+		if len(gotEnc) != len(wantEnc) {
+			t.Fatalf("pass %d produced %d batches, reference %d", pass, len(gotEnc), len(wantEnc))
+		}
+		for bi := range wantEnc {
+			if !bytes.Equal(gotEnc[bi], wantEnc[bi]) {
+				t.Fatalf("pass %d batch %d differs from serial reference", pass, bi)
+			}
+		}
+		stats[pass] = sess.Stats()
+	}
+
+	// Cache lookups happen only at aligned boundaries: the first pass
+	// misses each aligned file once, the repeat pass hits each exactly
+	// once, and fallback files never appear as lookups at all.
+	if c := stats[0].Cache; c.Misses != int64(alignedCount) || c.Hits != 0 {
+		t.Fatalf("pass 0 cache traffic %+v, want %d misses / 0 hits", c, alignedCount)
+	}
+	if c := stats[1].Cache; c.Hits != int64(alignedCount) || c.Misses != 0 {
+		t.Fatalf("pass 1 cache traffic %+v, want %d hits / 0 misses (no false hits)", c, alignedCount)
+	}
+	// Egress is real on both passes; decode work on the repeat pass is
+	// exactly the fallback files — aligned hits ship batches without
+	// decoding a row.
+	for pass, st := range stats {
+		if got, want := st.Reader.BatchesProduced, wantStats.BatchesProduced; got != want {
+			t.Fatalf("pass %d BatchesProduced = %d, reference %d", pass, got, want)
+		}
+	}
+	if got := stats[1].Reader.RowsDecoded; got != misalignedRows {
+		t.Fatalf("repeat pass decoded %d rows, want %d (fallback files only)", got, misalignedRows)
+	}
+	// The repeat pass's fallback fills are served by the raw-byte tier:
+	// one hit per misaligned file, and nothing else ever hit it.
+	misalignedCount := int64(len(files) - alignedCount)
+	if bs := cached.Stats(); bs.Hits != misalignedCount || bs.Misses != int64(len(files)) {
+		t.Fatalf("raw-byte tier traffic hits=%d misses=%d, want %d/%d (fill-only reuse)",
+			bs.Hits, bs.Misses, misalignedCount, len(files))
+	}
+}
+
 // TestShareScansRejectedWhenCacheDisabled: a service built with the scan
 // cache disabled refuses ShareScans sessions instead of silently running
 // them unshared.
@@ -689,21 +797,55 @@ func TestShareScansRejectedWhenCacheDisabled(t *testing.T) {
 	sess.Close()
 }
 
-// waitForGoroutines polls until the goroutine count settles back to the
-// pre-test level (plus slack for runtime helpers), failing after 5s.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+// TestSessionDrainAccounting is the session-era Drain contract (the old
+// reader.Tier.Drain): draining a multi-reader session while discarding
+// every batch yields the same batch count and deterministic counters as
+// the per-assignment serial references, without retaining any batch.
+func TestSessionDrainAccounting(t *testing.T) {
+	env := newTestEnv(t, 40)
+	svc := newService(t, env, dpp.Config{})
+	spec := dedupSpec()
+
+	files, err := env.catalog.AllFiles(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	var wantBatches int
+	var wantStats reader.Stats
+	for _, assigned := range reader.PlanRoundRobin(files, workers) {
+		r, err := reader.NewReader(env.store, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(context.Background(), assigned, func(*reader.Batch) error {
+			wantBatches++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wantStats.Add(r.Stats())
+	}
+
+	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: workers, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := 0
 	for {
-		if n := runtime.NumGoroutine(); n <= before {
-			return
+		_, err := sess.Next(context.Background())
+		if err == io.EOF {
+			break
 		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: before %d now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		if err != nil {
+			t.Fatal(err)
 		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
+		drained++
+	}
+	if drained != wantBatches || drained == 0 {
+		t.Fatalf("drained %d batches, want %d (nonzero)", drained, wantBatches)
+	}
+	if got, want := counters(sess.Stats().Reader), counters(wantStats); got != want {
+		t.Fatalf("drained stats counters %v, want %v", got, want)
 	}
 }

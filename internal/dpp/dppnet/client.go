@@ -1,0 +1,369 @@
+package dppnet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dpp"
+	"repro/internal/reader"
+)
+
+// ErrRemote wraps failures the server reported over the wire (as opposed
+// to transport failures observed locally).
+var ErrRemote = errors.New("dppnet: remote error")
+
+// Client opens preprocessing sessions on a remote dppnet server. It
+// holds no connection itself — every Open and ServiceStats dials its own
+// TCP connection, mirroring one-connection-per-session on the server.
+type Client struct {
+	addr   string
+	dialer net.Dialer
+}
+
+// NewClient returns a client for the server at addr (host:port). No I/O
+// happens until Open or ServiceStats.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+// dial establishes a connection and writes the preamble + handshake.
+func (c *Client) dial(ctx context.Context, req openRequest) (net.Conn, *bufio.Reader, error) {
+	conn, err := c.dialer.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	var hello bytes.Buffer
+	hello.WriteString(protoMagic)
+	hello.WriteByte(protoVersion)
+	if err := writeFrame(&hello, frameOpen, payload); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if _, err := conn.Write(hello.Bytes()); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, bufio.NewReader(conn), nil
+}
+
+// ServiceStats fetches the remote service's aggregate accounting — the
+// wire form of a /statsz probe against dpp.Service.Stats.
+func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
+	conn, br, err := c.dial(ctx, openRequest{Kind: kindStatsz})
+	if err != nil {
+		return dpp.Stats{}, err
+	}
+	defer conn.Close()
+	stop := closeOnDone(ctx, conn)
+	defer stop()
+
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil {
+		if ctx.Err() != nil {
+			return dpp.Stats{}, ctx.Err()
+		}
+		return dpp.Stats{}, err
+	}
+	switch typ {
+	case frameSvcStats:
+		var st dpp.Stats
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return dpp.Stats{}, err
+		}
+		return st, nil
+	case frameError:
+		return dpp.Stats{}, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return dpp.Stats{}, fmt.Errorf("dppnet: unexpected frame %#x to statsz", typ)
+	}
+}
+
+// closeOnDone force-closes conn when ctx is cancelled, so reads blocked
+// on the connection observe cancellation promptly. The returned stop
+// function releases the watcher.
+func closeOnDone(ctx context.Context, conn net.Conn) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Open submits spec to the remote service and returns the session as a
+// pull stream. The semantics mirror dpp.Service.Open: admission errors
+// (invalid spec, session cap, closed service) surface here, wrapped in
+// ErrRemote; cancelling ctx at any later point tears the remote session
+// down as Close would.
+//
+// The receive window — how many batches the server may have in flight
+// ahead of the consumer — is the session's backpressure bound, derived
+// from the spec exactly as a local session sizes its buffers:
+// max(1,Readers) × buffer depth. A stalled consumer therefore stalls
+// the server-side readers at the same bound a local session would.
+func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error) {
+	ws, err := encodeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	readers, buffer := spec.Readers, spec.Buffer
+	if readers <= 0 {
+		readers = dpp.DefaultReaders
+	}
+	if buffer <= 0 {
+		buffer = dpp.DefaultBuffer
+	}
+	window := readers * buffer
+	if window > maxWindow {
+		window = maxWindow
+	}
+
+	conn, br, err := c.dial(ctx, openRequest{Kind: kindSession, Window: window, Spec: ws})
+	if err != nil {
+		return nil, err
+	}
+	// Install the ctx watcher before the handshake read: a server that
+	// accepts but never replies must not be able to wedge Open past its
+	// context.
+	watchStop := closeOnDone(ctx, conn)
+
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil {
+		watchStop()
+		conn.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	switch typ {
+	case frameOK:
+	case frameError:
+		watchStop()
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		watchStop()
+		conn.Close()
+		return nil, fmt.Errorf("dppnet: unexpected handshake reply %#x", typ)
+	}
+
+	rs := &RemoteSession{
+		conn: conn,
+		// One slot past the credit window: a protocol-conformant server
+		// never has more than `window` undelivered batches buffered here,
+		// so the extra slot guarantees the receiver's single terminal
+		// message always fits — an abandoned session (Open ctx cancelled,
+		// no Close, no Next) cannot strand the receive goroutine on a
+		// full channel.
+		recv:      make(chan remoteMsg, window+1),
+		done:      make(chan struct{}),
+		watchStop: watchStop,
+	}
+	go rs.receive(br)
+	return rs, nil
+}
+
+// remoteMsg is one received item handed from the connection reader to
+// Next: a decoded batch, or the terminal error (io.EOF for a clean end).
+type remoteMsg struct {
+	batch *reader.Batch
+	err   error
+}
+
+// RemoteSession is the client half of one streamed session. It satisfies
+// dpp.Stream: Next blocks for the next batch exactly like a local
+// session's, and Close tears the remote session down. Next is
+// single-consumer, as with a local Session.
+type RemoteSession struct {
+	conn      net.Conn
+	recv      chan remoteMsg
+	done      chan struct{}
+	watchStop func()
+
+	wmu sync.Mutex // serializes credit/close frame writes
+
+	mu      sync.Mutex
+	stats   dpp.SessionStats
+	gotEOF  bool
+	closed  bool
+	termErr error
+}
+
+var _ dpp.Stream = (*RemoteSession)(nil)
+
+// receive owns the connection's read half: it decodes frames into the
+// bounded recv channel (never blocking the socket beyond the credit
+// window, which caps in-flight batches below the channel's capacity)
+// and terminates with exactly one terminal message. Terminal sends
+// bail out on rs.done so even a misbehaving server that overfills the
+// window cannot strand the receiver once Close runs.
+func (rs *RemoteSession) receive(br *bufio.Reader) {
+	defer close(rs.recv)
+	defer rs.watchStop() // the stream has ended; release the ctx watcher
+	terminal := func(err error) {
+		select {
+		case rs.recv <- remoteMsg{err: err}:
+		case <-rs.done:
+		}
+	}
+	for {
+		typ, payload, err := readFrame(br, maxFrameBytes)
+		if err != nil {
+			terminal(fmt.Errorf("dppnet: connection lost: %w", err))
+			return
+		}
+		switch typ {
+		case frameBatch:
+			b, err := reader.DecodeBatch(bytes.NewReader(payload))
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt batch frame: %w", err))
+				return
+			}
+			select {
+			case rs.recv <- remoteMsg{batch: b}:
+			case <-rs.done:
+				return
+			}
+		case frameStats:
+			st, err := decodeSessionStats(bytes.NewReader(payload))
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt stats frame: %w", err))
+				return
+			}
+			rs.mu.Lock()
+			rs.stats = st
+			rs.mu.Unlock()
+		case frameEOF:
+			rs.mu.Lock()
+			rs.gotEOF = true
+			rs.mu.Unlock()
+			terminal(io.EOF)
+			return
+		case frameError:
+			terminal(fmt.Errorf("%w: %s", ErrRemote, payload))
+			return
+		default:
+			terminal(fmt.Errorf("dppnet: unexpected frame %#x", typ))
+			return
+		}
+	}
+}
+
+// Next returns the session's next batch, blocking until one arrives over
+// the wire, the scan is exhausted (io.EOF), the server reports an error
+// (wrapped in ErrRemote), the connection fails, ctx is cancelled
+// (ctx.Err()), or the session is closed (dpp.ErrClosed) — the same
+// contract as a local Session.Next. Each consumed batch returns one
+// window credit to the server.
+func (rs *RemoteSession) Next(ctx context.Context) (*reader.Batch, error) {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil, dpp.ErrClosed
+	}
+	if rs.termErr != nil {
+		err := rs.termErr
+		rs.mu.Unlock()
+		return nil, err
+	}
+	rs.mu.Unlock()
+
+	select {
+	case m, ok := <-rs.recv:
+		if !ok {
+			// The receiver already delivered its terminal error; this is
+			// a Next after the end. Replay the recorded outcome.
+			rs.mu.Lock()
+			defer rs.mu.Unlock()
+			if rs.closed {
+				return nil, dpp.ErrClosed
+			}
+			if rs.termErr != nil {
+				return nil, rs.termErr
+			}
+			return nil, io.EOF
+		}
+		if m.err != nil {
+			rs.mu.Lock()
+			closed := rs.closed
+			if rs.termErr == nil {
+				rs.termErr = m.err
+			}
+			rs.mu.Unlock()
+			if closed && m.err != io.EOF {
+				// Teardown races a connection error; Close semantics win.
+				return nil, dpp.ErrClosed
+			}
+			return nil, m.err
+		}
+		rs.sendCredit()
+		return m.batch, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-rs.done:
+		return nil, dpp.ErrClosed
+	}
+}
+
+// sendCredit returns one window credit. A write failure means the
+// connection is already dead; the receiver will surface that as the
+// terminal error, so it is not reported here.
+func (rs *RemoteSession) sendCredit() {
+	var payload [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(payload[:], 1)
+	rs.wmu.Lock()
+	defer rs.wmu.Unlock()
+	_ = writeFrame(rs.conn, frameCredit, payload[:n])
+}
+
+// Stats returns the session's final accounting as reported by the
+// server in the trailing stats frame. It is available once Next has
+// returned io.EOF; before that (or after a failure that lost the frame)
+// it returns false.
+func (rs *RemoteSession) Stats() (dpp.SessionStats, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.stats, rs.gotEOF
+}
+
+// Close tears the remote session down: a best-effort close frame, then
+// the connection. Idempotent; always returns nil, like a local
+// Session.Close. Batches already returned by Next remain valid.
+func (rs *RemoteSession) Close() error {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil
+	}
+	rs.closed = true
+	rs.mu.Unlock()
+	close(rs.done)
+	rs.watchStop()
+	rs.wmu.Lock()
+	_ = writeFrame(rs.conn, frameClose, nil)
+	rs.wmu.Unlock()
+	rs.conn.Close()
+	// Drain the receiver so it observes the connection close and exits;
+	// its terminal message is surfaced as ErrClosed by later Nexts.
+	for range rs.recv {
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package dppnet serves dpp preprocessing sessions over TCP — the
+// paper's actual deployment shape, where the DPP workers are a fleet of
+// processes feeding trainers over the network rather than a library
+// linked into the training job (§2.1).
+//
+// The protocol is a length-prefixed frame stream over one TCP connection
+// per session. A connection opens with a fixed magic + version, then a
+// JSON handshake frame carrying the dpp.Spec (transforms encoded by
+// name + parameters) and the client's receive window. After the server
+// acks, preprocessed batches flow server→client framed with the existing
+// reader.Batch wire codec, followed by a trailing dpp.SessionStats frame
+// and an EOF frame; errors travel as error frames in either direction of
+// the session's life.
+//
+// Backpressure is a credit window, not just TCP buffering: the server
+// may have at most `window` unacknowledged batch frames in flight and
+// blocks — without pulling further batches from the underlying session,
+// so the session's own Buffer backpressure composes — until the client
+// returns credits as it consumes. Cancellation is prompt in both
+// directions: a client that closes (or whose Open context is cancelled)
+// tears down the server-side session via the connection, and a dying
+// server surfaces as an error from the remote session's Next, never a
+// hang.
+//
+// The remote session (Client.Open) satisfies dpp.Stream, and its batch
+// stream and deterministic stats are byte-identical to a local session
+// with the same spec — pinned under -race by TestRemoteSessionMatchesLocal.
+// A server additionally answers "statsz" handshakes with the service's
+// aggregate dpp.Stats (Client.ServiceStats), the wire form of /statsz.
+package dppnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dpp"
+	"repro/internal/reader"
+)
+
+// Connection preamble: magic + one version byte, written by the client
+// before its handshake frame.
+const (
+	protoMagic   = "DPPN"
+	protoVersion = 1
+)
+
+// Frame types. Client→server frames are small control messages; all bulk
+// payload flows server→client.
+const (
+	// frameOpen carries the JSON openRequest (client→server, first frame).
+	frameOpen = byte(0x01)
+	// frameCredit returns receive-window credits (client→server); payload
+	// is a uvarint credit count.
+	frameCredit = byte(0x02)
+	// frameClose requests session teardown (client→server); empty payload.
+	frameClose = byte(0x03)
+
+	// frameOK acknowledges a successful session handshake; empty payload.
+	frameOK = byte(0x10)
+	// frameBatch carries one reader.Batch in its Encode wire form.
+	frameBatch = byte(0x11)
+	// frameStats carries the session's final dpp.SessionStats (the
+	// reader.Stats wire codec plus the cache hit/miss counters), sent
+	// after the last batch of a clean scan.
+	frameStats = byte(0x12)
+	// frameEOF marks a cleanly exhausted scan; empty payload.
+	frameEOF = byte(0x13)
+	// frameError carries a UTF-8 error message and ends the stream.
+	frameError = byte(0x14)
+	// frameSvcStats answers a statsz handshake with JSON dpp.Stats.
+	frameSvcStats = byte(0x15)
+)
+
+// maxFrameBytes bounds a batch-bearing (server→client) frame's declared
+// payload length; maxControlFrameBytes bounds the client→server control
+// frames (handshake with its spec and file list, credits, close), which
+// are orders of magnitude smaller. A peer announcing more is
+// protocol-corrupt and fails before any payload is read. Within the
+// bound, readFrame additionally allocates in chunks as bytes actually
+// arrive, so a forged length prefix with no payload behind it costs a
+// peer at most one chunk — never the declared size.
+const (
+	maxFrameBytes        = 1 << 28
+	maxControlFrameBytes = 1 << 22
+	frameReadChunk       = 1 << 16
+)
+
+// maxWindow caps the negotiated credit window; a window beyond this
+// buys no overlap and only defers backpressure.
+const maxWindow = 1 << 10
+
+// openRequest is the JSON handshake payload.
+type openRequest struct {
+	// Kind selects the conversation: "session" streams batches for Spec;
+	// "statsz" returns the service's aggregate stats and closes.
+	Kind string `json:"kind"`
+	// Window is the client's receive window in batches (session kind).
+	Window int `json:"window,omitempty"`
+	// Spec is the wire form of the dpp.Spec to open (session kind).
+	Spec *wireSpec `json:"spec,omitempty"`
+}
+
+const (
+	kindSession = "session"
+	kindStatsz  = "statsz"
+)
+
+// writeFrame emits one framed message: type byte, uvarint payload
+// length, payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed message whose declared payload length is
+// within limit, growing the payload buffer chunk by chunk as bytes
+// arrive.
+func readFrame(r reader.ByteReader, limit uint64) (byte, []byte, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dppnet: frame length: %w", err)
+	}
+	if n > limit {
+		return 0, nil, fmt.Errorf("dppnet: frame of %d bytes exceeds limit %d", n, limit)
+	}
+	payload := make([]byte, 0, int(min(n, frameReadChunk)))
+	for uint64(len(payload)) < n {
+		chunk := n - uint64(len(payload))
+		if chunk > frameReadChunk {
+			chunk = frameReadChunk
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, int(chunk))...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, fmt.Errorf("dppnet: frame body: %w", err)
+		}
+	}
+	return typ, payload, nil
+}
+
+// encodeSessionStats serializes a session's final accounting: the
+// reader.Stats wire codec followed by the scan-cache counters.
+func encodeSessionStats(w io.Writer, st dpp.SessionStats) error {
+	if err := st.Reader.Encode(w); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range [2]int64{st.Cache.Hits, st.Cache.Misses} {
+		n := binary.PutUvarint(buf[:], uint64(v))
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeSessionStats reads what encodeSessionStats wrote.
+func decodeSessionStats(r reader.ByteReader) (dpp.SessionStats, error) {
+	var st dpp.SessionStats
+	var err error
+	if st.Reader, err = reader.DecodeStats(r); err != nil {
+		return dpp.SessionStats{}, err
+	}
+	for _, f := range [2]*int64{&st.Cache.Hits, &st.Cache.Misses} {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return dpp.SessionStats{}, err
+		}
+		if v > 1<<62 {
+			return dpp.SessionStats{}, fmt.Errorf("dppnet: implausible cache counter %d", v)
+		}
+		*f = int64(v)
+	}
+	return st, nil
+}

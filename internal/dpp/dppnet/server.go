@@ -1,0 +1,328 @@
+package dppnet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dpp"
+)
+
+// Server fronts one dpp.Service on a TCP listener: every accepted
+// connection is one handshake — a streamed session or a statsz probe.
+// Sessions opened over the wire are ordinary service sessions, so they
+// share the service's admission cap, ScanCache, and accounting with any
+// in-process sessions on the same Service.
+type Server struct {
+	svc *dpp.Service
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a service; call Serve to start accepting.
+func NewServer(svc *dpp.Service) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{svc: svc, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close (which returns nil) or a
+// listener failure (which returns the error). Each connection is handled
+// on its own goroutine; Serve itself blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("dppnet: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer s.forget(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, force-closes every live connection (tearing
+// their sessions down), and waits for the handlers to drain. The
+// underlying dpp.Service is left open — it belongs to the caller.
+// Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.cancel()
+	ln := s.ln
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// A handler blocked mid-Write to a stalled client only unblocks when
+	// its connection dies; ctx cancellation alone cannot reach it.
+	for _, c := range open {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle runs one connection's conversation. Every exit path closes the
+// connection, which is also what tears down the connection-reader
+// goroutine and (via ctx) the session.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Preamble: magic + version. Anything else is not a dppnet client;
+	// drop the connection without a reply (there is no known framing to
+	// reply in).
+	preamble := make([]byte, len(protoMagic)+1)
+	if _, err := io.ReadFull(br, preamble); err != nil {
+		return
+	}
+	if string(preamble[:len(protoMagic)]) != protoMagic || preamble[len(protoMagic)] != protoVersion {
+		return
+	}
+
+	typ, payload, err := readFrame(br, maxControlFrameBytes)
+	if err != nil || typ != frameOpen {
+		writeError(bw, fmt.Errorf("dppnet: expected open frame"))
+		return
+	}
+	var req openRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		writeError(bw, fmt.Errorf("dppnet: malformed handshake: %w", err))
+		return
+	}
+
+	switch req.Kind {
+	case kindStatsz:
+		s.serveStatsz(bw)
+	case kindSession:
+		s.serveSession(conn, br, bw, &req)
+	default:
+		writeError(bw, fmt.Errorf("dppnet: unknown request kind %q", req.Kind))
+	}
+}
+
+// serveStatsz answers the wire form of /statsz: the service's aggregate
+// stats as JSON, then EOF.
+func (s *Server) serveStatsz(bw *bufio.Writer) {
+	payload, err := json.Marshal(s.svc.Stats())
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+	if writeFrame(bw, frameSvcStats, payload) == nil {
+		bw.Flush()
+	}
+}
+
+// serveSession opens a service session for the handshake's spec and
+// streams it under the credit window until exhaustion, error, or
+// teardown from either side.
+func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+	if req.Spec == nil {
+		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
+		return
+	}
+	window := req.Window
+	if window <= 0 || window > maxWindow {
+		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
+		return
+	}
+	spec, err := decodeSpec(req.Spec)
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+
+	// The session lives under a per-connection context: the client
+	// vanishing, a close frame, or Server.Close all cancel it, so a
+	// remote consumer can never strand a service slot or its reader
+	// goroutines.
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	sess, err := s.svc.Open(ctx, spec)
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+	defer sess.Close()
+
+	if err := writeFrame(bw, frameOK, nil); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	// Connection reader: credits and close requests. It owns br from
+	// here on and exits when the connection dies (handle's deferred
+	// Close) or the client half-closes.
+	credits := make(chan int64, 1)
+	go func() {
+		defer cancel()
+		for {
+			typ, payload, err := readFrame(br, maxControlFrameBytes)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case frameCredit:
+				n, err := decodeCredit(payload)
+				if err != nil {
+					return
+				}
+				select {
+				case credits <- n:
+				case <-ctx.Done():
+					return
+				}
+			case frameClose:
+				return
+			default:
+				return
+			}
+		}
+	}()
+
+	var enc bytes.Buffer
+	avail := int64(window)
+	for {
+		for avail <= 0 {
+			select {
+			case n := <-credits:
+				avail += n
+			case <-ctx.Done():
+				return
+			}
+		}
+		// Drain any further banked credits without blocking.
+		for {
+			select {
+			case n := <-credits:
+				avail += n
+				continue
+			default:
+			}
+			break
+		}
+
+		b, err := sess.Next(ctx)
+		if err == io.EOF {
+			enc.Reset()
+			if err := encodeSessionStats(&enc, sess.Stats()); err != nil {
+				writeError(bw, err)
+				return
+			}
+			if writeFrame(bw, frameStats, enc.Bytes()) != nil {
+				return
+			}
+			if writeFrame(bw, frameEOF, nil) != nil {
+				return
+			}
+			bw.Flush()
+			return
+		}
+		if err != nil {
+			writeError(bw, err)
+			return
+		}
+		enc.Reset()
+		if err := b.Encode(&enc); err != nil {
+			writeError(bw, err)
+			return
+		}
+		if writeFrame(bw, frameBatch, enc.Bytes()) != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		avail--
+	}
+}
+
+// writeError best-effort ships an error frame and flushes; the
+// connection is about to close either way.
+func writeError(bw *bufio.Writer, err error) {
+	if writeFrame(bw, frameError, []byte(err.Error())) == nil {
+		bw.Flush()
+	}
+}
+
+// decodeCredit decodes one uvarint credit grant occupying the whole
+// payload; zero, oversized, or trailing-byte grants are protocol errors.
+func decodeCredit(payload []byte) (int64, error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, errors.New("dppnet: malformed credit frame")
+	}
+	if v == 0 || v > maxWindow {
+		return 0, fmt.Errorf("dppnet: credit grant %d out of range", v)
+	}
+	return int64(v), nil
+}

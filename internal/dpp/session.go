@@ -21,7 +21,7 @@ type Spec struct {
 	reader.Spec
 
 	// Readers is the per-session reader-worker count; files are split
-	// across workers round-robin exactly as reader.Tier splits them.
+	// across workers round-robin (reader.PlanRoundRobin).
 	// 0 defaults to 1, which makes the session's batch stream
 	// byte-identical to a serial reader.Run over the whole scan set.
 	Readers int
@@ -48,12 +48,22 @@ type Spec struct {
 	ShareScans bool
 }
 
+// DefaultReaders and DefaultBuffer are the execution-shape defaults
+// applied when a Spec leaves Readers/Buffer zero. dppnet sizes a remote
+// session's receive window from the same values, so the network
+// boundary enforces the same backpressure bound a local session's
+// channels do.
+const (
+	DefaultReaders = 1
+	DefaultBuffer  = 2
+)
+
 func (s Spec) withDefaults() Spec {
 	if s.Readers == 0 {
-		s.Readers = 1
+		s.Readers = DefaultReaders
 	}
 	if s.Buffer == 0 {
-		s.Buffer = 2
+		s.Buffer = DefaultBuffer
 	}
 	return s
 }
@@ -67,6 +77,18 @@ func (s Spec) validate() error {
 	}
 	return s.Spec.Validate()
 }
+
+// Stream is the pull contract a training loop consumes: batches in
+// deterministic order until io.EOF, a context or session error, or
+// Close. A local Session satisfies it, and so does a dppnet remote
+// session — training code written against Stream runs unchanged whether
+// the preprocessing service is in-process or across a TCP boundary.
+type Stream interface {
+	Next(ctx context.Context) (*reader.Batch, error)
+	Close() error
+}
+
+var _ Stream = (*Session)(nil)
 
 // Session is one job's pull-based batch stream. Next and Close may be
 // called from different goroutines, but Next itself is single-consumer:

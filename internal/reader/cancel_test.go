@@ -5,27 +5,9 @@ import (
 	"errors"
 	"runtime"
 	"testing"
-	"time"
-)
 
-// waitForGoroutines polls until the goroutine count settles back to the
-// pre-test level, failing with a stack dump after 5s.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: before %d now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-}
+	"repro/internal/testutil"
+)
 
 // TestRunCancelledMidScan: cancelling the context mid-run returns
 // ctx.Err() promptly — without finishing the remaining files — and leaks
@@ -78,7 +60,7 @@ func TestRunCancelledMidScan(t *testing.T) {
 				t.Fatalf("cancelled run decoded all %d rows", all)
 			}
 
-			waitForGoroutines(t, before)
+			testutil.WaitForGoroutines(t, before)
 		})
 	}
 }
@@ -99,49 +81,5 @@ func TestRunCancelledBeforeStart(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v want context.Canceled", err)
-	}
-}
-
-// TestTierCancelled: cancellation propagates through the tier adapter.
-func TestTierCancelled(t *testing.T) {
-	before := runtime.NumGoroutine()
-
-	env := newTestEnv(t, 40, true)
-	tier, err := NewTier(env.store, env.catalog, baseSpec(), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := tier.Run(ctx, func(*Batch) error { return nil }); !errors.Is(err, context.Canceled) {
-		t.Fatalf("tier err = %v want context.Canceled", err)
-	}
-
-	waitForGoroutines(t, before)
-}
-
-// TestTierDrain: the count-only path reports the same deterministic
-// stats and batch count as Collect without retaining any batch.
-func TestTierDrain(t *testing.T) {
-	env := newTestEnv(t, 40, true)
-	spec := baseSpec()
-
-	tier, err := NewTier(env.store, env.catalog, spec, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	batches, collectStats, err := tier.Collect(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	n, drainStats, err := tier.Drain(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != len(batches) {
-		t.Fatalf("Drain counted %d batches, Collect returned %d", n, len(batches))
-	}
-	if got, want := counters(drainStats), counters(collectStats); got != want {
-		t.Fatalf("Drain stats %v, Collect stats %v", got, want)
 	}
 }

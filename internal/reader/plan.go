@@ -1,0 +1,24 @@
+package reader
+
+// PlanRoundRobin splits a scan set across n workers round-robin, the
+// file-level sharding policy the paper's reader tier uses ("the number of
+// readers for each job is scaled to meet trainers' ingestion bandwidth
+// demands"). The dpp session planner shards its per-session reader
+// workers with it, and serial reference tests replay the same plan to pin
+// multi-reader streams batch for batch.
+func PlanRoundRobin(files []string, n int) [][]string {
+	assignments := make([][]string, n)
+	for i, f := range files {
+		assignments[i%n] = append(assignments[i%n], f)
+	}
+	return assignments
+}
+
+// ThroughputSamplesPerSec converts stats into the paper's reader metric:
+// samples preprocessed per second of reader CPU time.
+func ThroughputSamplesPerSec(s Stats) float64 {
+	if s.TotalTime() <= 0 {
+		return 0
+	}
+	return float64(s.RowsDecoded) / s.TotalTime().Seconds()
+}

@@ -347,46 +347,29 @@ func TestShortFinalBatch(t *testing.T) {
 	}
 }
 
-func TestTierMatchesSingleReader(t *testing.T) {
-	env := newTestEnv(t, 60, true)
-	spec := baseSpec()
-
-	tier, err := NewTier(env.store, env.catalog, spec, 4)
-	if err != nil {
-		t.Fatal(err)
+// TestPlanRoundRobinCoversEveryFile: the session planner's sharding
+// policy assigns every file exactly once, round-robin. (The dpp tests
+// pin that a multi-worker session's stream equals the per-assignment
+// serial concatenation; this pins the plan itself.)
+func TestPlanRoundRobinCoversEveryFile(t *testing.T) {
+	files := []string{"a", "b", "c", "d", "e"}
+	assignments := PlanRoundRobin(files, 3)
+	if len(assignments) != 3 {
+		t.Fatalf("got %d assignments want 3", len(assignments))
 	}
-	batches, stats, err := tier.Collect(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	total := 0
-	for _, b := range batches {
-		if err := b.Validate(); err != nil {
-			t.Fatal(err)
+	seen := map[string]int{}
+	for wi, assigned := range assignments {
+		for fi, f := range assigned {
+			seen[f]++
+			if want := files[fi*3+wi]; f != want {
+				t.Fatalf("worker %d slot %d = %q want %q (round-robin order)", wi, fi, f, want)
+			}
 		}
-		total += b.Size
 	}
-	if total != len(env.samples) {
-		t.Fatalf("tier carried %d rows want %d", total, len(env.samples))
-	}
-	if stats.RowsDecoded != int64(len(env.samples)) {
-		t.Fatalf("tier RowsDecoded = %d want %d", stats.RowsDecoded, len(env.samples))
-	}
-}
-
-func TestTierErrors(t *testing.T) {
-	env := newTestEnv(t, 5, true)
-	if _, err := NewTier(env.store, env.catalog, baseSpec(), 0); err == nil {
-		t.Fatal("expected error for zero readers")
-	}
-	spec := baseSpec()
-	spec.Table = "missing"
-	tier, err := NewTier(env.store, env.catalog, spec, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := tier.Collect(context.Background()); err == nil {
-		t.Fatal("expected error for missing table")
+	for _, f := range files {
+		if seen[f] != 1 {
+			t.Fatalf("file %q assigned %d times", f, seen[f])
+		}
 	}
 }
 

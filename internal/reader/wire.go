@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/tensor"
 )
@@ -12,12 +13,19 @@ import (
 // trainer over its NIC. Deduplicated tensors serialize in deduplicated
 // form, so the encoded size realizes the egress savings the byte
 // accounting predicts (Table 3 "Send Bytes"); TestWireBytesMatchEncoding
-// pins the two together.
+// pins the two together. The same codec frames batches on the dppnet
+// TCP transport, so decoding must fail cleanly — never panic — on
+// arbitrary bytes (FuzzDecodeBatch pins that).
 
-const batchMagic = "RBAT"
+const (
+	batchMagic = "RBAT"
+	statsMagic = "RSTS"
+)
 
-// byteReader is the reader constraint of the tensor wire decoders.
-type byteReader interface {
+// ByteReader is the reader constraint of the wire decoders: any buffered
+// byte source (*bytes.Reader, *bufio.Reader). Exported so transports
+// like dppnet can name it when composing the codec.
+type ByteReader interface {
 	io.Reader
 	io.ByteReader
 }
@@ -42,10 +50,12 @@ func (b *Batch) Encode(w io.Writer) error {
 	if err := put(uint64(len(b.Labels))); err != nil {
 		return err
 	}
-	for _, l := range b.Labels {
-		if err := binary.Write(w, binary.LittleEndian, l); err != nil {
-			return err
-		}
+	labels := make([]byte, 4*len(b.Labels))
+	for i, l := range b.Labels {
+		binary.LittleEndian.PutUint32(labels[i*4:], math.Float32bits(l))
+	}
+	if _, err := w.Write(labels); err != nil {
+		return err
 	}
 	hasKJT := uint64(0)
 	if b.KJT != nil {
@@ -79,7 +89,7 @@ func (b *Batch) Encode(w io.Writer) error {
 }
 
 // DecodeBatch reads a batch encoded by Encode.
-func DecodeBatch(r byteReader) (*Batch, error) {
+func DecodeBatch(r ByteReader) (*Batch, error) {
 	magic := make([]byte, len(batchMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("reader: batch magic: %w", err)
@@ -109,11 +119,15 @@ func DecodeBatch(r byteReader) (*Batch, error) {
 	if nLabels > maxBatch {
 		return nil, fmt.Errorf("reader: implausible label count %d", nLabels)
 	}
+	// Bulk-read the label bytes: a forged count fails fast on truncated
+	// input instead of spinning through per-element reads.
+	labelBytes := make([]byte, 4*nLabels)
+	if _, err := io.ReadFull(r, labelBytes); err != nil {
+		return nil, err
+	}
 	b.Labels = make([]float32, nLabels)
 	for i := range b.Labels {
-		if err := binary.Read(r, binary.LittleEndian, &b.Labels[i]); err != nil {
-			return nil, err
-		}
+		b.Labels[i] = math.Float32frombits(binary.LittleEndian.Uint32(labelBytes[i*4:]))
 	}
 	hasKJT, err := get()
 	if err != nil {
@@ -158,4 +172,56 @@ func DecodeBatch(r byteReader) (*Batch, error) {
 	}
 	b.OriginalSparseValues = int(orig)
 	return b, b.Validate()
+}
+
+// statsFields enumerates every Stats field in wire order: the three
+// per-stage times (nanoseconds) followed by the six deterministic work
+// counters. All are non-negative by construction, so they serialize as
+// uvarints.
+func statsFields(s *Stats) [9]*int64 {
+	return [9]*int64{
+		(*int64)(&s.FillTime), (*int64)(&s.ConvertTime), (*int64)(&s.ProcessTime),
+		&s.ReadBytes, &s.SentBytes,
+		&s.RowsDecoded, &s.BatchesProduced, &s.ConvertValues, &s.ProcessOps,
+	}
+}
+
+// Encode serializes the stats — the trailing accounting frame a dppnet
+// server ships after a remote session's final batch, so a trainer on the
+// other side of the wire sees the same Stats a local session reports.
+func (s Stats) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, statsMagic); err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	for _, f := range statsFields(&s) {
+		n := binary.PutUvarint(hdr[:], uint64(*f))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeStats reads stats encoded by Stats.Encode.
+func DecodeStats(r ByteReader) (Stats, error) {
+	magic := make([]byte, len(statsMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return Stats{}, fmt.Errorf("reader: stats magic: %w", err)
+	}
+	if string(magic) != statsMagic {
+		return Stats{}, fmt.Errorf("reader: bad stats magic %q", magic)
+	}
+	var s Stats
+	for _, f := range statsFields(&s) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Stats{}, err
+		}
+		if v > 1<<62 {
+			return Stats{}, fmt.Errorf("reader: implausible stats counter %d", v)
+		}
+		*f = int64(v)
+	}
+	return s, nil
 }

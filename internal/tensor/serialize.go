@@ -26,6 +26,36 @@ const (
 
 var wireOrder = binary.LittleEndian
 
+// Decode-side plausibility caps. Wire payloads may arrive from another
+// process (dppnet serves batches over TCP), so every length prefix is
+// bounded before it sizes an allocation: a corrupt or malicious frame
+// must fail with an error, never overflow an int, exhaust memory, or
+// panic. The caps sit orders of magnitude above anything a real batch
+// carries (values per tensor ≤ batch size × sequence length).
+const (
+	// maxWireElems bounds any single element-count prefix (values,
+	// offsets, dense cells, lookup entries): 2^24 elements = 128 MiB of
+	// 8-byte values.
+	maxWireElems = 1 << 24
+	// maxWireKeys bounds per-collection key counts (KJT/IKJT features).
+	maxWireKeys = 1 << 16
+	// maxWireString bounds feature-name lengths.
+	maxWireString = 1 << 16
+)
+
+// readCount reads one uvarint length prefix and rejects implausible
+// values before any allocation is sized from it.
+func readCount(r byteReader, what string, max uint64) (int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if n > max {
+		return 0, fmt.Errorf("tensor: implausible %s count %d", what, n)
+	}
+	return int(n), nil
+}
+
 // scratchPool recycles the byte staging buffers the value/offset/dense
 // codecs use between the in-memory representation and the wire. Encoding
 // or decoding a tensor no longer costs a `make([]byte, 8*n)` per call;
@@ -65,7 +95,7 @@ type byteReader interface {
 }
 
 func readString(r byteReader) (string, error) {
-	n, err := binary.ReadUvarint(r)
+	n, err := readCount(r, "string byte", maxWireString)
 	if err != nil {
 		return "", err
 	}
@@ -91,11 +121,11 @@ func writeValues(w io.Writer, vals []Value) error {
 }
 
 func readValues(r byteReader) ([]Value, error) {
-	n, err := binary.ReadUvarint(r)
+	n, err := readCount(r, "value", maxWireElems)
 	if err != nil {
 		return nil, err
 	}
-	bp := getScratch(8 * int(n))
+	bp := getScratch(8 * n)
 	defer putScratch(bp)
 	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -123,11 +153,11 @@ func writeInt32s(w io.Writer, vals []int32) error {
 }
 
 func readInt32s(r byteReader) ([]int32, error) {
-	n, err := binary.ReadUvarint(r)
+	n, err := readCount(r, "int32", maxWireElems)
 	if err != nil {
 		return nil, err
 	}
-	bp := getScratch(4 * int(n))
+	bp := getScratch(4 * n)
 	defer putScratch(bp)
 	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -203,7 +233,7 @@ func ReadKJT(r byteReader) (*KJT, error) {
 	if tag[0] != tagKJT {
 		return nil, fmt.Errorf("tensor: bad kjt tag %d", tag[0])
 	}
-	n, err := binary.ReadUvarint(r)
+	n, err := readCount(r, "kjt key", maxWireKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +278,7 @@ func ReadIKJT(r byteReader) (*IKJT, error) {
 	if tag[0] != tagIKJT {
 		return nil, fmt.Errorf("tensor: bad ikjt tag %d", tag[0])
 	}
-	n, err := binary.ReadUvarint(r)
+	n, err := readCount(r, "ikjt key", maxWireKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -299,15 +329,18 @@ func ReadDense(r byteReader) (Dense, error) {
 	if tag[0] != tagDense {
 		return Dense{}, fmt.Errorf("tensor: bad dense tag %d", tag[0])
 	}
-	rows, err := binary.ReadUvarint(r)
+	rows, err := readCount(r, "dense row", maxWireElems)
 	if err != nil {
 		return Dense{}, err
 	}
-	cols, err := binary.ReadUvarint(r)
+	cols, err := readCount(r, "dense col", maxWireElems)
 	if err != nil {
 		return Dense{}, err
 	}
-	bp := getScratch(4 * int(rows) * int(cols))
+	if rows > 0 && cols > maxWireElems/rows {
+		return Dense{}, fmt.Errorf("tensor: implausible dense shape %dx%d", rows, cols)
+	}
+	bp := getScratch(4 * rows * cols)
 	defer putScratch(bp)
 	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -1,0 +1,34 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites. The headline helper is WaitForGoroutines, the goroutine-leak
+// assertion every cancellation, teardown, and fault-injection test ends
+// with: concurrency features here are only considered correct when they
+// tear down to zero residue.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitForGoroutines polls until the goroutine count settles back to the
+// pre-test level, failing with a full stack dump after 5s. Call with a
+// count captured via runtime.NumGoroutine() before the test started its
+// workers; schedulers need a moment to unwind, so the helper tolerates
+// transient overshoot by polling rather than asserting once.
+func WaitForGoroutines(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before %d now %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkPipelineEndToEnd$'}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkRemoteSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkPipelineEndToEnd$'}
 BENCH_COUNT=${BENCH_COUNT:-1}
 MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-20}
 BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
@@ -52,6 +52,33 @@ awk -v min="$MIN_SHARED_RATIO" '
         }
         if (ratio < min) {
             printf "bench: FAIL — shared sessions only %.2fx faster, need %.2fx\n", ratio, min
+            exit 1
+        }
+    }
+' "$LATEST"
+
+# --- Network-boundary overhead gate: a session pulled through the
+# dppnet TCP transport on loopback (BenchmarkRemoteSession) may cost at
+# most BENCH_MAX_REMOTE_OVERHEAD_PCT percent more than the same scan
+# through an in-process session (BenchmarkServiceSession). Same-run
+# ratio, so host speed cancels out.
+MAX_REMOTE_PCT=${BENCH_MAX_REMOTE_OVERHEAD_PCT:-25}
+awk -v max="$MAX_REMOTE_PCT" '
+    /^BenchmarkServiceSession/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < local || !local)) local = $i + 0 }
+    /^BenchmarkRemoteSession/  { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < remote || !remote)) remote = $i + 0 }
+    END {
+        if (!local || !remote) {
+            print "bench: remote-session overhead not measured (pattern excluded the session pair)"
+            exit 0
+        }
+        pct = (remote - local) / local * 100
+        printf "bench: remote vs local session: %.0f / %.0f ns/op = %+.1f%% loopback overhead (gate %.0f%%)\n", remote, local, pct, max
+        summary = ENVIRON["GITHUB_STEP_SUMMARY"]
+        if (summary != "") {
+            printf "### Network service boundary\n\n| session | ns/op |\n|---|---|\n| local (in-process) | %.0f |\n| remote (dppnet loopback) | %.0f |\n\n**%+.1f%%** loopback overhead (gate: <= %.0f%%)\n", local, remote, pct, max >> summary
+        }
+        if (pct > max) {
+            printf "bench: FAIL — remote session %.1f%% slower than local, cap %.0f%%\n", pct, max
             exit 1
         }
     }

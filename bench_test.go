@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -562,6 +563,85 @@ func benchTwoSessions(b *testing.B, share bool) {
 // (aggregate throughput gain) at BENCH_MIN_SHARED_RATIO, default 1.5.
 func BenchmarkSharedSessions(b *testing.B)   { benchTwoSessions(b, true) }
 func BenchmarkUnsharedSessions(b *testing.B) { benchTwoSessions(b, false) }
+
+// benchStalledConsumer measures one session drained by a consumer that
+// stalls briefly after each of the first half of its batches (a trainer
+// warming up / periodically busy) and then drains flat out. The static
+// variant keeps the spec's 4 workers throughout; the autoscaled variant
+// starts identically but lets the service's AutoScaler resize the pool
+// from the observed worker/consumer starvation — down while the consumer
+// stalls, back up when it speeds up.
+func benchStalledConsumer(b *testing.B, autoscale bool) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	// Small files (64 rows) so the scan is a long work queue: resizes
+	// land mid-stream and a wrongly-sized pool has room to cost time.
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 64, Writer: dwrf.WriterOptions{StripeRows: 64}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 64,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	cfg := dpp.Config{Backend: store, Catalog: catalog}
+	if autoscale {
+		cfg.AutoScale = &dpp.AutoScalerConfig{
+			MinReaders: 1, MaxReaders: 4,
+			Interval: time.Millisecond,
+		}
+	}
+	svc, err := dpp.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	var scaleEvents int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := svc.Open(ctx, dpp.Spec{Spec: spec, Readers: 4, Buffer: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumed := 0
+		for {
+			_, err := sess.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			consumed++
+			if consumed%2 == 1 && consumed < 12 {
+				time.Sleep(500 * time.Microsecond) // the trainer is busy
+			}
+		}
+		st := sess.Stats().Scheduler
+		scaleEvents += st.ScaleUps + st.ScaleDowns
+		sess.Close()
+	}
+	b.ReportMetric(float64(scaleEvents)/float64(b.N), "scale_events/op")
+}
+
+// BenchmarkStaticStalledConsumer and BenchmarkAutoscaledStalledConsumer
+// are the scheduling headline pair: scripts/bench.sh gates
+// static ns/op ÷ autoscaled ns/op at BENCH_MIN_AUTOSCALE_RATIO. On the
+// 1-CPU baseline runner the pool size cannot buy wall time, so this is a
+// parity gate (autoscaling ≈ 1.0× static, bounded noise allowance): the
+// controller must be free — resizing never stalls the stream — until a
+// multicore baseline can gate its real win.
+func BenchmarkStaticStalledConsumer(b *testing.B)     { benchStalledConsumer(b, false) }
+func BenchmarkAutoscaledStalledConsumer(b *testing.B) { benchStalledConsumer(b, true) }
 
 // BenchmarkTrainStepBaseline and BenchmarkTrainStepRecD measure the
 // numeric DLRM step in both modes on identical batches.

@@ -13,6 +13,13 @@
 // Because the ScanCache lives here, sharing now spans processes: a
 // second trainer (same flags) — or the first trainer's later epochs —
 // streams batches this server decoded for someone else.
+//
+// With -autoscale the service also closes the paper's reader-scaling
+// loop: each session's worker pool is resized between 1 and
+// -max-readers-per-session from its observed starvation — a trainer that
+// stops returning dppnet credits starves its session's merge and the
+// pool shrinks; a trainer outrunning the readers grows it. Scaling never
+// changes the bytes a trainer receives, only their pace.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap; 0 is unlimited")
 		scanCacheMB = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB; 0 or negative disables (ShareScans sessions rejected)")
 		rawCacheMB  = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
+		autoscale   = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
+		maxReaders  = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
 	)
 	flag.Parse()
 
@@ -55,12 +64,16 @@ func main() {
 	if *scanCacheMB > 0 {
 		scanBudget = *scanCacheMB << 20
 	}
-	svc, err := dpp.New(dpp.Config{
+	cfg := dpp.Config{
 		Backend:        tt.Backend,
 		Catalog:        tt.Catalog,
 		MaxSessions:    *maxSessions,
 		ScanCacheBytes: scanBudget,
-	})
+	}
+	if *autoscale {
+		cfg.AutoScale = &dpp.AutoScalerConfig{MaxReaders: *maxReaders}
+	}
+	svc, err := dpp.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,6 +103,10 @@ func main() {
 	fmt.Printf("recd-serve: served %d sessions, %d batches; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
 		st.SessionsOpened, st.BatchesServed, st.Cache.Hits, st.Cache.Misses,
 		st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))
+	if *autoscale {
+		fmt.Printf("recd-serve: autoscaler resized worker pools %d up / %d down (cap %d readers/session)\n",
+			st.Scheduler.ScaleUps, st.Scheduler.ScaleDowns, *maxReaders)
+	}
 	if tt.Cache != nil {
 		bs := tt.Cache.Stats()
 		fmt.Printf("recd-serve: raw-byte tier %d/%d hits/misses\n", bs.Hits, bs.Misses)

@@ -96,6 +96,7 @@ func main() {
 	// boundary preprocessing runs on.
 	var open func(hour int64) dpp.Stream
 	var printSharing func()
+	var noteStream func(dpp.Stream)
 	if *connect == "" {
 		svc, err := dpp.New(dpp.Config{Backend: tt.Backend, Catalog: tt.Catalog})
 		if err != nil {
@@ -121,6 +122,13 @@ func main() {
 		}
 	} else {
 		client := dppnet.NewClient(*connect)
+		// Tally the scheduler telemetry each remote session's trailing
+		// stats frame reports: scale events are the server-side
+		// autoscaler at work (ShareScans sessions are exempt, so the
+		// demo's stay at one worker), and the worker/consumer stall
+		// split is the signal it scales on.
+		var scaleUps, scaleDowns, schedSessions int64
+		var workerStall, consumerStall time.Duration
 		open = func(hour int64) dpp.Stream {
 			files, err := tt.Catalog.Files("train", hour)
 			if err != nil {
@@ -132,6 +140,19 @@ func main() {
 			}
 			return rs
 		}
+		noteStream = func(sess dpp.Stream) {
+			rs, ok := sess.(*dppnet.RemoteSession)
+			if !ok {
+				return
+			}
+			if st, ok := rs.Stats(); ok {
+				scaleUps += st.Scheduler.ScaleUps
+				scaleDowns += st.Scheduler.ScaleDowns
+				workerStall += st.Scheduler.WorkerStall
+				consumerStall += st.Scheduler.ConsumerStall
+				schedSessions++
+			}
+		}
 		printSharing = func() {
 			st, err := client.ServiceStats(ctx)
 			if err != nil {
@@ -140,6 +161,11 @@ func main() {
 			fmt.Printf("\nremote scan sharing at %s across %d epochs: %d/%d scan-cache hits/misses (%d entries, %.1f MiB); %d sessions served, %d batches shipped\n",
 				*connect, *epochs, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries,
 				float64(st.Cache.Bytes)/(1<<20), st.SessionsOpened, st.BatchesServed)
+			if schedSessions > 0 {
+				fmt.Printf("server scheduling observed across %d sessions: %d/%d scale-ups/downs (service total %d/%d); stall %v waiting on readers, %v waiting on this trainer\n",
+					schedSessions, scaleUps, scaleDowns, st.Scheduler.ScaleUps, st.Scheduler.ScaleDowns,
+					workerStall.Round(time.Millisecond), consumerStall.Round(time.Millisecond))
+			}
 		}
 	}
 
@@ -150,6 +176,9 @@ func main() {
 		for {
 			b, err := sess.Next(ctx)
 			if err == io.EOF {
+				if noteStream != nil {
+					noteStream(sess)
+				}
 				return out
 			}
 			if err != nil {

@@ -40,14 +40,22 @@
 //   - dpp.Service hosts concurrent sessions. A training job submits a
 //     dpp.Spec (the DataLoader spec plus Readers/Buffer execution shape)
 //     and pulls preprocessed batches from the returned Session via
-//     Next(ctx) — no push callbacks. Each session plans its file scan
-//     round-robin across per-session reader workers, buffers at most
-//     Buffer batches per worker (backpressure), aggregates deterministic
-//     per-session reader.Stats, and dies cleanly on Close or job-context
-//     cancellation. Batch streams are deterministic: a Readers == 1
-//     session is byte-identical to a serial Reader.Run scan
-//     (internal/dpp's tests pin this under -race, concurrently with a
-//     second session of a different spec).
+//     Next(ctx) — no push callbacks. Each session runs a shared ordered
+//     work queue (reader.ScanQueue): fill workers claim file indices and
+//     decode in parallel, an ordered merge reassembles the stream, and
+//     the session buffers at most Readers×Buffer finished batches
+//     (backpressure), aggregates deterministic per-session reader.Stats,
+//     and dies cleanly on Close or job-context cancellation. Batch
+//     streams are deterministic and worker-count independent: every
+//     session is byte-identical to a serial Reader.Run scan at any pool
+//     size and across any resize history (internal/dpp's chaos tests pin
+//     this under -race across 51 seeded scale schedules).
+//   - dpp.AutoScaler closes the paper's reader-scaling loop per session:
+//     it watches the session's worker/consumer starvation counters
+//     (SessionStats.Scheduler) and resizes the pool within
+//     [MinReaders, MaxReaders] — enabled service-wide via
+//     dpp.Config.AutoScale (recd-serve -autoscale), where the dppnet
+//     credit window makes a slow remote trainer's pace observable.
 //
 // Sessions with equal-output specs can additionally share scans
 // (dpp.Spec.ShareScans): the Service's dpp.ScanCache memoizes decoded,

@@ -1,0 +1,181 @@
+package dpp_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dpp"
+	"repro/internal/testutil"
+)
+
+// fakeTarget is a scriptable ScaleTarget: the test sets the stall
+// counters, the controller resizes a plain integer.
+type fakeTarget struct {
+	workers                    int
+	workerStall, consumerStall time.Duration
+	resizes                    []int
+}
+
+func (f *fakeTarget) SchedulerStats() dpp.SchedulerStats {
+	return dpp.SchedulerStats{
+		Workers:       f.workers,
+		WorkerStall:   f.workerStall,
+		ConsumerStall: f.consumerStall,
+	}
+}
+
+func (f *fakeTarget) Resize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	f.workers = n
+	f.resizes = append(f.resizes, n)
+	return n
+}
+
+// TestAutoScalerDecisions pins the controller's decision table on a
+// scripted stall trace — fully deterministic, no clocks, no goroutines:
+// worker starvation scales up one step, consumer starvation scales down
+// one step, balanced or sub-threshold stalls hold, and [Min, Max] bound
+// everything including an out-of-range starting pool.
+func TestAutoScalerDecisions(t *testing.T) {
+	tgt := &fakeTarget{workers: 2}
+	as, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{
+		MinReaders: 1, MaxReaders: 4,
+		Interval:  10 * time.Millisecond,
+		Threshold: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(wantWorkers int, wantResized bool) {
+		t.Helper()
+		got, resized := as.Step()
+		if got != wantWorkers || resized != wantResized {
+			t.Fatalf("Step = (%d, %v), want (%d, %v)", got, resized, wantWorkers, wantResized)
+		}
+	}
+
+	// No stall at all: hold.
+	step(2, false)
+
+	// Worker stall dominates: up one step per interval until Max.
+	tgt.workerStall += 5 * time.Millisecond
+	step(3, true)
+	tgt.workerStall += 5 * time.Millisecond
+	step(4, true)
+	tgt.workerStall += 5 * time.Millisecond
+	step(4, false) // pinned at MaxReaders
+
+	// Consumer stall dominates: down one step per interval until Min.
+	tgt.consumerStall += 20 * time.Millisecond
+	step(3, true)
+	tgt.consumerStall += 20 * time.Millisecond
+	step(2, true)
+	tgt.consumerStall += 20 * time.Millisecond
+	step(1, true)
+	tgt.consumerStall += 20 * time.Millisecond
+	step(1, false) // pinned at MinReaders
+
+	// Balanced stalls (neither dominates 2x): hold.
+	tgt.workerStall += 10 * time.Millisecond
+	tgt.consumerStall += 10 * time.Millisecond
+	step(1, false)
+
+	// Dominant but sub-threshold stall: hold (hysteresis).
+	tgt.workerStall += 500 * time.Microsecond
+	step(1, false)
+	// The sub-threshold delta is consumed, not banked: repeating it still
+	// holds rather than accumulating into a trigger.
+	tgt.workerStall += 500 * time.Microsecond
+	step(1, false)
+
+	// A pool outside the bounds is clamped before anything else.
+	tgt.workers = 9
+	step(4, true)
+	if got := tgt.resizes[len(tgt.resizes)-1]; got != 4 {
+		t.Fatalf("clamp resized to %d, want 4", got)
+	}
+}
+
+// TestAutoScalerRunOnFakeClock drives Run on a manual-advance clock: each
+// Advance(interval) fires exactly one decision, so the resize sequence is
+// reproducible without a single time.Sleep.
+func TestAutoScalerRunOnFakeClock(t *testing.T) {
+	clock := testutil.NewClock(time.Unix(0, 0))
+	tgt := &fakeTarget{workers: 1}
+	const interval = 10 * time.Millisecond
+	as, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{
+		MinReaders: 1, MaxReaders: 3,
+		Interval:  interval,
+		Threshold: time.Millisecond,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		as.Run(ctx)
+	}()
+
+	// Each round: wait for Run to arm its tick, script the stalls, fire
+	// the tick, and wait for the decision to land (Run re-arms only after
+	// Step returns). Note Run reads the fake target without locks — safe
+	// here because BlockUntilWaiters strictly alternates test writes with
+	// controller reads.
+	tick := func() {
+		t.Helper()
+		clock.BlockUntilWaiters(t, 1)
+		clock.Advance(interval)
+		testutil.Eventually(t, func() bool { return clock.Waiters() == 1 || ctx.Err() != nil },
+			"controller finished its step")
+	}
+
+	clock.BlockUntilWaiters(t, 1)
+	tgt.workerStall = 8 * time.Millisecond
+	tick() // 1 → 2
+	tgt.workerStall = 16 * time.Millisecond
+	tick() // 2 → 3
+	tick() // hold: no new stall this interval
+	tgt.consumerStall = 40 * time.Millisecond
+	tick() // 3 → 2
+
+	cancel()
+	<-done
+	want := []int{2, 3, 2}
+	if len(tgt.resizes) != len(want) {
+		t.Fatalf("resize sequence %v, want %v", tgt.resizes, want)
+	}
+	for i := range want {
+		if tgt.resizes[i] != want[i] {
+			t.Fatalf("resize sequence %v, want %v", tgt.resizes, want)
+		}
+	}
+}
+
+// TestAutoScalerConfigValidation: nonsense bounds are rejected up front.
+func TestAutoScalerConfigValidation(t *testing.T) {
+	tgt := &fakeTarget{workers: 1}
+	if _, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{MinReaders: 4, MaxReaders: 2}); err == nil {
+		t.Fatal("expected error for Max < Min")
+	}
+	if _, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{MinReaders: -1}); err == nil {
+		t.Fatal("expected error for negative Min")
+	}
+	if _, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{Interval: -time.Second}); err == nil {
+		t.Fatal("expected error for negative interval")
+	}
+	as, err := dpp.NewAutoScaler(tgt, dpp.AutoScalerConfig{})
+	if err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+	if w, resized := as.Step(); w != 1 || resized {
+		t.Fatalf("idle Step on defaults = (%d, %v), want (1, false)", w, resized)
+	}
+}

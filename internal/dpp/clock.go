@@ -1,0 +1,21 @@
+package dpp
+
+import "time"
+
+// Clock abstracts time for the scheduling layer: stall accounting on
+// sessions and the AutoScaler's decision ticks. Production code runs on
+// the wall clock; tests inject a manual-advance clock
+// (internal/testutil.Clock satisfies this interface) so controller
+// decisions are reproducible without time.Sleep.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// systemClock is the wall-clock default used when no Clock is injected.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

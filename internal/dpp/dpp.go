@@ -3,15 +3,19 @@
 // submit DataLoader Specs to, each getting back a Session — a pull-based
 // batch iterator — instead of registering a push callback.
 //
-// A Session plans its table scan across per-session reader workers
-// (reader.PlanRoundRobin, the paper's reader-fleet sharding), multiplexes with every
-// other session over one shared storage.Backend, buffers at most
-// Spec.Buffer decoded batches per worker (backpressure: slow trainers
-// stall their own readers, not the service), and tears everything down
-// promptly on context cancellation or Close. Batch order is
-// deterministic: the stream equals the concatenation of serial
-// reader.Run scans over each worker's planned file assignment, so a
-// session with Readers == 1 is byte-identical to a direct serial scan.
+// A Session executes its table scan through a shared ordered work queue
+// (reader.ScanQueue): fill workers claim file indices and decode them in
+// parallel, and an ordered merge reassembles the batch stream,
+// multiplexing with every other session over one shared storage.Backend.
+// Sessions buffer at most Readers×Buffer decoded batches ahead of the
+// consumer (backpressure: slow trainers stall their own readers, not the
+// service) and tear everything down promptly on context cancellation or
+// Close. Batch order is deterministic and worker-count independent: the
+// stream is byte-identical to one serial reader.Run over the whole scan
+// set at every pool size and across every resize history — which is what
+// lets the service resize pools live. With Config.AutoScale set, a
+// per-session AutoScaler closes the paper's reader-scaling loop from the
+// session's observed worker/consumer starvation.
 //
 // Sessions may additionally opt into cross-session scan sharing
 // (Spec.ShareScans): the Service owns a ScanCache that memoizes decoded,
@@ -45,6 +49,16 @@ type Config struct {
 	// negative disables the cache entirely (ShareScans sessions are then
 	// rejected at Open).
 	ScanCacheBytes int64
+	// AutoScale, when non-nil, attaches a per-session AutoScaler to every
+	// queue-backed session (ShareScans sessions run a single scan loop
+	// and are exempt): the service resizes each session's worker pool
+	// within [MinReaders, MaxReaders] from its observed worker/consumer
+	// starvation. Nil keeps every pool at its Spec.Readers size.
+	AutoScale *AutoScalerConfig
+	// Clock stamps the sessions' stall accounting and drives AutoScaler
+	// ticks. Nil uses the wall clock; tests inject a manual-advance clock
+	// for reproducible controller decisions.
+	Clock Clock
 }
 
 // DefaultScanCacheBytes is the scan-cache budget used when Config leaves
@@ -62,6 +76,10 @@ type Service struct {
 	// cache memoizes file scans across ShareScans sessions; nil when
 	// disabled by Config.ScanCacheBytes < 0.
 	cache *ScanCache
+	// autoscale, when non-nil, is the defaulted controller config every
+	// queue-backed session gets an AutoScaler from.
+	autoscale *AutoScalerConfig
+	clock     Clock
 
 	mu       sync.Mutex
 	closed   bool
@@ -73,6 +91,8 @@ type Service struct {
 
 	opened        int64
 	batchesServed int64
+	scaleUps      int64
+	scaleDowns    int64
 }
 
 // New validates the config and builds an empty service.
@@ -91,12 +111,30 @@ func New(cfg Config) (*Service, error) {
 		}
 		cache = NewScanCache(budget)
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = systemClock{}
+	}
+	var autoscale *AutoScalerConfig
+	if cfg.AutoScale != nil {
+		ac := *cfg.AutoScale
+		if ac.Clock == nil {
+			ac.Clock = clock
+		}
+		ac = ac.withDefaults()
+		if err := ac.validate(); err != nil {
+			return nil, err
+		}
+		autoscale = &ac
+	}
 	return &Service{
-		backend:  cfg.Backend,
-		catalog:  cfg.Catalog,
-		max:      cfg.MaxSessions,
-		cache:    cache,
-		sessions: make(map[int64]*Session),
+		backend:   cfg.Backend,
+		catalog:   cfg.Catalog,
+		max:       cfg.MaxSessions,
+		cache:     cache,
+		autoscale: autoscale,
+		clock:     clock,
+		sessions:  make(map[int64]*Session),
 	}, nil
 }
 
@@ -116,6 +154,16 @@ type Stats struct {
 	// Cache is the cross-session scan cache's aggregate accounting;
 	// zero-valued when the cache is disabled.
 	Cache ScanCacheStats
+	// Scheduler aggregates worker-pool resizes across every session —
+	// the service-level view of autoscaling activity (sessions resized
+	// directly via Session.Resize count too).
+	Scheduler ServiceSchedulerStats
+}
+
+// ServiceSchedulerStats is the service-wide scaling activity.
+type ServiceSchedulerStats struct {
+	// ScaleUps and ScaleDowns count pool resizes across all sessions.
+	ScaleUps, ScaleDowns int64
 }
 
 // Stats returns a snapshot of the service accounting.
@@ -131,6 +179,7 @@ func (s *Service) Stats() Stats {
 		ActiveSessions: len(s.sessions),
 		BatchesServed:  s.batchesServed,
 		Cache:          cache,
+		Scheduler:      ServiceSchedulerStats{ScaleUps: s.scaleUps, ScaleDowns: s.scaleDowns},
 	}
 }
 
@@ -216,6 +265,16 @@ func (s *Service) Close() error {
 func (s *Service) noteBatch() {
 	s.mu.Lock()
 	s.batchesServed++
+	s.mu.Unlock()
+}
+
+func (s *Service) noteScale(up bool) {
+	s.mu.Lock()
+	if up {
+		s.scaleUps++
+	} else {
+		s.scaleDowns++
+	}
 	s.mu.Unlock()
 }
 

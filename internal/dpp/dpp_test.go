@@ -210,55 +210,39 @@ func TestConcurrentSessionsMatchSerial(t *testing.T) {
 	}
 }
 
-// TestMultiReaderSessionMatchesPlan: with Readers > 1 the batch stream
-// equals the concatenation of serial scans over each planned assignment,
-// and the aggregate counters equal the per-assignment sums.
-func TestMultiReaderSessionMatchesPlan(t *testing.T) {
+// TestMultiReaderSessionMatchesSerial: the ordered work queue makes the
+// batch stream worker-count independent — with Readers > 1 the stream is
+// byte-identical to the single serial scan over the whole file list
+// (batch boundaries and all, even when rows carry across files), with
+// identical deterministic counters.
+func TestMultiReaderSessionMatchesSerial(t *testing.T) {
 	env := newTestEnv(t, 60)
 	svc := newService(t, env, dpp.Config{})
-	spec := dedupSpec()
 
-	files, err := env.catalog.AllFiles(spec.Table)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const workers = 3
-	var wantEnc [][]byte
-	var wantStats reader.Stats
-	for _, assigned := range reader.PlanRoundRobin(files, workers) {
-		r, err := reader.NewReader(env.store, spec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := r.Run(context.Background(), assigned, func(b *reader.Batch) error {
-			var buf bytes.Buffer
-			if err := b.Encode(&buf); err != nil {
-				return err
+	for _, spec := range []reader.Spec{dedupSpec(), kjtSpec()} {
+		wantEnc, wantStats := serialReference(t, env, spec)
+		for _, workers := range []int{2, 3, 5} {
+			sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: workers, Buffer: 1})
+			if err != nil {
+				t.Fatal(err)
 			}
-			wantEnc = append(wantEnc, buf.Bytes())
-			return nil
-		}); err != nil {
-			t.Fatal(err)
-		}
-		wantStats.Add(r.Stats())
-	}
+			gotEnc := drainSession(t, sess)
 
-	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: workers, Buffer: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotEnc := drainSession(t, sess)
-
-	if len(gotEnc) != len(wantEnc) {
-		t.Fatalf("session produced %d batches, plan reference %d", len(gotEnc), len(wantEnc))
-	}
-	for i := range wantEnc {
-		if !bytes.Equal(gotEnc[i], wantEnc[i]) {
-			t.Fatalf("batch %d differs from plan reference", i)
+			if len(gotEnc) != len(wantEnc) {
+				t.Fatalf("readers=%d produced %d batches, serial reference %d", workers, len(gotEnc), len(wantEnc))
+			}
+			for i := range wantEnc {
+				if !bytes.Equal(gotEnc[i], wantEnc[i]) {
+					t.Fatalf("readers=%d batch %d differs from serial reference", workers, i)
+				}
+			}
+			if got, want := counters(sess.Stats().Reader), counters(wantStats); got != want {
+				t.Fatalf("readers=%d stats counters %v, serial reference %v", workers, got, want)
+			}
+			if w := sess.Stats().Scheduler.Workers; w != workers {
+				t.Fatalf("SchedulerStats.Workers = %d, want %d", w, workers)
+			}
 		}
-	}
-	if got, want := counters(sess.Stats().Reader), counters(wantStats); got != want {
-		t.Fatalf("stats counters %v, plan reference %v", got, want)
 	}
 }
 
@@ -800,7 +784,8 @@ func TestShareScansRejectedWhenCacheDisabled(t *testing.T) {
 // TestSessionDrainAccounting is the session-era Drain contract (the old
 // reader.Tier.Drain): draining a multi-reader session while discarding
 // every batch yields the same batch count and deterministic counters as
-// the per-assignment serial references, without retaining any batch.
+// one serial scan over the whole file list (the queue model's reference
+// at every worker count), without retaining any batch.
 func TestSessionDrainAccounting(t *testing.T) {
 	env := newTestEnv(t, 40)
 	svc := newService(t, env, dpp.Config{})
@@ -813,18 +798,18 @@ func TestSessionDrainAccounting(t *testing.T) {
 	const workers = 3
 	var wantBatches int
 	var wantStats reader.Stats
-	for _, assigned := range reader.PlanRoundRobin(files, workers) {
+	{
 		r, err := reader.NewReader(env.store, spec)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := r.Run(context.Background(), assigned, func(*reader.Batch) error {
+		if err := r.Run(context.Background(), files, func(*reader.Batch) error {
 			wantBatches++
 			return nil
 		}); err != nil {
 			t.Fatal(err)
 		}
-		wantStats.Add(r.Stats())
+		wantStats = r.Stats()
 	}
 
 	sess, err := svc.Open(context.Background(), dpp.Spec{Spec: spec, Readers: workers, Buffer: 1})

@@ -79,11 +79,7 @@ func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
 	}
 	switch typ {
 	case frameSvcStats:
-		var st dpp.Stats
-		if err := json.Unmarshal(payload, &st); err != nil {
-			return dpp.Stats{}, err
-		}
-		return st, nil
+		return decodeServiceStats(payload)
 	case frameError:
 		return dpp.Stats{}, fmt.Errorf("%w: %s", ErrRemote, payload)
 	default:

@@ -25,13 +25,8 @@ import (
 // waitActiveSessions polls the service until no session holds a slot.
 func waitActiveSessions(t *testing.T, svc *dpp.Service, want int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for svc.Stats().ActiveSessions != want {
-		if time.Now().After(deadline) {
-			t.Fatalf("service holds %d sessions, want %d", svc.Stats().ActiveSessions, want)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, func() bool { return svc.Stats().ActiveSessions == want },
+		"service session count settles to %d", want)
 }
 
 // TestClientVanishDuringSend: a client that disappears without a close
@@ -347,13 +342,8 @@ func TestAbandonedSessionAfterCancel(t *testing.T) {
 	}
 	// Let the server exhaust the window so the receiver has buffered
 	// batches it will never deliver.
-	deadline := time.Now().Add(5 * time.Second)
-	for h.svc.Stats().BatchesServed < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("server never started streaming")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, func() bool { return h.svc.Stats().BatchesServed >= 1 },
+		"server started streaming")
 	cancel()
 	_ = rs // abandoned: no Close, no further Next
 

@@ -1,0 +1,115 @@
+package dppnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/dpp"
+	"repro/internal/reader"
+)
+
+// Fuzz coverage for the two stats codecs the PR-5 scheduler fields
+// extended: the binary session-stats frame (reader.Stats + cache
+// counters + scheduler block) and the JSON svcstats frame. The
+// adversarial model matches the batch-frame fuzzer: a malicious or
+// corrupt server must never panic the client, every accepted decode must
+// round-trip, and forged counts/overflow are rejected, not wrapped.
+
+func sessionStatsSeed(st dpp.SessionStats) []byte {
+	var buf bytes.Buffer
+	if err := encodeSessionStats(&buf, st); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeSessionStats: decodeSessionStats on arbitrary bytes either
+// fails cleanly or yields a value whose re-encoding decodes back equal
+// (the codec is a bijection on its accepted set), with every counter
+// non-negative and the worker count within the wire cap.
+func FuzzDecodeSessionStats(f *testing.F) {
+	full := dpp.SessionStats{
+		Reader: reader.Stats{
+			FillTime: 123 * time.Millisecond, ConvertTime: 45 * time.Millisecond,
+			ProcessTime: 6 * time.Millisecond, ReadBytes: 1 << 20, SentBytes: 1 << 21,
+			RowsDecoded: 4096, BatchesProduced: 16, ConvertValues: 99999, ProcessOps: 1234,
+		},
+		Cache: dpp.SessionCacheStats{Hits: 7, Misses: 3},
+		Scheduler: dpp.SchedulerStats{
+			Workers: 5, ScaleUps: 4, ScaleDowns: 2,
+			WorkerStall: 250 * time.Millisecond, ConsumerStall: 80 * time.Millisecond,
+		},
+	}
+	f.Add(sessionStatsSeed(full))
+	f.Add(sessionStatsSeed(dpp.SessionStats{Scheduler: dpp.SchedulerStats{Workers: 1}}))
+	// Truncations exercise every partial-field error path.
+	whole := sessionStatsSeed(full)
+	for _, cut := range []int{1, len(whole) / 2, len(whole) - 1} {
+		f.Add(whole[:cut])
+	}
+	// Forged tails: plausible reader stats followed by hostile varints.
+	var forged bytes.Buffer
+	if err := (reader.Stats{}).Encode(&forged); err != nil {
+		f.Fatal(err)
+	}
+	overflow := binary.AppendUvarint(nil, 1<<63)
+	f.Add(append(append([]byte(nil), forged.Bytes()...), bytes.Repeat(overflow, 7)...))
+	hugeWorkers := forged.Bytes()
+	hugeWorkers = binary.AppendUvarint(hugeWorkers, 0) // hits
+	hugeWorkers = binary.AppendUvarint(hugeWorkers, 0) // misses
+	hugeWorkers = binary.AppendUvarint(hugeWorkers, maxWireWorkers+1)
+	f.Add(hugeWorkers)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeSessionStats(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if st.Cache.Hits < 0 || st.Cache.Misses < 0 ||
+			st.Scheduler.Workers < 0 || st.Scheduler.Workers > maxWireWorkers ||
+			st.Scheduler.ScaleUps < 0 || st.Scheduler.ScaleDowns < 0 ||
+			st.Scheduler.WorkerStall < 0 || st.Scheduler.ConsumerStall < 0 {
+			t.Fatalf("accepted stats with out-of-range fields: %+v", st)
+		}
+		var re bytes.Buffer
+		if err := encodeSessionStats(&re, st); err != nil {
+			t.Fatalf("re-encoding accepted stats: %v", err)
+		}
+		back, err := decodeSessionStats(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if back != st {
+			t.Fatalf("round trip changed stats:\n got %+v\nwant %+v", back, st)
+		}
+	})
+}
+
+// FuzzDecodeServiceStats: the svcstats JSON decoder on arbitrary bytes
+// either fails cleanly or yields service stats with no negative counter
+// — a forged statsz reply cannot poison downstream rate math.
+func FuzzDecodeServiceStats(f *testing.F) {
+	f.Add([]byte(`{"SessionsOpened":3,"ActiveSessions":1,"BatchesServed":42,` +
+		`"Cache":{"Hits":5,"Misses":2,"Evictions":0,"Entries":2,"Bytes":1024},` +
+		`"Scheduler":{"ScaleUps":4,"ScaleDowns":1}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"BatchesServed":-1}`))
+	f.Add([]byte(`{"Scheduler":{"ScaleUps":-9}}`))
+	f.Add([]byte(`{"BatchesServed":999999999999999999999999}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeServiceStats(data)
+		if err != nil {
+			return
+		}
+		if st.SessionsOpened < 0 || st.ActiveSessions < 0 || st.BatchesServed < 0 ||
+			st.Cache.Hits < 0 || st.Cache.Misses < 0 || st.Cache.Evictions < 0 ||
+			st.Cache.Entries < 0 || st.Cache.Bytes < 0 ||
+			st.Scheduler.ScaleUps < 0 || st.Scheduler.ScaleDowns < 0 {
+			t.Fatalf("accepted service stats with negative fields: %+v", st)
+		}
+	})
+}

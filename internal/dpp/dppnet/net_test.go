@@ -168,8 +168,14 @@ func drainRemote(t *testing.T, rs *RemoteSession) [][]byte {
 // as a local dpp.Session with the same spec, and the trailing stats
 // frame must carry the same deterministic counters and cache traffic the
 // local session reports.
+//
+// The server runs with autoscaling ON (aggressive interval, so resizes
+// really happen mid-stream): the scheduling loop lives server-side where
+// the credit window is, and it must never perturb the stream bytes or
+// the deterministic counters a trainer sees.
 func TestRemoteSessionMatchesLocal(t *testing.T) {
 	env := newTestEnv(t, 60)
+	autoscale := &dpp.AutoScalerConfig{MinReaders: 1, MaxReaders: 4, Interval: time.Millisecond}
 	cases := []struct {
 		name  string
 		spec  reader.Spec
@@ -196,7 +202,7 @@ func TestRemoteSessionMatchesLocal(t *testing.T) {
 			wantEnc := drainLocal(t, sess)
 			wantStats := sess.Stats()
 
-			h := startServer(t, env, dpp.Config{})
+			h := startServer(t, env, dpp.Config{AutoScale: autoscale})
 			rs, err := NewClient(h.addr).Open(context.Background(), dpp.Spec{Spec: tc.spec, ShareScans: tc.share})
 			if err != nil {
 				t.Fatal(err)
@@ -223,6 +229,15 @@ func TestRemoteSessionMatchesLocal(t *testing.T) {
 			}
 			if tc.share && gotStats.Cache.Misses == 0 {
 				t.Fatal("ShareScans session reported no cache traffic at all")
+			}
+			// The scheduler block crosses the wire: the pool size is
+			// always at least one worker (exactly one for ShareScans,
+			// whose sessions are exempt from scaling).
+			if w := gotStats.Scheduler.Workers; w < 1 {
+				t.Fatalf("remote scheduler stats carried %d workers", w)
+			}
+			if tc.share && gotStats.Scheduler.Workers != 1 {
+				t.Fatalf("ShareScans session reported %d workers, want 1", gotStats.Scheduler.Workers)
 			}
 		})
 	}
@@ -269,13 +284,8 @@ func TestRemoteBackpressureWindow(t *testing.T) {
 
 	// Without a single Next call, the server may pull exactly one batch
 	// from the session (the unspent initial credit) and must then park.
-	deadline := time.Now().Add(5 * time.Second)
-	for h.svc.Stats().BatchesServed < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("server never started streaming")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, func() bool { return h.svc.Stats().BatchesServed >= 1 },
+		"server started streaming")
 	time.Sleep(150 * time.Millisecond) // would overshoot here if credits were ignored
 	if n := h.svc.Stats().BatchesServed; n != 1 {
 		t.Fatalf("server pulled %d batches with no credits returned, window is 1", n)
@@ -287,6 +297,46 @@ func TestRemoteBackpressureWindow(t *testing.T) {
 	}
 	if n := h.svc.Stats().BatchesServed; n != int64(len(got)) {
 		t.Fatalf("service served %d batches, client received %d", n, len(got))
+	}
+}
+
+// TestRemoteAutoscaleRespondsToCreditStarvation closes the loop the
+// ROADMAP asked for: the dppnet credit window measures consumer pace,
+// and with autoscaling on, a remote consumer that stops returning
+// credits starves the server-side merge at the window — which the
+// session's AutoScaler reads as consumer stall and answers by shrinking
+// the pool. The stream the slow consumer eventually drains is still
+// byte-identical in count and carries the scale events in its trailing
+// stats frame.
+func TestRemoteAutoscaleRespondsToCreditStarvation(t *testing.T) {
+	// A wide scan (hundreds of batches over many files), so the parked
+	// consumer provably leaves the merge starved mid-stream rather than
+	// letting the whole table fit in the window + output buffer.
+	env := newTestEnv(t, 400)
+	h := startServer(t, env, dpp.Config{
+		AutoScale: &dpp.AutoScalerConfig{MinReaders: 1, MaxReaders: 8, Interval: 2 * time.Millisecond},
+	})
+
+	// Window = Readers(4) × Buffer(1) = 4 batches in flight, then the
+	// server parks: no credits come back because the consumer never
+	// calls Next.
+	rs, err := NewClient(h.addr).Open(context.Background(), dpp.Spec{Spec: alignedSpec(), Readers: 4, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, func() bool { return h.svc.Stats().Scheduler.ScaleDowns >= 3 },
+		"server scaled the starved session down (scheduler %+v)", h.svc.Stats().Scheduler)
+
+	got := drainRemote(t, rs)
+	if len(got) < 2 {
+		t.Fatalf("drain returned %d batches, want a multi-batch scan", len(got))
+	}
+	st, ok := rs.Stats()
+	if !ok {
+		t.Fatal("stats missing after clean EOF")
+	}
+	if st.Scheduler.ScaleDowns < 3 || st.Scheduler.ConsumerStall == 0 {
+		t.Fatalf("trailing stats carry no starvation evidence: %+v", st.Scheduler)
 	}
 }
 
@@ -332,13 +382,8 @@ func TestRemoteSessionContextCancellation(t *testing.T) {
 	rs.Close()
 
 	// The server side must release the session slot.
-	deadline := time.Now().Add(5 * time.Second)
-	for h.svc.Stats().ActiveSessions != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("server still holds %d sessions after client cancel", h.svc.Stats().ActiveSessions)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, func() bool { return h.svc.Stats().ActiveSessions == 0 },
+		"server released the cancelled session's slot")
 
 	h.shutdown(t)
 	testutil.WaitForGoroutines(t, before)
@@ -369,13 +414,8 @@ func TestRemoteSessionClose(t *testing.T) {
 		t.Fatalf("Next after Close = %v, want dpp.ErrClosed", err)
 	}
 
-	deadline := time.Now().Add(5 * time.Second)
-	for h.svc.Stats().ActiveSessions != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("server still holds %d sessions after Close", h.svc.Stats().ActiveSessions)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, func() bool { return h.svc.Stats().ActiveSessions == 0 },
+		"server released the closed session's slot")
 
 	h.shutdown(t)
 	testutil.WaitForGoroutines(t, before)

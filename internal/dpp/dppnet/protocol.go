@@ -31,18 +31,23 @@ package dppnet
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/dpp"
 	"repro/internal/reader"
 )
 
 // Connection preamble: magic + one version byte, written by the client
-// before its handshake frame.
+// before its handshake frame. Version 2 extended the session-stats frame
+// with the scheduler block (workers, scale events, starvation stalls);
+// the bump keeps a mixed-version pair from handshaking and then
+// mis-decoding the trailing stats frame.
 const (
 	protoMagic   = "DPPN"
-	protoVersion = 1
+	protoVersion = 2
 )
 
 // Frame types. Client→server frames are small control messages; all bulk
@@ -149,14 +154,27 @@ func readFrame(r reader.ByteReader, limit uint64) (byte, []byte, error) {
 	return typ, payload, nil
 }
 
+// maxWireWorkers caps the decoded scheduler Workers field: no
+// conceivable pool is wider, so anything larger is a corrupt or forged
+// frame, rejected before it can reach capacity planning downstream.
+const maxWireWorkers = 1 << 20
+
 // encodeSessionStats serializes a session's final accounting: the
-// reader.Stats wire codec followed by the scan-cache counters.
+// reader.Stats wire codec, the scan-cache counters, then the scheduler
+// block (pool size, resize counts, and the two starvation stalls in
+// nanoseconds) — the credit-window starvation a trainer reads back to
+// see how the service scaled its session.
 func encodeSessionStats(w io.Writer, st dpp.SessionStats) error {
 	if err := st.Reader.Encode(w); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
-	for _, v := range [2]int64{st.Cache.Hits, st.Cache.Misses} {
+	fields := [7]int64{
+		st.Cache.Hits, st.Cache.Misses,
+		int64(st.Scheduler.Workers), st.Scheduler.ScaleUps, st.Scheduler.ScaleDowns,
+		int64(st.Scheduler.WorkerStall), int64(st.Scheduler.ConsumerStall),
+	}
+	for _, v := range fields {
 		n := binary.PutUvarint(buf[:], uint64(v))
 		if _, err := w.Write(buf[:n]); err != nil {
 			return err
@@ -165,22 +183,66 @@ func encodeSessionStats(w io.Writer, st dpp.SessionStats) error {
 	return nil
 }
 
-// decodeSessionStats reads what encodeSessionStats wrote.
+// decodeSessionStats reads what encodeSessionStats wrote, bounding every
+// counter at decode time: truncated frames fail cleanly, forged counts
+// and overflowed durations are rejected rather than wrapped into
+// negative accounting.
 func decodeSessionStats(r reader.ByteReader) (dpp.SessionStats, error) {
 	var st dpp.SessionStats
 	var err error
 	if st.Reader, err = reader.DecodeStats(r); err != nil {
 		return dpp.SessionStats{}, err
 	}
-	for _, f := range [2]*int64{&st.Cache.Hits, &st.Cache.Misses} {
+	var workers, workerStall, consumerStall int64
+	fields := [7]*int64{
+		&st.Cache.Hits, &st.Cache.Misses,
+		&workers, &st.Scheduler.ScaleUps, &st.Scheduler.ScaleDowns,
+		&workerStall, &consumerStall,
+	}
+	for _, f := range fields {
 		v, err := binary.ReadUvarint(r)
 		if err != nil {
 			return dpp.SessionStats{}, err
 		}
 		if v > 1<<62 {
-			return dpp.SessionStats{}, fmt.Errorf("dppnet: implausible cache counter %d", v)
+			return dpp.SessionStats{}, fmt.Errorf("dppnet: implausible stats counter %d", v)
 		}
 		*f = int64(v)
+	}
+	if workers > maxWireWorkers {
+		return dpp.SessionStats{}, fmt.Errorf("dppnet: implausible worker count %d", workers)
+	}
+	st.Scheduler.Workers = int(workers)
+	st.Scheduler.WorkerStall = time.Duration(workerStall)
+	st.Scheduler.ConsumerStall = time.Duration(consumerStall)
+	return st, nil
+}
+
+// decodeServiceStats parses a svcstats frame (the JSON dpp.Stats answer
+// to a statsz probe) with the same adversarial posture as the binary
+// codecs: malformed JSON fails, and negative counters — impossible from
+// a well-behaved server, trivially forged otherwise — are rejected
+// instead of poisoning downstream rate math.
+func decodeServiceStats(payload []byte) (dpp.Stats, error) {
+	var st dpp.Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return dpp.Stats{}, err
+	}
+	for name, v := range map[string]int64{
+		"SessionsOpened":       st.SessionsOpened,
+		"ActiveSessions":       int64(st.ActiveSessions),
+		"BatchesServed":        st.BatchesServed,
+		"Cache.Hits":           st.Cache.Hits,
+		"Cache.Misses":         st.Cache.Misses,
+		"Cache.Evictions":      st.Cache.Evictions,
+		"Cache.Entries":        int64(st.Cache.Entries),
+		"Cache.Bytes":          st.Cache.Bytes,
+		"Scheduler.ScaleUps":   st.Scheduler.ScaleUps,
+		"Scheduler.ScaleDowns": st.Scheduler.ScaleDowns,
+	} {
+		if v < 0 {
+			return dpp.Stats{}, fmt.Errorf("dppnet: negative service stat %s = %d", name, v)
+		}
 	}
 	return st, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/reader"
@@ -20,13 +21,16 @@ var ErrClosed = errors.New("dpp: session closed")
 type Spec struct {
 	reader.Spec
 
-	// Readers is the per-session reader-worker count; files are split
-	// across workers round-robin (reader.PlanRoundRobin).
-	// 0 defaults to 1, which makes the session's batch stream
-	// byte-identical to a serial reader.Run over the whole scan set.
+	// Readers is the session's initial reader-worker count. Workers pull
+	// file indices from a shared ordered work queue and an ordered merge
+	// reassembles the stream, so the batch stream is byte-identical to a
+	// serial reader.Run over the whole scan set at every worker count —
+	// and stays so when the service's AutoScaler resizes the pool
+	// mid-scan. 0 defaults to 1.
 	Readers int
-	// Buffer bounds how many decoded batches each worker may hold ahead
-	// of the consumer (backpressure). 0 defaults to 2.
+	// Buffer sizes the session's decoded-batch buffer ahead of the
+	// consumer (backpressure) together with Readers: the session holds at
+	// most Readers×Buffer finished batches. 0 defaults to 2.
 	Buffer int
 	// Files optionally fixes the scan set explicitly — a partition's
 	// files, a sampled subset — bypassing catalog resolution of Table.
@@ -40,11 +44,14 @@ type Spec struct {
 	// between sessions and must be treated as read-only (which Batch
 	// consumers already must: batches never alias writer state).
 	//
-	// Caveat: the shared scan loop runs fill inline, so reader.Spec's
-	// FillAhead prefetch knob has no effect on a ShareScans session's
-	// cache misses (ConvertWorkers still applies). Miss-heavy workloads
-	// that depend on fill/convert overlap should stay unshared until
-	// the cache grows miss-path prefetch (see ROADMAP open items).
+	// A ShareScans session runs a single scan loop — the cache itself is
+	// its cross-session parallelism — so Readers is effectively 1 and
+	// Resize/autoscaling are no-ops on it. The shared scan loop also runs
+	// fill inline, so reader.Spec's FillAhead prefetch knob has no effect
+	// on a ShareScans session's cache misses (ConvertWorkers still
+	// applies). Miss-heavy workloads that depend on fill/convert overlap
+	// should stay unshared until the cache grows miss-path prefetch (see
+	// ROADMAP open items).
 	ShareScans bool
 }
 
@@ -52,11 +59,16 @@ type Spec struct {
 // applied when a Spec leaves Readers/Buffer zero. dppnet sizes a remote
 // session's receive window from the same values, so the network
 // boundary enforces the same backpressure bound a local session's
-// channels do.
+// output buffer does.
 const (
 	DefaultReaders = 1
 	DefaultBuffer  = 2
 )
+
+// maxBufferedBatches caps the session's decoded-batch output buffer
+// (Readers×Buffer), mirroring the dppnet credit-window cap: a deeper
+// buffer buys no overlap and only defers backpressure.
+const maxBufferedBatches = 1 << 10
 
 func (s Spec) withDefaults() Spec {
 	if s.Readers == 0 {
@@ -93,103 +105,303 @@ var _ Stream = (*Session)(nil)
 // Session is one job's pull-based batch stream. Next and Close may be
 // called from different goroutines, but Next itself is single-consumer:
 // one goroutine (the training loop) pulls batches in order.
+//
+// Internally the scan is a shared ordered work queue (reader.ScanQueue):
+// fill workers claim file indices and decode them in parallel, and one
+// assembler merges the results in file order, cutting and converting
+// batches exactly as a serial scan would. The worker pool is resizable
+// mid-scan (Resize, or the service's AutoScaler); the stream is
+// byte-identical to the serial reference regardless of the pool's size
+// or resize history.
 type Session struct {
 	svc    *Service
 	id     int64
 	cancel context.CancelFunc
 	ctx    context.Context
+	clock  Clock
+	// spec is the defaulted Spec the session was opened with; set once in
+	// newSession, read-only afterwards (late worker spawns derive their
+	// readers and the queue window from it).
+	spec Spec
 
-	chans []chan *reader.Batch
-	cur   int // next channel to drain (consumer-owned)
+	// out is the session's single bounded output buffer; the assembler
+	// (or the shared scan loop) feeds it, Next drains it. Closed once the
+	// scan ends, with the outcome recorded first.
+	out   chan *reader.Batch
+	queue *reader.ScanQueue // nil for ShareScans sessions (single scan loop)
 
 	wg sync.WaitGroup
 
-	mu       sync.Mutex
-	stats    reader.Stats
-	cache    SessionCacheStats
-	firstErr error
-	closed   bool
-	done     bool
+	// pmu guards the worker-pool shape. wg.Add for spawned workers
+	// happens under pmu, and teardown sets stopped under pmu before
+	// wg.Wait, so a racing Resize can never Add past a Wait.
+	pmu        sync.Mutex
+	target     int // desired worker count (= SchedulerStats.Workers)
+	active     int // workers currently running
+	stopped    bool
+	scaleUps   int64
+	scaleDowns int64
+
+	mu    sync.Mutex
+	stats reader.Stats
+	cache SessionCacheStats
+	// consumerStall is the completed blocked time handing batches to the
+	// consumer; consumerStallSince is nonzero while the merge is blocked
+	// right now, so the live interval is visible to the AutoScaler (a
+	// consumer parked forever must read as growing stall, not zero).
+	consumerStall      time.Duration
+	consumerStallSince time.Time
+	firstErr           error
+	closed             bool
+	done               bool
 }
 
-// newSession plans the scan and starts the reader workers. Workers begin
-// filling their bounded buffers immediately; nothing blocks on Open.
+// newSession plans the scan and starts the fill workers and the
+// assembler. Workers begin claiming and decoding files immediately;
+// nothing blocks on Open.
 func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []string) (*Session, error) {
 	if spec.ShareScans && svc.cache == nil {
 		return nil, fmt.Errorf("dpp: spec requests ShareScans but the service's scan cache is disabled")
 	}
 	sctx, cancel := context.WithCancel(ctx)
-	s := &Session{svc: svc, id: id, cancel: cancel, ctx: sctx}
-
-	fingerprint := ""
-	if spec.ShareScans {
-		fingerprint = spec.Spec.Fingerprint()
+	buffered := spec.Readers * spec.Buffer
+	if buffered > maxBufferedBatches {
+		buffered = maxBufferedBatches
 	}
-	assignments := reader.PlanRoundRobin(files, spec.Readers)
-	for _, assigned := range assignments {
-		if len(assigned) == 0 {
-			continue
-		}
+	s := &Session{
+		svc:    svc,
+		id:     id,
+		cancel: cancel,
+		ctx:    sctx,
+		clock:  svc.clock,
+		spec:   spec,
+		out:    make(chan *reader.Batch, buffered),
+		target: 1,
+	}
+
+	if spec.ShareScans {
 		r, err := reader.NewReader(svc.backend, spec.Spec)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		ch := make(chan *reader.Batch, spec.Buffer)
-		s.chans = append(s.chans, ch)
 		s.wg.Add(1)
-		if spec.ShareScans {
-			go s.runSharedWorker(r, fingerprint, assigned, ch)
-		} else {
-			go s.runWorker(r, assigned, ch)
+		go s.runSharedScan(r, spec.Spec.Fingerprint(), files)
+		return s, nil
+	}
+
+	asm, err := reader.NewReader(svc.backend, spec.Spec)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.queue = reader.NewScanQueue(files, queueWindow(spec, spec.Readers), s.clock.Now)
+
+	// The queue blocks on condition variables, not channels; this watcher
+	// translates context teardown into an Abort that wakes every parked
+	// worker. The assembler aborts the queue on exit too, so the watcher
+	// is only load-bearing for mid-scan cancellation.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.ctx.Done()
+		s.queue.Abort()
+	}()
+
+	s.pmu.Lock()
+	s.target = spec.Readers
+	for i := 0; i < spec.Readers; i++ {
+		if err := s.spawnWorkerLocked(spec.Spec); err != nil {
+			s.pmu.Unlock()
+			cancel()
+			s.queue.Abort()
+			return nil, err
 		}
+	}
+	s.pmu.Unlock()
+
+	s.wg.Add(1)
+	go s.runAssembler(asm)
+
+	if svc.autoscale != nil {
+		as, err := NewAutoScaler(s, *svc.autoscale)
+		if err != nil {
+			cancel()
+			s.queue.Abort()
+			return nil, err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			as.Run(s.ctx)
+		}()
 	}
 	return s, nil
 }
 
-// runWorker drives one reader over its file assignment, publishing
-// batches through the worker's bounded channel. The channel is closed
-// only after the worker's error and stats are recorded, so a consumer
-// that observes the close also observes the outcome.
-func (s *Session) runWorker(r *reader.Reader, files []string, ch chan *reader.Batch) {
+// queueWindow bounds how many files may be claimed (decoding or decoded,
+// not yet merged) ahead of the assembler for a pool of n workers: one
+// in-flight file per worker, one completed slot to hand over through, and
+// the spec's FillAhead prefetch depth — which the queue absorbs now that
+// fill workers no longer run their own per-worker pipeline.
+func queueWindow(spec Spec, n int) int {
+	return n + 1 + spec.FillAhead
+}
+
+// spawnWorkerLocked starts one fill worker; the caller holds pmu (which
+// makes the wg.Add safe against teardown's Wait) and has already counted
+// the worker in target.
+func (s *Session) spawnWorkerLocked(rspec reader.Spec) error {
+	r, err := reader.NewReader(s.svc.backend, rspec)
+	if err != nil {
+		return err
+	}
+	s.active++
+	s.wg.Add(1)
+	go s.runFillWorker(r)
+	return nil
+}
+
+// runFillWorker drives one pool worker: claim file indices, fill them,
+// deposit results. Between files it checks the scale-down checkpoint —
+// a worker told to stop has already been uncounted by shouldStop, so
+// only natural exits (queue exhausted, abort, fill error) decrement
+// active here.
+func (s *Session) runFillWorker(r *reader.Reader) {
 	defer s.wg.Done()
-	err := r.Run(s.ctx, files, func(b *reader.Batch) error {
-		select {
-		case ch <- b:
-			return nil
-		case <-s.ctx.Done():
-			return s.ctx.Err()
+	stopped := false
+	r.FillQueue(s.ctx, s.queue, func() bool {
+		if s.workerShouldStop() {
+			stopped = true
+			return true
 		}
+		return false
 	})
+	if !stopped {
+		s.pmu.Lock()
+		s.active--
+		s.pmu.Unlock()
+	}
+	s.mu.Lock()
+	s.stats.Add(r.Stats())
+	s.mu.Unlock()
+}
+
+// workerShouldStop atomically decides and accounts one worker's
+// scale-down exit, so a pool shrinking by k loses exactly k workers.
+func (s *Session) workerShouldStop() bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.active > s.target {
+		s.active--
+		return true
+	}
+	return false
+}
+
+// Resize sets the session's desired worker count (clamped to at least 1),
+// returning the new target. Scale-up spawns workers immediately;
+// scale-down takes effect at each surplus worker's next between-files
+// checkpoint — claims are never abandoned mid-file, which is one half of
+// why the stream is identical across resize histories (the other half is
+// the ordered merge). On a ShareScans session (single scan loop) Resize
+// is a no-op returning 1. Safe for concurrent use; the service's
+// AutoScaler is the usual caller.
+func (s *Session) Resize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if s.queue == nil {
+		return 1
+	}
+	s.pmu.Lock()
+	if s.stopped || n == s.target {
+		n = s.target
+		s.pmu.Unlock()
+		return n
+	}
+	up := n > s.target
+	if up {
+		s.scaleUps++
+	} else {
+		s.scaleDowns++
+	}
+	grow := n - s.active
+	s.target = n
+	for i := 0; i < grow; i++ {
+		// Spawn cannot fail here: the spec was validated at Open and
+		// NewReader has no other failure mode; guard anyway so a future
+		// failure mode degrades to a smaller pool, never a panic.
+		if err := s.spawnWorkerLocked(s.spec.Spec); err != nil {
+			break
+		}
+	}
+	// Resize the claim window under pmu too: concurrent Resize calls
+	// (the AutoScaler plus a direct caller) must leave the window sized
+	// for whichever target won, never the loser's.
+	s.queue.SetWindow(queueWindow(s.spec, n))
+	s.pmu.Unlock()
+	s.svc.noteScale(up)
+	return n
+}
+
+// emitOut hands one batch to the consumer through the bounded output
+// buffer, charging time spent blocked to the consumer-starvation counter
+// — the "scale down" half of the autoscaling signal.
+func (s *Session) emitOut(b *reader.Batch) error {
+	select {
+	case s.out <- b:
+		return nil
+	default:
+	}
+	start := s.clock.Now()
+	s.mu.Lock()
+	s.consumerStallSince = start
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.consumerStall += s.clock.Now().Sub(start)
+		s.consumerStallSince = time.Time{}
+		s.mu.Unlock()
+	}()
+	select {
+	case s.out <- b:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+// runAssembler merges deposited files in order into the output stream.
+// The channel is closed only after the outcome and stats are recorded,
+// so a consumer that observes the close also observes the outcome; the
+// trailing Abort wakes workers parked on a full claim window.
+func (s *Session) runAssembler(r *reader.Reader) {
+	defer s.wg.Done()
+	err := r.RunQueue(s.ctx, s.queue, s.emitOut)
 	s.mu.Lock()
 	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
 		s.firstErr = err
 	}
 	s.stats.Add(r.Stats())
 	s.mu.Unlock()
-	close(ch)
+	s.queue.Abort()
+	close(s.out)
 }
 
-// runSharedWorker drives one reader over its file assignment through the
-// service's cross-session ScanCache. The emitted batch stream is
-// byte-identical to runWorker's (the cache unit is file-aligned and the
-// fingerprint covers every output-relevant spec field); what changes is
-// the accounting — a fully cache-hit scan decodes nothing, so its
-// RowsDecoded/ReadBytes/ConvertValues/ProcessOps stay zero while
+// runSharedScan drives a ShareScans session's single scan loop through
+// the service's cross-session ScanCache. The emitted batch stream is
+// byte-identical to an unshared session's (the cache unit is file-aligned
+// and the fingerprint covers every output-relevant spec field); what
+// changes is the accounting — a fully cache-hit scan decodes nothing, so
+// its RowsDecoded/ReadBytes/ConvertValues/ProcessOps stay zero while
 // BatchesProduced and SentBytes still count every batch handed to the
 // consumer (the session's egress is real either way).
-func (s *Session) runSharedWorker(r *reader.Reader, fingerprint string, files []string, ch chan *reader.Batch) {
+func (s *Session) runSharedScan(r *reader.Reader, fingerprint string, files []string) {
 	defer s.wg.Done()
 	var served reader.Stats // egress accounting for cache-hit batches
 	var cache SessionCacheStats
-	err := s.scanShared(r, fingerprint, files, &served, &cache, func(b *reader.Batch) error {
-		select {
-		case ch <- b:
-			return nil
-		case <-s.ctx.Done():
-			return s.ctx.Err()
-		}
-	})
+	err := s.scanShared(r, fingerprint, files, &served, &cache, s.emitOut)
 	s.mu.Lock()
 	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
 		s.firstErr = err
@@ -199,7 +411,7 @@ func (s *Session) runSharedWorker(r *reader.Reader, fingerprint string, files []
 	s.cache.Hits += cache.Hits
 	s.cache.Misses += cache.Misses
 	s.mu.Unlock()
-	close(ch)
+	close(s.out)
 }
 
 // scanShared is the cached twin of reader.Run's consume loop. Files whose
@@ -298,54 +510,40 @@ func (s *Session) scanShared(r *reader.Reader, fingerprint string, files []strin
 // Next returns the session's next preprocessed batch. It blocks until a
 // batch is buffered, the scan is exhausted (io.EOF), a reader fails (the
 // first error), ctx is cancelled (ctx.Err()), or the session is closed
-// (ErrClosed). Batches arrive in deterministic order: each worker's
-// batches in its serial scan order, workers in planning order.
+// (ErrClosed). Batches arrive in deterministic order: the single serial
+// scan order over the session's file list, at every worker count.
 func (s *Session) Next(ctx context.Context) (*reader.Batch, error) {
-	for {
-		if s.cur >= len(s.chans) {
+	select {
+	case b, ok := <-s.out:
+		if !ok {
 			return nil, s.finish()
 		}
-		select {
-		case b, ok := <-s.chans[s.cur]:
-			if !ok {
-				// Worker finished. Fail fast on its error rather than
-				// streaming later workers' batches first.
-				s.mu.Lock()
-				err := s.firstErr
-				s.mu.Unlock()
-				if err != nil {
-					// Tear down like finish(): an errored session must
-					// not keep occupying a service slot.
-					s.cancel()
-					s.wg.Wait()
-					s.release()
-					return nil, err
-				}
-				s.cur++
-				continue
-			}
-			s.svc.noteBatch()
-			return b, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-s.ctx.Done():
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil, ErrClosed
-			}
-			return nil, s.ctx.Err()
+		s.svc.noteBatch()
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.ctx.Done():
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
 		}
+		return nil, s.ctx.Err()
 	}
 }
 
-// finish is reached once every worker channel has drained: wait for the
-// workers, settle the accounting, and report the scan outcome. A scan
-// cut short by Close or by job-context cancellation reports that, never
-// a clean io.EOF.
+// finish is reached once the output stream has closed: stop the pool,
+// wait for every goroutine, settle the accounting, and report the scan
+// outcome. A scan cut short by Close or by job-context cancellation
+// reports that, never a clean io.EOF; a reader failure surfaces after
+// the serial prefix of batches that preceded it.
 func (s *Session) finish() error {
-	s.wg.Wait()
+	// Snapshot the job-context state before teardown cancels the session
+	// context itself: a clean EOF must not read back its own teardown as
+	// a cancellation.
+	ctxErr := s.ctx.Err()
+	s.teardown()
 	s.mu.Lock()
 	err := s.firstErr
 	closed := s.closed
@@ -354,7 +552,7 @@ func (s *Session) finish() error {
 	if err == nil {
 		if closed {
 			err = ErrClosed
-		} else if ctxErr := s.ctx.Err(); ctxErr != nil {
+		} else if ctxErr != nil {
 			err = ctxErr
 		}
 	}
@@ -362,6 +560,21 @@ func (s *Session) finish() error {
 		return err
 	}
 	return io.EOF
+}
+
+// teardown stops the pool (no further spawns), cancels the session
+// context (waking the watcher, the autoscaler, and anything blocked on
+// the queue or the output buffer), and waits for every session goroutine
+// to exit. Idempotent.
+func (s *Session) teardown() {
+	s.pmu.Lock()
+	s.stopped = true
+	s.pmu.Unlock()
+	s.cancel()
+	if s.queue != nil {
+		s.queue.Abort()
+	}
+	s.wg.Wait()
 }
 
 // Close cancels the session's workers, waits for them to exit, and
@@ -376,10 +589,7 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	s.cancel()
-	// Unblock workers parked on their bounded channels, then wait so a
-	// closed session leaves no goroutine behind.
-	s.wg.Wait()
+	s.teardown()
 	s.release()
 	return nil
 }
@@ -397,8 +607,8 @@ func (s *Session) release() {
 }
 
 // SessionStats is the session's aggregated accounting: the per-reader
-// pipeline counters plus the session's view of the cross-session scan
-// cache.
+// pipeline counters, the session's view of the cross-session scan cache,
+// and the scheduler's scaling/starvation telemetry.
 type SessionStats struct {
 	// Reader aggregates the session's reader accounting. For a
 	// ShareScans session these counters reflect work this session
@@ -411,6 +621,11 @@ type SessionStats struct {
 	// Cache is this session's scan-cache traffic; zero for sessions
 	// without ShareScans.
 	Cache SessionCacheStats
+	// Scheduler is the session's worker-pool telemetry. Unlike Reader's
+	// deterministic counters it is timing- and scheduling-dependent:
+	// determinism tests compare streams and Reader counters and treat
+	// Scheduler as informational.
+	Scheduler SchedulerStats
 }
 
 // SessionCacheStats counts one session's ScanCache lookups.
@@ -421,12 +636,56 @@ type SessionCacheStats struct {
 	Hits, Misses int64
 }
 
+// SchedulerStats is one session's scheduling telemetry: the pool shape,
+// the resize history, and the two starvation signals the AutoScaler
+// trades off.
+type SchedulerStats struct {
+	// Workers is the current desired worker-pool size (1 for ShareScans
+	// sessions, which run a single scan loop).
+	Workers int
+	// ScaleUps and ScaleDowns count Resize calls that grew or shrank the
+	// pool.
+	ScaleUps, ScaleDowns int64
+	// WorkerStall is the total time the ordered merge spent blocked
+	// waiting for a fill worker's deposit: the session was starved for
+	// reader parallelism.
+	WorkerStall time.Duration
+	// ConsumerStall is the total time the merge spent blocked handing a
+	// finished batch to the consumer (a full output buffer — for remote
+	// sessions, ultimately an exhausted dppnet credit window): the
+	// consumer was the bottleneck.
+	ConsumerStall time.Duration
+}
+
+// SchedulerStats snapshots the session's scheduling telemetry; it is the
+// observe half of the AutoScaler's ScaleTarget contract.
+func (s *Session) SchedulerStats() SchedulerStats {
+	var st SchedulerStats
+	s.pmu.Lock()
+	st.Workers = s.target
+	st.ScaleUps = s.scaleUps
+	st.ScaleDowns = s.scaleDowns
+	s.pmu.Unlock()
+	if s.queue != nil {
+		st.WorkerStall = s.queue.Stall()
+	}
+	s.mu.Lock()
+	st.ConsumerStall = s.consumerStall
+	if !s.consumerStallSince.IsZero() {
+		st.ConsumerStall += s.clock.Now().Sub(s.consumerStallSince)
+	}
+	s.mu.Unlock()
+	return st
+}
+
 // Stats returns the session's aggregated accounting. The deterministic
 // reader counters (bytes, rows, batches, work) are exact and reproducible
 // once Next has returned io.EOF or Close has completed; mid-scan it is a
-// monotone snapshot of finished workers.
+// monotone snapshot of finished workers. The Scheduler block is timing-
+// dependent telemetry, not part of the deterministic contract.
 func (s *Session) Stats() SessionStats {
+	sched := s.SchedulerStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SessionStats{Reader: s.stats, Cache: s.cache}
+	return SessionStats{Reader: s.stats, Cache: s.cache, Scheduler: sched}
 }

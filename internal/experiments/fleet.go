@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/dwrf"
+	"repro/internal/etl"
+	"repro/internal/lakefs"
+	"repro/internal/reader"
+)
+
+func init() {
+	register(Runner{ID: "fleet", Brief: "aggregate throughput and cache hit ratio vs concurrent same-spec sessions", Run: runFleet})
+}
+
+// FleetNs returns the sweep points: powers of two 1 → 64, capped at 16
+// for Small (the -short / CI budget).
+func FleetNs(scale Scale) []int {
+	ns := []int{1, 2, 4, 8, 16, 32, 64}
+	if scale == Small {
+		return ns[:5]
+	}
+	return ns
+}
+
+// fleetEnv is one landed partition plus the spec every fleet session
+// submits, file-aligned so the whole scan is shareable.
+type fleetEnv struct {
+	store   *lakefs.Store
+	catalog *lakefs.Catalog
+	spec    reader.Spec
+	files   int
+}
+
+// newFleetEnv lands the sweep's partition: batch-aligned files (256 rows
+// per file, batch 256) so every session is fully shareable, sized so one
+// serial scan is long enough to measure but cheap enough that the 64-way
+// point stays CI-friendly.
+func newFleetEnv() (*fleetEnv, error) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 100, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	if _, err := dwrf.WritePartition(store, catalog, "fleet", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 256, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		return nil, err
+	}
+	files, err := catalog.AllFiles("fleet")
+	if err != nil {
+		return nil, err
+	}
+	return &fleetEnv{
+		store:   store,
+		catalog: catalog,
+		files:   len(files),
+		spec: reader.Spec{
+			Table: "fleet", BatchSize: 256,
+			SparseFeatures:      []string{"item_0"},
+			DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+		},
+	}, nil
+}
+
+// FleetPoint is one sweep measurement.
+type FleetPoint struct {
+	// Sessions is N, the concurrent same-spec session count.
+	Sessions int
+	// Batches is the total batch count streamed across all N sessions.
+	Batches int64
+	// Elapsed is the wall time for all N sessions to drain.
+	Elapsed time.Duration
+	// BatchesPerSec is the aggregate throughput: Batches / Elapsed.
+	BatchesPerSec float64
+	// HitRatio is hits / (hits + misses) over the service ScanCache for
+	// this point's fresh service: (N−1)/N when sharing is perfect.
+	HitRatio float64
+	// RowsDecoded counts rows actually decoded across the fleet — flat
+	// in N when single-flight coalescing works.
+	RowsDecoded int64
+}
+
+// runPoint opens N concurrent ShareScans sessions on a fresh service
+// (cold cache: every point measures "N sessions, one decode", never a
+// pre-warmed cache) and drains them all.
+func (env *fleetEnv) runPoint(n int) (FleetPoint, error) {
+	svc, err := dpp.New(dpp.Config{Backend: env.store, Catalog: env.catalog})
+	if err != nil {
+		return FleetPoint{}, err
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	sessions := make([]*dpp.Session, n)
+	for i := range sessions {
+		if sessions[i], err = svc.Open(ctx, dpp.Spec{Spec: env.spec, Buffer: 1, ShareScans: true}); err != nil {
+			return FleetPoint{}, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := time.Now()
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *dpp.Session) {
+			defer wg.Done()
+			for {
+				if _, err := sess.Next(ctx); err != nil {
+					if err != io.EOF {
+						errs[i] = err
+					}
+					return
+				}
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return FleetPoint{}, err
+		}
+	}
+
+	pt := FleetPoint{Sessions: n, Elapsed: elapsed}
+	for _, sess := range sessions {
+		st := sess.Stats()
+		pt.Batches += st.Reader.BatchesProduced
+		pt.RowsDecoded += st.Reader.RowsDecoded
+	}
+	cs := svc.Stats().Cache
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		pt.HitRatio = float64(cs.Hits) / float64(lookups)
+	}
+	if elapsed > 0 {
+		pt.BatchesPerSec = float64(pt.Batches) / elapsed.Seconds()
+	}
+	return pt, nil
+}
+
+// FleetSweep is the fleet-scale experiment (ROADMAP "Fleet-scale
+// experiments"): N same-spec ShareScans sessions over one partition,
+// N = 1 → 64, turning the PR-3 shared/unshared benchmark pair into a
+// figure. Aggregate throughput must grow with N (the marginal session
+// streams from the ScanCache instead of decoding) and the cache hit
+// ratio must converge to (N−1)/N — exactly, because single-flight
+// coalescing decodes each file once per sweep point no matter how the N
+// sessions race.
+//
+// Every point uses a fresh service; the landed partition is shared
+// across points (it is immutable).
+func FleetSweep(ns []int) ([]FleetPoint, error) {
+	env, err := newFleetEnv()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]FleetPoint, 0, len(ns))
+	for _, n := range ns {
+		pt, err := env.runPoint(n)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runFleet renders the sweep as a paper-style result table.
+func runFleet(scale Scale) (*Result, error) {
+	points, err := FleetSweep(FleetNs(scale))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "fleet",
+		Title: "fleet scaling: N same-spec ShareScans sessions over one partition",
+	}
+	for _, pt := range points {
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("N=%d", pt.Sessions),
+			Values: []Cell{
+				{Name: "agg_batches_s", Value: pt.BatchesPerSec, Unit: ""},
+				{Name: "hit_ratio", Value: pt.HitRatio, Unit: ""},
+				{Name: "rows_decoded", Value: float64(pt.RowsDecoded), Unit: ""},
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"fresh service per point: every N measures a cold cache, so hit_ratio = (N-1)/N is the single-flight ideal",
+		"rows_decoded flat in N = the fleet decodes each file once per point regardless of N")
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFleetSweep is the ROADMAP fleet-scale contract: sweeping N
+// same-spec ShareScans sessions (1 → 64; -short caps at 16 for CI),
+// aggregate throughput is non-decreasing within tolerance, the cache hit
+// ratio is exactly (N−1)/N (single-flight coalescing makes it
+// deterministic, not approximate), and the fleet's decode work stays
+// flat in N. The measured table is appended to the CI job summary
+// (GITHUB_STEP_SUMMARY) next to the bench-gate ratios.
+func TestFleetSweep(t *testing.T) {
+	scale := Full
+	if testing.Short() {
+		scale = Small
+	}
+	ns := FleetNs(scale)
+	points, err := FleetSweep(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ns) {
+		t.Fatalf("swept %d points, want %d", len(points), len(ns))
+	}
+
+	// Throughput is wall-clock and CI runners are noisy shared machines:
+	// the gate is "never collapses", not "always improves" — each point
+	// must keep at least half the best aggregate throughput seen at any
+	// smaller N. A sharing regression (N sessions decoding N times)
+	// shows up as a 1/N-style collapse and fails this immediately.
+	const tolerance = 0.5
+	best := 0.0
+	for _, pt := range points {
+		if pt.Batches == 0 || pt.BatchesPerSec == 0 {
+			t.Fatalf("N=%d streamed nothing: %+v", pt.Sessions, pt)
+		}
+		if pt.BatchesPerSec < best*tolerance {
+			t.Errorf("N=%d aggregate throughput %.0f batches/s collapsed below %.0f×%.2f",
+				pt.Sessions, pt.BatchesPerSec, best, tolerance)
+		}
+		if pt.BatchesPerSec > best {
+			best = pt.BatchesPerSec
+		}
+
+		want := float64(pt.Sessions-1) / float64(pt.Sessions)
+		if math.Abs(pt.HitRatio-want) > 1e-9 {
+			t.Errorf("N=%d hit ratio %.6f, want exactly (N-1)/N = %.6f", pt.Sessions, pt.HitRatio, want)
+		}
+		// Single-flight: the fleet decodes the table once per point.
+		if pt.RowsDecoded != points[0].RowsDecoded {
+			t.Errorf("N=%d decoded %d rows, want %d (one decode per point, any N)",
+				pt.Sessions, pt.RowsDecoded, points[0].RowsDecoded)
+		}
+		// Batches scale exactly linearly: every session streams the whole
+		// partition.
+		if want := int64(pt.Sessions) * points[0].Batches; pt.Batches != want {
+			t.Errorf("N=%d streamed %d batches, want %d", pt.Sessions, pt.Batches, want)
+		}
+	}
+
+	writeFleetSummary(t, points)
+}
+
+// writeFleetSummary appends the sweep table to the GitHub Actions job
+// summary when running in CI, next to the bench.sh ratio tables; locally
+// it just logs the table.
+func writeFleetSummary(t *testing.T, points []FleetPoint) {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Fleet-scale sweep (N same-spec ShareScans sessions)\n\n")
+	fmt.Fprintf(&b, "| N | agg batches/s | hit ratio | rows decoded | wall |\n|---|---|---|---|---|\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "| %d | %.0f | %.3f | %d | %s |\n",
+			pt.Sessions, pt.BatchesPerSec, pt.HitRatio, pt.RowsDecoded, pt.Elapsed.Round(pt.Elapsed/100))
+	}
+	b.WriteString("\nhit ratio is exactly (N−1)/N and rows decoded is flat: N sessions, one decode.\n")
+	t.Log("\n" + b.String())
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	// The sweep runs more than once in CI (full suite, then -short under
+	// -race); append the table only once.
+	if prev, err := os.ReadFile(path); err == nil && strings.Contains(string(prev), "Fleet-scale sweep") {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Logf("job summary unavailable: %v", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintln(f, b.String())
+}
+
+// TestFleetRunnerRegistered: the sweep is a first-class experiment
+// (recd-bench prints it alongside the paper tables).
+func TestFleetRunnerRegistered(t *testing.T) {
+	r, ok := ByID("fleet")
+	if !ok {
+		t.Fatal("fleet experiment not registered")
+	}
+	if r.Brief == "" || r.Run == nil {
+		t.Fatal("incomplete fleet runner")
+	}
+}
+
+// BenchmarkFleetSessions16 measures the N=16 sweep point end to end —
+// the fleet-shaped companion to the 2-session BenchmarkSharedSessions
+// pair — reporting aggregate throughput and the hit ratio as metrics.
+func BenchmarkFleetSessions16(b *testing.B) {
+	env, err := newFleetEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last FleetPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := env.runPoint(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt
+	}
+	b.ReportMetric(last.BatchesPerSec, "agg_batches/s")
+	b.ReportMetric(last.HitRatio, "hit_ratio")
+}

@@ -1,11 +1,14 @@
 package reader
 
-// PlanRoundRobin splits a scan set across n workers round-robin, the
-// file-level sharding policy the paper's reader tier uses ("the number of
-// readers for each job is scaled to meet trainers' ingestion bandwidth
-// demands"). The dpp session planner shards its per-session reader
-// workers with it, and serial reference tests replay the same plan to pin
-// multi-reader streams batch for batch.
+// PlanRoundRobin splits a scan set across n workers round-robin — the
+// static file-level sharding policy dpp sessions used before the shared
+// ordered work queue (ScanQueue) replaced it. It currently has no
+// production callers: per-session worker scheduling pulls from a
+// ScanQueue so the worker count can change mid-scan without changing
+// the stream. The eight lines stay as the reference static-partition
+// primitive for fleet-level sharding (splitting a table across whole
+// sessions or processes, a ROADMAP direction) and are pinned by
+// TestPlanRoundRobinCoversEveryFile.
 func PlanRoundRobin(files []string, n int) [][]string {
 	assignments := make([][]string, n)
 	for i, f := range files {

@@ -1,0 +1,223 @@
+package reader
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// ScanQueue is the shared ordered work queue behind a resizable reader
+// pool (dpp session autoscaling): workers claim file indices in scan
+// order, fill them in parallel, and deposit the decoded rows; a single
+// assembler awaits the results strictly in file-index order, so the
+// reassembled stream is byte-identical to one serial scan over the whole
+// file list no matter how many workers fill it — or how often that
+// worker count changes mid-scan. This replaces static round-robin file
+// assignment (reader.PlanRoundRobin), whose batch boundaries depended on
+// the worker count.
+//
+// Claims are bounded by a sliding window over the assembler's position:
+// a file index may be claimed only while it is within `window` of the
+// next index the assembler will consume. That caps decoded-but-unmerged
+// files (the queue's memory bound) and is what transmits consumer
+// backpressure to the fill workers. The window resizes with the worker
+// pool.
+//
+// All methods are safe for concurrent use.
+type ScanQueue struct {
+	files []string
+	// now stamps blocking intervals for the worker-starvation counter;
+	// injectable so controller tests can run on a manual clock.
+	now func() time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int // next index to claim
+	base    int // next index Await will deliver
+	window  int // claim bound: claim allowed while idx < base+window
+	results map[int]FileResult
+	aborted bool
+
+	stall time.Duration // completed time Await spent blocked on missing deposits
+	// awaitSince is nonzero while Await is currently blocked; Stall folds
+	// the live interval in so a controller watching a wedged merge sees
+	// the starvation grow, not a frozen counter.
+	awaitSince time.Time
+}
+
+// FileResult is one filled file handed from a claiming worker to the
+// assembler: the decoded rows, the file schema, or the fill error.
+type FileResult struct {
+	Samples []datagen.Sample
+	Keys    []string
+	Dense   int
+	Err     error
+}
+
+// NewScanQueue builds a queue over files with the given claim window
+// (clamped to at least 1). A nil now falls back to time.Now.
+func NewScanQueue(files []string, window int, now func() time.Time) *ScanQueue {
+	if window < 1 {
+		window = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	q := &ScanQueue{files: files, now: now, window: window, results: make(map[int]FileResult)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Len reports the scan-set size.
+func (q *ScanQueue) Len() int { return len(q.files) }
+
+// Claim hands the caller the next unclaimed file index, blocking while
+// the claim window is full. ok is false once the scan set is exhausted or
+// the queue is aborted; a worker that gets ok must fill the file and
+// Deposit the result (claims are never reassigned, so an abandoned claim
+// would wedge the assembler).
+func (q *ScanQueue) Claim() (idx int, file string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.aborted || q.next >= len(q.files) {
+			return 0, "", false
+		}
+		if q.next < q.base+q.window {
+			idx = q.next
+			q.next++
+			return idx, q.files[idx], true
+		}
+		q.cond.Wait()
+	}
+}
+
+// Deposit publishes a claimed file's fill result and wakes the assembler.
+func (q *ScanQueue) Deposit(idx int, res FileResult) {
+	q.mu.Lock()
+	q.results[idx] = res
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Await returns file results strictly in index order: the idx'th call
+// pattern is Await(0), Await(1), ... Each call blocks until that index
+// has been deposited; ok is false when the queue is aborted or idx is
+// past the scan set. Time spent blocked accumulates into Stall — the
+// worker-starvation signal autoscaling consumes.
+func (q *ScanQueue) Await(idx int) (res FileResult, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if idx >= len(q.files) {
+		return FileResult{}, false
+	}
+	var blockedAt time.Time
+	settle := func() {
+		if !blockedAt.IsZero() {
+			q.stall += q.now().Sub(blockedAt)
+			q.awaitSince = time.Time{}
+		}
+	}
+	for {
+		if q.aborted {
+			settle()
+			return FileResult{}, false
+		}
+		if r, have := q.results[idx]; have {
+			settle()
+			delete(q.results, idx)
+			q.base = idx + 1
+			q.cond.Broadcast() // the claim window slid forward
+			return r, true
+		}
+		if blockedAt.IsZero() {
+			blockedAt = q.now()
+			q.awaitSince = blockedAt
+		}
+		q.cond.Wait()
+	}
+}
+
+// SetWindow resizes the claim window (clamped to at least 1), waking
+// workers the wider window unblocks. Shrinking never revokes claims
+// already handed out.
+func (q *ScanQueue) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	q.window = n
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Abort wakes every blocked Claim and Await with ok == false. Idempotent;
+// called on session teardown and after the assembler finishes, so workers
+// parked on a full window never outlive the scan.
+func (q *ScanQueue) Abort() {
+	q.mu.Lock()
+	q.aborted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Stall returns the accumulated time Await spent blocked waiting for
+// deposits — including an in-progress block — which is the "scan starved
+// for fill workers" half of the autoscaling signal (the other half,
+// waiting on the consumer, is measured where batches are handed off).
+func (q *ScanQueue) Stall() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stall
+	if !q.awaitSince.IsZero() {
+		st += q.now().Sub(q.awaitSince)
+	}
+	return st
+}
+
+// FillQueue runs one worker over the queue: claim a file, fill it, and
+// deposit the result, until the scan set is exhausted, the queue aborts,
+// fill fails (the error is deposited for the assembler to surface in
+// order), or stop returns true — the resizable pool's between-files
+// scale-down checkpoint. A nil stop never stops.
+//
+// Fill work charges this reader's Stats; a pool sums its workers'
+// readers to recover exactly the counters one serial scan would report,
+// because every file is claimed exactly once.
+func (r *Reader) FillQueue(ctx context.Context, q *ScanQueue, stop func() bool) {
+	for {
+		if stop != nil && stop() {
+			return
+		}
+		idx, file, ok := q.Claim()
+		if !ok {
+			return
+		}
+		samples, keys, dense, err := r.fill(ctx, file)
+		q.Deposit(idx, FileResult{Samples: samples, Keys: keys, Dense: dense, Err: err})
+		if err != nil {
+			return
+		}
+	}
+}
+
+// RunQueue is the assembler half of a queued scan: it consumes deposited
+// files in index order and cuts, converts, and processes batches exactly
+// as a serial Run over q's whole file list would — same batch boundaries,
+// same bytes, same deterministic counters (convert/process work charges
+// this reader; fill work lives in the workers' readers). Returns ctx.Err
+// when the queue aborts under a cancelled context.
+func (r *Reader) RunQueue(ctx context.Context, q *ScanQueue, emit func(*Batch) error) error {
+	i := 0
+	return r.consumeResults(ctx, func() (fillResult, bool) {
+		res, ok := q.Await(i)
+		if !ok {
+			return fillResult{}, false
+		}
+		file := q.files[i]
+		i++
+		return fillResult{file: file, samples: res.Samples, keys: res.Keys, dense: res.Dense, err: res.Err}, true
+	}, emit)
+}

@@ -1,0 +1,108 @@
+package testutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Clock is a manual-advance clock for deterministic scheduling tests: it
+// satisfies dpp.Clock structurally (Now + After) but time only moves when
+// the test calls Advance, so controller decisions — which stall deltas
+// trigger which resizes — are reproducible without a single time.Sleep.
+//
+// All methods are safe for concurrent use.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewClock returns a clock frozen at start (the zero time works fine —
+// only differences matter to consumers).
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the clock's current frozen time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires once Advance has moved the clock at
+// least d past the current time. d <= 0 fires on the next Advance(0).
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward by d and fires every timer now due.
+// Fires are non-blocking sends into each timer's buffered channel, so an
+// abandoned After channel never wedges the test.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var pending []*fakeTimer
+	var due []*fakeTimer
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			due = append(due, t)
+		} else {
+			pending = append(pending, t)
+		}
+	}
+	c.timers = pending
+	now := c.now
+	c.mu.Unlock()
+	for _, t := range due {
+		select {
+		case t.ch <- now:
+		default:
+		}
+	}
+}
+
+// Waiters reports how many After channels are armed — the
+// synchronization hook that lets a test wait for a goroutine to reach
+// its next tick before advancing past it.
+func (c *Clock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// BlockUntilWaiters polls until at least n After channels are armed,
+// failing the test after 5s. Use it to hand-shake with a ticking
+// goroutine: once it is parked on After, an Advance is guaranteed to be
+// observed as exactly one tick.
+func (c *Clock) BlockUntilWaiters(t testing.TB, n int) {
+	t.Helper()
+	Eventually(t, func() bool { return c.Waiters() >= n }, "clock waiters >= %d", n)
+}
+
+// Eventually polls cond every few milliseconds until it returns true,
+// failing the test with the formatted message after 5s — the shared
+// deadline for every "the other goroutine must get there" assertion in
+// the concurrency suites (session-slot release, stream start, pool
+// drain). Centralizing the deadline keeps fault-injection tests from
+// each hand-rolling their own wait loop.
+func Eventually(t testing.TB, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held: "+format, args...)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

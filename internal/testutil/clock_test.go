@@ -1,0 +1,61 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClockAdvanceFiresDueTimers: After channels fire exactly when the
+// manual clock crosses their deadline, independently of wall time.
+func TestClockAdvanceFiresDueTimers(t *testing.T) {
+	c := NewClock(time.Unix(0, 0))
+	early := c.After(10 * time.Millisecond)
+	late := c.After(30 * time.Millisecond)
+	if n := c.Waiters(); n != 2 {
+		t.Fatalf("Waiters = %d, want 2", n)
+	}
+
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-early:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	c.Advance(5 * time.Millisecond) // t = 10ms: early due, late not
+	select {
+	case at := <-early:
+		if want := time.Unix(0, 0).Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("timer delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("due timer did not fire")
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer fired early")
+	default:
+	}
+	if n := c.Waiters(); n != 1 {
+		t.Fatalf("Waiters after one fire = %d, want 1", n)
+	}
+
+	c.Advance(100 * time.Millisecond)
+	select {
+	case <-late:
+	default:
+		t.Fatal("late timer never fired")
+	}
+	if got, want := c.Now(), time.Unix(0, 0).Add(110*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+// TestEventuallyPolls: Eventually returns once the condition flips.
+func TestEventuallyPolls(t *testing.T) {
+	n := 0
+	Eventually(t, func() bool { n++; return n >= 3 }, "counter reaches 3")
+	if n < 3 {
+		t.Fatalf("condition polled %d times", n)
+	}
+}

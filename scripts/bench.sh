@@ -18,10 +18,18 @@
 # decoded twice vs once) must be at least BENCH_MIN_SHARED_RATIO (default
 # 1.5). The measured ratio is printed, and appended to the CI job summary
 # when GITHUB_STEP_SUMMARY is set.
+#
+# Reader autoscaling is gated the same way: BenchmarkStaticStalledConsumer
+# ns/op divided by BenchmarkAutoscaledStalledConsumer ns/op must be at
+# least BENCH_MIN_AUTOSCALE_RATIO. On the 1-CPU baseline runner extra
+# workers cannot buy wall time, so this is a parity gate — autoscaled must
+# match static (1.0x nominal; the default 0.9 allows scheduler noise) —
+# proving the controller itself is free. When a multicore baseline lands,
+# raise the gate to the real speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkRemoteSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkPipelineEndToEnd$'}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkRemoteSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkStaticStalledConsumer$|BenchmarkAutoscaledStalledConsumer$|BenchmarkPipelineEndToEnd$'}
 BENCH_COUNT=${BENCH_COUNT:-1}
 MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-20}
 BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
@@ -79,6 +87,34 @@ awk -v max="$MAX_REMOTE_PCT" '
         }
         if (pct > max) {
             printf "bench: FAIL — remote session %.1f%% slower than local, cap %.0f%%\n", pct, max
+            exit 1
+        }
+    }
+' "$LATEST"
+
+# --- Autoscaling parity gate: a session whose worker pool is resized
+# live by the AutoScaler (BenchmarkAutoscaledStalledConsumer) must not
+# lose wall time against the same scan with a static pool
+# (BenchmarkStaticStalledConsumer). Same-run ratio; on the 1-CPU runner
+# this pins "the controller is free" (parity), not a speedup — see the
+# header comment.
+MIN_AUTOSCALE_RATIO=${BENCH_MIN_AUTOSCALE_RATIO:-0.9}
+awk -v min="$MIN_AUTOSCALE_RATIO" '
+    /^BenchmarkStaticStalledConsumer/     { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < static || !static)) static = $i + 0 }
+    /^BenchmarkAutoscaledStalledConsumer/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < scaled || !scaled)) scaled = $i + 0 }
+    END {
+        if (!static || !scaled) {
+            print "bench: autoscale ratio not measured (pattern excluded the stalled-consumer pair)"
+            exit 0
+        }
+        ratio = static / scaled
+        printf "bench: autoscaled vs static stalled-consumer session: %.0f / %.0f ns/op = %.2fx (gate %.2fx; 1.0x = parity)\n", static, scaled, ratio, min
+        summary = ENVIRON["GITHUB_STEP_SUMMARY"]
+        if (summary != "") {
+            printf "### Reader autoscaling\n\n| session | ns/op |\n|---|---|\n| static 4-worker pool | %.0f |\n| autoscaled pool (1-4) | %.0f |\n\n**%.2fx** static/autoscaled (gate: >= %.2fx; parity on the 1-CPU runner)\n", static, scaled, ratio, min >> summary
+        }
+        if (ratio < min) {
+            printf "bench: FAIL — autoscaled session %.2fx of static, need %.2fx\n", ratio, min
             exit 1
         }
     }

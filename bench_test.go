@@ -24,6 +24,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/dpp/dppshard"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/experiments"
@@ -563,6 +564,119 @@ func benchTwoSessions(b *testing.B, share bool) {
 // (aggregate throughput gain) at BENCH_MIN_SHARED_RATIO, default 1.5.
 func BenchmarkSharedSessions(b *testing.B)   { benchTwoSessions(b, true) }
 func BenchmarkUnsharedSessions(b *testing.B) { benchTwoSessions(b, false) }
+
+// benchShardedFleet measures several epochs of one trainer-shaped
+// consumer over k preprocessing shards on loopback, with each shard's
+// ScanCache deliberately budgeted at 3/4 of the table's decoded size.
+// One shard therefore cannot hold the table — the LRU thrashes and every
+// epoch re-decodes — while two shards' summed capacity fits it, so epochs
+// after the first stream from the fleet's partitioned cache. That makes
+// this pair the capacity headline scripts/bench.sh gates with
+// BENCH_MIN_SHARD_SCALING (Fleet1 ns/op ÷ Fleet2 ns/op): the win is the
+// fleet's additive cache, which survives the 1-CPU CI runner where
+// parallel-decode wins cannot.
+func benchShardedFleet(b *testing.B, shards int) {
+	schema := datagen.StandardSchema(datagen.StandardSchemaConfig{
+		UserSeq: 3, UserElem: 3, Item: 1, Dense: 2, SeqLen: 32, Seed: 12,
+	})
+	gen := datagen.NewGenerator(schema, datagen.GeneratorConfig{
+		Sessions: 300, MeanSamplesPerSession: 12, Seed: 13,
+	})
+	samples := etl.ClusterBySession(gen.GeneratePartition())
+	store := lakefs.NewStore()
+	catalog := lakefs.NewCatalog()
+	// 256 rows per file so files align to the 256-row batch: the whole
+	// scan is shareable and every file is cacheable on its owning shard.
+	if _, err := dwrf.WritePartition(store, catalog, "t", 0, schema, samples,
+		dwrf.TableOptions{RowsPerFile: 256, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
+		b.Fatal(err)
+	}
+	spec := reader.Spec{
+		Table: "t", BatchSize: 256,
+		SparseFeatures:      []string{"item_0"},
+		DedupSparseFeatures: [][]string{{"user_seq_0", "user_seq_1", "user_seq_2"}, {"user_elem_0", "user_elem_1", "user_elem_2"}},
+	}
+	files, err := catalog.AllFiles("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := reader.NewReader(store, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	one, err := r.ScanFile(context.Background(), files[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := one.MemBytes() * int64(len(files)) * 3 / 4
+
+	// Each iteration stands up a fresh, cold fleet: the measured unit is
+	// "cold fleet, 5 epochs", independent of b.N — cache state must not
+	// leak between iterations or the 1-vs-2-shard ratio would depend on
+	// how long the harness happens to run each side.
+	startFleet := func() (*dppshard.Fleet, func()) {
+		var closers []func()
+		addrs := make([]string, 0, shards)
+		for i := 0; i < shards; i++ {
+			svc, err := dpp.New(dpp.Config{Backend: store, Catalog: catalog, ScanCacheBytes: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := dppnet.NewServer(svc)
+			go srv.Serve(ln)
+			closers = append(closers, func() { srv.Close(); svc.Close() })
+			addrs = append(addrs, ln.Addr().String())
+		}
+		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Backend: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fleet, func() {
+			for _, c := range closers {
+				c()
+			}
+		}
+	}
+
+	ctx := context.Background()
+	const epochs = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fleet, shutdown := startFleet()
+		b.StartTimer()
+		for e := 0; e < epochs; e++ {
+			sess, err := fleet.Open(ctx, dpp.Spec{Spec: spec, Files: files, Buffer: 1, ShareScans: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, err := sess.Next(ctx)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sess.Close()
+		}
+		b.StopTimer()
+		shutdown()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedFleet1/2/4 are the sharded-preprocessing capacity
+// ladder: identical table, identical merged stream, per-shard cache
+// budget fixed at 3/4 of the table — shard count is the only axis.
+func BenchmarkShardedFleet1(b *testing.B) { benchShardedFleet(b, 1) }
+func BenchmarkShardedFleet2(b *testing.B) { benchShardedFleet(b, 2) }
+func BenchmarkShardedFleet4(b *testing.B) { benchShardedFleet(b, 4) }
 
 // benchStalledConsumer measures one session drained by a consumer that
 // stalls briefly after each of the first half of its batches (a trainer

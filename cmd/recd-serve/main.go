@@ -14,6 +14,15 @@
 // second trainer (same flags) — or the first trainer's later epochs —
 // streams batches this server decoded for someone else.
 //
+// -listen also takes a comma-separated address list, which runs one
+// preprocessing shard per address in this process: each shard is its own
+// dpp.Service (own ScanCache, own admission cap) over the shared landed
+// table. A trainer pointing -connect at the same list routes each file
+// to exactly one shard by rendezvous hashing, so the fleet's decoded
+// cache capacity is the sum of the shards' — the paper's scale-out axis
+// for preprocessing. For a real multi-host fleet, start one recd-serve
+// per host instead; the trainer cannot tell the difference.
+//
 // With -autoscale the service also closes the paper's reader-scaling
 // loop: each session's worker pool is resized between 1 and
 // -max-readers-per-session from its observed starvation — a trainer that
@@ -28,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
@@ -37,17 +47,25 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		listen      = flag.String("listen", "127.0.0.1:7077", "TCP listen address, or a comma-separated list to run one preprocessing shard per address")
 		sessions    = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
 		batch       = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
 		seed        = flag.Int64("seed", 11, "random seed (match recd-train)")
-		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap; 0 is unlimited")
-		scanCacheMB = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB; 0 or negative disables (ShareScans sessions rejected)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap per shard; 0 is unlimited")
+		scanCacheMB = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB per shard; 0 or negative disables (ShareScans sessions rejected)")
 		rawCacheMB  = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
 		autoscale   = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
 		maxReaders  = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
 	)
 	flag.Parse()
+
+	addrs := strings.Split(*listen, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			fatal(fmt.Errorf("empty address in -listen %q", *listen))
+		}
+	}
 
 	tt, err := core.BuildTrainTable(core.TrainTableConfig{
 		Sessions: *sessions, Batch: *batch, Seed: *seed,
@@ -73,39 +91,72 @@ func main() {
 	if *autoscale {
 		cfg.AutoScale = &dpp.AutoScalerConfig{MaxReaders: *maxReaders}
 	}
-	svc, err := dpp.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	defer svc.Close()
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fatal(err)
+	// One service + server per shard address. The services share the
+	// landed table (and its raw-byte cache tier) but nothing else: each
+	// shard's ScanCache and session cap are its own, which is exactly
+	// what makes a fleet's cache capacity additive.
+	type shard struct {
+		addr string
+		svc  *dpp.Service
+		srv  *dppnet.Server
+		ln   net.Listener
 	}
-	srv := dppnet.NewServer(svc)
+	shards := make([]*shard, 0, len(addrs))
+	for _, addr := range addrs {
+		svc, err := dpp.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatal(err)
+		}
+		shards = append(shards, &shard{addr: addr, svc: svc, srv: dppnet.NewServer(svc), ln: ln})
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
 		fmt.Fprintln(os.Stderr, "recd-serve: shutting down")
-		srv.Close()
+		for _, sh := range shards {
+			sh.srv.Close()
+		}
 	}()
 
-	fmt.Printf("recd-serve: table %q (%d samples, S=%.1f, %d dedup groups) on %s\n",
-		tt.Spec.Table, tt.TrainRows, tt.S, len(tt.Spec.DedupSparseFeatures), ln.Addr())
-	if err := srv.Serve(ln); err != nil {
-		fatal(err)
+	bound := make([]string, len(shards))
+	for i, sh := range shards {
+		bound[i] = sh.ln.Addr().String()
+	}
+	fmt.Printf("recd-serve: table %q (%d samples, S=%.1f, %d dedup groups), %d shard(s) on %s\n",
+		tt.Spec.Table, tt.TrainRows, tt.S, len(tt.Spec.DedupSparseFeatures), len(shards), strings.Join(bound, " "))
+
+	errCh := make(chan error, len(shards))
+	for _, sh := range shards {
+		go func(sh *shard) { errCh <- sh.srv.Serve(sh.ln) }(sh)
+	}
+	for range shards {
+		if err := <-errCh; err != nil {
+			// One listener failing takes the process down; the trainer-side
+			// fleet treats the lost shard like any mid-stream death.
+			for _, sh := range shards {
+				sh.srv.Close()
+			}
+			fatal(err)
+		}
 	}
 
-	st := svc.Stats()
-	fmt.Printf("recd-serve: served %d sessions, %d batches; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
-		st.SessionsOpened, st.BatchesServed, st.Cache.Hits, st.Cache.Misses,
-		st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))
-	if *autoscale {
-		fmt.Printf("recd-serve: autoscaler resized worker pools %d up / %d down (cap %d readers/session)\n",
-			st.Scheduler.ScaleUps, st.Scheduler.ScaleDowns, *maxReaders)
+	for _, sh := range shards {
+		st := sh.svc.Stats()
+		fmt.Printf("recd-serve: shard %s served %d sessions, %d batches; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
+			sh.addr, st.SessionsOpened, st.BatchesServed, st.Cache.Hits, st.Cache.Misses,
+			st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))
+		if *autoscale {
+			fmt.Printf("recd-serve: shard %s autoscaler resized worker pools %d up / %d down (cap %d readers/session)\n",
+				sh.addr, st.Scheduler.ScaleUps, st.Scheduler.ScaleDowns, *maxReaders)
+		}
 	}
 	if tt.Cache != nil {
 		bs := tt.Cache.Stats()

@@ -16,11 +16,20 @@
 // flags) hits a cache it never filled. Both processes must be started
 // with the same -sessions/-batch/-seed so they derive the same table.
 //
+// -connect also takes a comma-separated shard list (host1:port1,host2:...):
+// each epoch's files are routed to exactly one shard by rendezvous
+// hashing and the per-shard streams are merged client-side back into the
+// single-server batch order, so the fleet's decoded-cache capacity is
+// the sum of the shards' and a shard dying mid-epoch only re-routes its
+// own remaining files.
+//
 // Usage:
 //
 //	recd-train -epochs 4 -mode recd -opt adagrad -ckpt /tmp/model.ckpt
 //	recd-serve -listen 127.0.0.1:7077 &
 //	recd-train -connect 127.0.0.1:7077 -epochs 4
+//	recd-serve -listen 127.0.0.1:7077,127.0.0.1:7078 &
+//	recd-train -connect 127.0.0.1:7077,127.0.0.1:7078 -epochs 4
 package main
 
 import (
@@ -30,11 +39,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/dpp/dppshard"
 	"repro/internal/reader"
 	"repro/internal/trainer"
 )
@@ -49,7 +60,7 @@ func main() {
 		lr       = flag.Float64("lr", 0.05, "learning rate")
 		ckpt     = flag.String("ckpt", "", "checkpoint output path (optional)")
 		seed     = flag.Int64("seed", 11, "random seed")
-		connect  = flag.String("connect", "", "recd-serve address (host:port); empty runs the service in-process")
+		connect  = flag.String("connect", "", "recd-serve address (host:port), or a comma-separated shard list for a sharded fleet; empty runs the service in-process")
 	)
 	flag.Parse()
 
@@ -79,7 +90,10 @@ func main() {
 	// identical table from the same flags.
 	storeCache := int64(256 << 20)
 	if *connect != "" {
-		storeCache = 0 // nothing reads the local store in connect mode
+		// In connect mode the local store is (at most) read by the fleet
+		// mux re-filling carry-entered files under a misaligned spec;
+		// there is no steady-state local read path worth caching.
+		storeCache = 0
 	}
 	tt, err := core.BuildTrainTable(core.TrainTableConfig{
 		Sessions: *sessions, Batch: *batch, Seed: *seed, StoreCacheBytes: storeCache,
@@ -119,6 +133,51 @@ func main() {
 			bs := tt.Cache.Stats()
 			fmt.Printf("\nscan sharing across %d epochs: %d/%d scan-cache hits/misses (%d entries, %.1f MiB); raw-byte fallback tier %d/%d hits/misses\n",
 				*epochs, cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), bs.Hits, bs.Misses)
+		}
+	} else if addrs := splitAddrs(*connect); len(addrs) > 1 {
+		// Sharded fleet: one dppshard session per epoch-hour, with the
+		// local backend available for misaligned carry re-fills.
+		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend})
+		if err != nil {
+			fatal(err)
+		}
+		var reroutes int64
+		shardServed := make(map[string]int)
+		open = func(hour int64) dpp.Stream {
+			files, err := tt.Catalog.Files("train", hour)
+			if err != nil {
+				fatal(err)
+			}
+			sess, err := fleet.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			if err != nil {
+				fatal(err)
+			}
+			return sess
+		}
+		noteStream = func(sess dpp.Stream) {
+			fs, ok := sess.(*dppshard.Session)
+			if !ok {
+				return
+			}
+			stats, rr := fs.ShardStats()
+			reroutes += rr
+			for _, st := range stats {
+				shardServed[st.Addr] += st.Served
+			}
+		}
+		printSharing = func() {
+			fmt.Printf("\nsharded scan sharing across %d epochs over %d shards (%d mid-stream re-routes):\n",
+				*epochs, len(addrs), reroutes)
+			for _, addr := range addrs {
+				st, err := dppnet.NewClient(addr).ServiceStats(ctx)
+				if err != nil {
+					fmt.Printf("  shard %s: served %d files this trainer; statsz unavailable: %v\n", addr, shardServed[addr], err)
+					continue
+				}
+				fmt.Printf("  shard %s: served %d files this trainer; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
+					addr, shardServed[addr], st.Cache.Hits, st.Cache.Misses,
+					st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))
+			}
 		}
 	} else {
 		client := dppnet.NewClient(*connect)
@@ -246,6 +305,18 @@ func main() {
 		}
 		fmt.Printf("\ncheckpoint written to %s (%d bytes)\n", *ckpt, buf.Len())
 	}
+}
+
+// splitAddrs parses a comma-separated address list, trimming whitespace.
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	addrs := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	return addrs
 }
 
 func fatal(err error) {

@@ -1,0 +1,261 @@
+// Package cachecore is the one single-flight + byte-bounded-LRU engine
+// behind the repo's two cache tiers: dpp.ScanCache (decoded file scans,
+// keyed by file + spec fingerprint) and storage.CachingBackend (raw
+// blobs, keyed by path). Both tiers previously carried their own ~200
+// line copy of the same machinery — coalesced misses, leader-failure
+// retry, recency-ordered eviction under a byte budget — which the
+// sharded preprocessing fleet would have forced into a third copy.
+// Extracting the core keeps exactly one implementation of the
+// correctness-critical loop and lets the tiers differ only where their
+// contracts actually differ (waiter accounting; see Config).
+package cachecore
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Config tunes the engine to a tier's documented contract.
+type Config struct {
+	// MaxBytes is the byte budget. Must be positive; completed entries
+	// are evicted least-recently-used once the budget is exceeded. A
+	// value whose cost alone exceeds the budget is served but never
+	// retained (retaining it would evict the entire cache for one entry).
+	MaxBytes int64
+	// CountWaiterHits controls how a caller coalesced onto another
+	// caller's in-flight compute is charged once that compute succeeds:
+	// true charges a hit (dpp.ScanCache's contract — the waiter was
+	// served work someone else paid for), false charges neither hit nor
+	// miss (storage.CachingBackend's contract — only resident entries
+	// hit).
+	CountWaiterHits bool
+}
+
+// Cache memoizes compute(key) results under a byte budget with
+// single-flight coalescing of concurrent misses. All methods are safe
+// for concurrent use.
+//
+// Failure never poisons: a failed compute propagates only to the caller
+// that ran it, and its waiters retry (one of them computing). Evicted
+// entries remain valid for holders — values are never recycled, only
+// forgotten.
+type Cache[K comparable, V any] struct {
+	max        int64
+	waiterHits bool
+	cost       func(V) int64
+
+	mu      sync.Mutex
+	bytes   int64
+	entries map[K]*entry[K, V]
+	lru     *list.List // complete resident entries only; front = most recent
+
+	hits, misses, evictions int64
+}
+
+// entry is one cached (or in-flight) computation.
+type entry[K comparable, V any] struct {
+	key  K
+	el   *list.Element // nil while in flight or after eviction
+	cost int64
+	hits int64
+
+	ready chan struct{} // closed when val/err are set
+	val   V
+	err   error
+}
+
+// New builds a cache. cost prices a completed value for the byte
+// budget; it is called once per successful compute. Panics on a
+// non-positive budget or nil cost, both programmer errors.
+func New[K comparable, V any](cfg Config, cost func(V) int64) *Cache[K, V] {
+	if cfg.MaxBytes <= 0 {
+		panic("cachecore: cache needs a positive byte budget")
+	}
+	if cost == nil {
+		panic("cachecore: cache needs a cost function")
+	}
+	return &Cache[K, V]{
+		max:        cfg.MaxBytes,
+		waiterHits: cfg.CountWaiterHits,
+		cost:       cost,
+		entries:    make(map[K]*entry[K, V]),
+		lru:        list.New(),
+	}
+}
+
+// Get returns the value for key, computing and caching it on a miss.
+// Concurrent Gets of one missing key share a single compute call; hit
+// reports whether this caller was served without computing (resident
+// entry, or a coalesced wait — see Config.CountWaiterHits for how the
+// latter is charged in Stats). If the computing caller fails, its error
+// reaches that caller alone; waiters retry, one of them computing.
+// Cancelling ctx abandons a coalesced wait with ctx.Err(); the in-flight
+// compute itself sees only its own caller's context.
+func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Context) (V, error)) (val V, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready: // complete
+				if e.err == nil {
+					c.touch(e)
+					c.hits++
+					e.hits++
+					c.mu.Unlock()
+					return e.val, true, nil
+				}
+				// Failed entries are removed by their computer; one still
+				// visible lost a race — fall through and wait it out.
+			default:
+			}
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				var zero V
+				return zero, false, ctx.Err()
+			}
+			if e.err != nil {
+				continue // leader failed; retry (and possibly lead)
+			}
+			c.mu.Lock()
+			if c.waiterHits {
+				c.touch(e)
+				c.hits++
+				e.hits++
+			}
+			c.mu.Unlock()
+			return e.val, true, nil
+		}
+
+		e := &entry[K, V]{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		e.val, e.err = compute(ctx)
+
+		c.mu.Lock()
+		if e.err != nil {
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.ready)
+			var zero V
+			return zero, false, e.err
+		}
+		e.cost = c.cost(e.val)
+		if e.cost > c.max {
+			// Unretainable: serve the value (waiters included) but drop the
+			// entry rather than evicting everything else to make room.
+			delete(c.entries, key)
+		} else {
+			e.el = c.lru.PushFront(e)
+			c.bytes += e.cost
+			c.evict()
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return e.val, false, nil
+	}
+}
+
+// Peek returns the resident value for key, charging a hit and
+// refreshing recency when present and a miss otherwise — the lookup
+// shape of a read path that falls back to an uncached source instead of
+// computing (storage.CachingBackend.ReadRange). In-flight entries are
+// not waited for: Peek never blocks.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.el != nil {
+		c.touch(e)
+		c.hits++
+		e.hits++
+		return e.val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether a completed entry for key is resident,
+// without touching recency or the hit/miss accounting.
+func (c *Cache[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.el != nil
+}
+
+// touch marks a resident entry most-recently-used. Callers hold c.mu.
+func (c *Cache[K, V]) touch(e *entry[K, V]) {
+	if e.el != nil {
+		c.lru.MoveToFront(e.el)
+	}
+}
+
+// evict drops least-recently-used resident entries until the budget
+// holds. Callers hold c.mu.
+func (c *Cache[K, V]) evict() {
+	for c.bytes > c.max {
+		last := c.lru.Back()
+		if last == nil {
+			return
+		}
+		e := last.Value.(*entry[K, V])
+		c.lru.Remove(last)
+		delete(c.entries, e.key)
+		c.bytes -= e.cost
+		e.el = nil
+		c.evictions++
+	}
+}
+
+// Stats is a snapshot of cache-wide accounting.
+type Stats struct {
+	// Hits and Misses count Get/Peek lookups; see Config.CountWaiterHits
+	// for how coalesced waiters are charged.
+	Hits, Misses int64
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64
+	// Entries and Bytes describe current occupancy (complete resident
+	// entries).
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Entry describes one resident entry.
+type Entry[K comparable] struct {
+	Key K
+	// Hits counts lookups this entry served since insertion.
+	Hits int64
+	// Bytes is the entry's budgeted cost.
+	Bytes int64
+}
+
+// Entries returns the resident entries most-recently-used first — the
+// order in which eviction will NOT happen.
+func (c *Cache[K, V]) Entries() []Entry[K] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[K], 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		out = append(out, Entry[K]{Key: e.key, Hits: e.hits, Bytes: e.cost})
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package cachecore_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cachecore"
+)
+
+func newStringCache(cfg cachecore.Config) *cachecore.Cache[string, string] {
+	return cachecore.New[string](cfg, func(v string) int64 { return int64(len(v)) })
+}
+
+func mustGet(t *testing.T, c *cachecore.Cache[string, string], key, val string) bool {
+	t.Helper()
+	got, hit, err := c.Get(context.Background(), key, func(context.Context) (string, error) {
+		return val, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit && got != val {
+		t.Fatalf("computed %q, want %q", got, val)
+	}
+	return hit
+}
+
+func TestEvictionOrderAndRefresh(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 12}) // room for three 4-byte values
+
+	for _, k := range []string{"a", "b", "c"} {
+		if hit := mustGet(t, c, k, "vvvv"); hit {
+			t.Fatalf("first insert of %q reported a hit", k)
+		}
+	}
+	mustGet(t, c, "a", "") // refresh a: b is now LRU
+	mustGet(t, c, "d", "vvvv")
+	if c.Contains("b") {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Fatalf("%q should be resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 12 {
+		t.Fatalf("stats %+v", st)
+	}
+	entries := c.Entries()
+	if len(entries) != 3 || entries[0].Key != "d" || entries[2].Key != "c" {
+		t.Fatalf("recency order %+v", entries)
+	}
+}
+
+// TestOversizeNeverRetained: a value larger than the whole budget is
+// served but not inserted — and crucially does not evict the resident
+// working set to make room for something that cannot fit anyway.
+func TestOversizeNeverRetained(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 8})
+	mustGet(t, c, "a", "vvvv")
+	mustGet(t, c, "b", "vvvv")
+	got, hit, err := c.Get(context.Background(), "huge", func(context.Context) (string, error) {
+		return "0123456789abcdef", nil
+	})
+	if err != nil || hit || got != "0123456789abcdef" {
+		t.Fatalf("oversize get: %q hit=%v err=%v", got, hit, err)
+	}
+	if c.Contains("huge") {
+		t.Fatal("oversize value must not be retained")
+	}
+	if !c.Contains("a") || !c.Contains("b") {
+		t.Fatal("oversize value evicted the resident working set")
+	}
+}
+
+// TestWaiterAccounting pins the config split: waiters coalesced onto a
+// leader's compute charge a hit with CountWaiterHits and nothing
+// without, while the leader charges one miss either way.
+func TestWaiterAccounting(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		waiterHits bool
+		wantHits   int64
+	}{
+		{"waiters-count-as-hits", true, 3},
+		{"waiters-count-nothing", false, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newStringCache(cachecore.Config{MaxBytes: 1 << 20, CountWaiterHits: tc.waiterHits})
+			release := make(chan struct{})
+			var computes atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, _, err := c.Get(context.Background(), "k", func(context.Context) (string, error) {
+						computes.Add(1)
+						<-release
+						return "v", nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			time.Sleep(20 * time.Millisecond) // let the losers park behind the leader
+			close(release)
+			wg.Wait()
+			if n := computes.Load(); n != 1 {
+				t.Fatalf("computed %d times for 4 concurrent callers", n)
+			}
+			st := c.Stats()
+			if st.Misses != 1 || st.Hits != tc.wantHits {
+				t.Fatalf("stats %+v, want 1 miss %d hits", st, tc.wantHits)
+			}
+		})
+	}
+}
+
+func TestLeaderFailureDoesNotPoison(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 1 << 20})
+	boom := errors.New("compute failed")
+	_, _, err := c.Get(context.Background(), "k", func(context.Context) (string, error) {
+		return "", boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want %v", err, boom)
+	}
+	if c.Contains("k") {
+		t.Fatal("failed entry must not be cached")
+	}
+	got, hit, err := c.Get(context.Background(), "k", func(context.Context) (string, error) {
+		return "v", nil
+	})
+	if err != nil || hit || got != "v" {
+		t.Fatalf("retry: %q hit=%v err=%v", got, hit, err)
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 1 << 20})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Get(context.Background(), "k", func(context.Context) (string, error) {
+			close(started)
+			<-release
+			return "v", nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, "k", func(context.Context) (string, error) {
+			return "", errors.New("waiter must not compute")
+		})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+}
+
+// TestPeekAccounting: Peek charges a hit and refreshes recency when
+// resident, a miss otherwise, and never blocks on in-flight computes.
+func TestPeekAccounting(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 8})
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("peek of empty cache hit")
+	}
+	mustGet(t, c, "a", "vvvv")
+	mustGet(t, c, "b", "vvvv")
+	if v, ok := c.Peek("a"); !ok || v != "vvvv" {
+		t.Fatalf("peek a = %q, %v", v, ok)
+	}
+	mustGet(t, c, "d", "vvvv") // a was refreshed by Peek, so b is evicted
+	if c.Contains("b") || !c.Contains("a") {
+		t.Fatal("peek did not refresh recency")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("stats %+v, want 1 hit 4 misses", st)
+	}
+}

@@ -85,6 +85,9 @@ type Service struct {
 	closed   bool
 	nextID   int64
 	sessions map[int64]*Session
+	// unitSessions are the open file-unit sessions (fleet shards); they
+	// share the MaxSessions cap with batch sessions.
+	unitSessions map[int64]*UnitSession
 	// reserved counts admissions granted but not yet registered, so the
 	// MaxSessions cap holds across concurrent Opens.
 	reserved int
@@ -128,13 +131,14 @@ func New(cfg Config) (*Service, error) {
 		autoscale = &ac
 	}
 	return &Service{
-		backend:   cfg.Backend,
-		catalog:   cfg.Catalog,
-		max:       cfg.MaxSessions,
-		cache:     cache,
-		autoscale: autoscale,
-		clock:     clock,
-		sessions:  make(map[int64]*Session),
+		backend:      cfg.Backend,
+		catalog:      cfg.Catalog,
+		max:          cfg.MaxSessions,
+		cache:        cache,
+		autoscale:    autoscale,
+		clock:        clock,
+		sessions:     make(map[int64]*Session),
+		unitSessions: make(map[int64]*UnitSession),
 	}, nil
 }
 
@@ -176,7 +180,7 @@ func (s *Service) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		SessionsOpened: s.opened,
-		ActiveSessions: len(s.sessions),
+		ActiveSessions: len(s.sessions) + len(s.unitSessions),
 		BatchesServed:  s.batchesServed,
 		Cache:          cache,
 		Scheduler:      ServiceSchedulerStats{ScaleUps: s.scaleUps, ScaleDowns: s.scaleDowns},
@@ -215,7 +219,7 @@ func (s *Service) Open(ctx context.Context, spec Spec) (*Session, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("dpp: service closed")
 	}
-	if s.max > 0 && len(s.sessions)+s.reserved >= s.max {
+	if s.max > 0 && len(s.sessions)+len(s.unitSessions)+s.reserved >= s.max {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("dpp: session cap %d reached", s.max)
 	}
@@ -255,9 +259,16 @@ func (s *Service) Close() error {
 	for _, sess := range s.sessions {
 		open = append(open, sess)
 	}
+	openUnits := make([]*UnitSession, 0, len(s.unitSessions))
+	for _, u := range s.unitSessions {
+		openUnits = append(openUnits, u)
+	}
 	s.mu.Unlock()
 	for _, sess := range open {
 		sess.Close()
+	}
+	for _, u := range openUnits {
+		u.Close()
 	}
 	return nil
 }
@@ -281,5 +292,11 @@ func (s *Service) noteScale(up bool) {
 func (s *Service) forget(id int64) {
 	s.mu.Lock()
 	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+func (s *Service) forgetUnit(id int64) {
+	s.mu.Lock()
+	delete(s.unitSessions, id)
 	s.mu.Unlock()
 }

@@ -765,6 +765,78 @@ func TestShareScansMisalignedFallbackAccounting(t *testing.T) {
 	}
 }
 
+// TestShareScansPrefetchAccounting pins the ShareScans miss-path
+// prefetch (Spec.FillAhead > 0): the prefetching session's stream is
+// byte-identical to the serial reference and its deterministic reader
+// counters and cache hit/miss split are exactly the inline path's, for
+// both aligned specs (every file through the cache) and misaligned ones
+// (the producer's arithmetic carry must reproduce the inline path's
+// aligned/fallback split); a warm second pass over the aligned spec is
+// all hits.
+func TestShareScansPrefetchAccounting(t *testing.T) {
+	env := newTestEnv(t, 60)
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Skip("partition landed in too few files")
+	}
+	for _, spec := range []reader.Spec{dedupSpec(), kjtSpec()} {
+		wantEnc, _ := serialReference(t, env, spec)
+
+		// Inline reference: a ShareScans session with FillAhead 0 on a
+		// fresh service (cold cache).
+		inlineSvc := newService(t, env, dpp.Config{})
+		inlineSess, err := inlineSvc.Open(context.Background(), dpp.Spec{Spec: spec, ShareScans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainSession(t, inlineSess)
+		inlineStats := inlineSess.Stats()
+		inlineSess.Close()
+
+		pspec := spec
+		pspec.FillAhead = 3
+		preSvc := newService(t, env, dpp.Config{})
+		preSess, err := preSvc.Open(context.Background(), dpp.Spec{Spec: pspec, ShareScans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEnc := drainSession(t, preSess)
+		preStats := preSess.Stats()
+		preSess.Close()
+
+		if len(gotEnc) != len(wantEnc) {
+			t.Fatalf("batch %d: prefetch produced %d batches, serial reference %d", spec.BatchSize, len(gotEnc), len(wantEnc))
+		}
+		for bi := range wantEnc {
+			if !bytes.Equal(gotEnc[bi], wantEnc[bi]) {
+				t.Fatalf("batch size %d: prefetch batch %d differs from serial reference", spec.BatchSize, bi)
+			}
+		}
+		if counters(preStats.Reader) != counters(inlineStats.Reader) {
+			t.Fatalf("batch size %d: prefetch counters %v, inline %v", spec.BatchSize, counters(preStats.Reader), counters(inlineStats.Reader))
+		}
+		if preStats.Cache != inlineStats.Cache {
+			t.Fatalf("batch size %d: prefetch cache traffic %+v, inline %+v", spec.BatchSize, preStats.Cache, inlineStats.Cache)
+		}
+
+		// Warm pass on the prefetch service: every aligned lookup hits.
+		warm, err := preSvc.Open(context.Background(), dpp.Spec{Spec: pspec, ShareScans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainSession(t, warm)
+		warmStats := warm.Stats()
+		warm.Close()
+		wantLookups := preStats.Cache.Hits + preStats.Cache.Misses
+		if warmStats.Cache.Hits != wantLookups || warmStats.Cache.Misses != 0 {
+			t.Fatalf("batch size %d: warm pass cache traffic %+v, want %d hits / 0 misses", spec.BatchSize, warmStats.Cache, wantLookups)
+		}
+	}
+}
+
 // TestShareScansRejectedWhenCacheDisabled: a service built with the scan
 // cache disabled refuses ShareScans sessions instead of silently running
 // them unshared.

@@ -2,7 +2,9 @@ package dppnet
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"reflect"
 	"testing"
 	"time"
 
@@ -110,6 +112,92 @@ func FuzzDecodeServiceStats(f *testing.F) {
 			st.Cache.Entries < 0 || st.Cache.Bytes < 0 ||
 			st.Scheduler.ScaleUps < 0 || st.Scheduler.ScaleDowns < 0 {
 			t.Fatalf("accepted service stats with negative fields: %+v", st)
+		}
+	})
+}
+
+func fileUnitSeed(u *dpp.FileUnit) []byte {
+	var buf bytes.Buffer
+	if err := encodeFileUnit(&buf, u); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFileUnit: the v3 file-unit frame is what a fleet mux
+// reassembles its merged stream from, so a malicious or corrupt shard
+// must never panic the client. decodeFileUnit on arbitrary bytes either
+// fails cleanly or yields a unit within every wire bound whose
+// re-encoding decodes back equal — byte-identity of the re-encoding is
+// NOT required, because ReadUvarint accepts non-minimal varints.
+func FuzzDecodeFileUnit(f *testing.F) {
+	env := newTestEnv(f, 24)
+	r, err := reader.NewReader(env.store, misalignedSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	// A real misaligned scan carries keys, complete batches, and a tail —
+	// every section of the frame layout is populated.
+	scan, err := r.ScanFile(context.Background(), files[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	full := fileUnitSeed(&dpp.FileUnit{Index: 3, Scan: scan, Hit: true})
+	f.Add(full)
+	f.Add(fileUnitSeed(&dpp.FileUnit{Scan: &reader.FileScan{Keys: []string{"item_0"}, Dense: 2}}))
+	for _, cut := range []int{1, 2, len(full) / 2, len(full) - 1} {
+		f.Add(full[:cut])
+	}
+	f.Add(append(append([]byte(nil), full...), 0x00)) // trailing byte
+	// Forged header: plausible prefix, then a key count over the cap.
+	forged := binary.AppendUvarint(nil, 1) // index
+	forged = append(forged, 1)             // hit
+	forged = binary.AppendUvarint(forged, 4)
+	forged = binary.AppendUvarint(forged, maxUnitKeys+1)
+	f.Add(forged)
+	// Hit flag outside {0, 1}.
+	bad := append([]byte(nil), full...)
+	bad[binary.PutUvarint(make([]byte, binary.MaxVarintLen64), 3)] = 7
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := decodeFileUnit(data)
+		if err != nil {
+			return
+		}
+		if u.Index < 0 || u.Index > maxUnitIndex {
+			t.Fatalf("accepted out-of-range index %d", u.Index)
+		}
+		if u.File != "" {
+			t.Fatalf("decoded unit carries a file path %q; the index owns that mapping", u.File)
+		}
+		if u.Scan == nil {
+			t.Fatal("accepted unit without a scan")
+		}
+		if len(u.Scan.Keys) > maxUnitKeys || u.Scan.Dense > maxUnitDense ||
+			len(u.Scan.Batches) > maxUnitBatches || len(u.Scan.Tail) > maxUnitTail {
+			t.Fatalf("accepted unit outside wire bounds: %d keys, dense %d, %d batches, %d tail rows",
+				len(u.Scan.Keys), u.Scan.Dense, len(u.Scan.Batches), len(u.Scan.Tail))
+		}
+		for _, k := range u.Scan.Keys {
+			if len(k) > maxUnitKeyLen {
+				t.Fatalf("accepted %d-byte key", len(k))
+			}
+		}
+		var re bytes.Buffer
+		if err := encodeFileUnit(&re, u); err != nil {
+			t.Fatalf("re-encode of accepted unit: %v", err)
+		}
+		back, err := decodeFileUnit(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of accepted unit: %v", err)
+		}
+		if !reflect.DeepEqual(u, back) {
+			t.Fatalf("file unit did not round-trip:\n got %#v\nwant %#v", back, u)
 		}
 	})
 }

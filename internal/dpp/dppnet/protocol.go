@@ -43,11 +43,13 @@ import (
 // Connection preamble: magic + one version byte, written by the client
 // before its handshake frame. Version 2 extended the session-stats frame
 // with the scheduler block (workers, scale events, starvation stalls);
-// the bump keeps a mixed-version pair from handshaking and then
-// mis-decoding the trailing stats frame.
+// version 3 added the file-unit session mode (openRequest.FileUnits and
+// the file-unit frame) that fleet shards are served through. The bump
+// keeps a mixed-version pair from handshaking and then mis-decoding the
+// stream.
 const (
 	protoMagic   = "DPPN"
-	protoVersion = 2
+	protoVersion = 3
 )
 
 // Frame types. Client→server frames are small control messages; all bulk
@@ -75,6 +77,12 @@ const (
 	frameError = byte(0x14)
 	// frameSvcStats answers a statsz handshake with JSON dpp.Stats.
 	frameSvcStats = byte(0x15)
+	// frameFileUnit carries one whole decoded file (dpp.FileUnit) for a
+	// file-unit session: subset index, cache-hit flag, schema, complete
+	// batches, and raw tail rows. Fleet shards stream these instead of
+	// batch frames so the client-side merge can cut carry-crossing
+	// batches itself.
+	frameFileUnit = byte(0x16)
 )
 
 // maxFrameBytes bounds a batch-bearing (server→client) frame's declared
@@ -100,10 +108,15 @@ type openRequest struct {
 	// Kind selects the conversation: "session" streams batches for Spec;
 	// "statsz" returns the service's aggregate stats and closes.
 	Kind string `json:"kind"`
-	// Window is the client's receive window in batches (session kind).
+	// Window is the client's receive window in batches — or in file
+	// units when FileUnits is set (session kind).
 	Window int `json:"window,omitempty"`
 	// Spec is the wire form of the dpp.Spec to open (session kind).
 	Spec *wireSpec `json:"spec,omitempty"`
+	// FileUnits switches the session to file-unit streaming
+	// (dpp.Service.OpenUnits): whole decoded files in file-list order
+	// instead of a batch stream. The fleet multiplexer's mode.
+	FileUnits bool `json:"file_units,omitempty"`
 }
 
 const (

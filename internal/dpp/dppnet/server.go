@@ -160,7 +160,11 @@ func (s *Server) handle(conn net.Conn) {
 	case kindStatsz:
 		s.serveStatsz(bw)
 	case kindSession:
-		s.serveSession(conn, br, bw, &req)
+		if req.FileUnits {
+			s.serveFileUnits(br, bw, &req)
+		} else {
+			s.serveSession(conn, br, bw, &req)
+		}
 	default:
 		writeError(bw, fmt.Errorf("dppnet: unknown request kind %q", req.Kind))
 	}
@@ -297,6 +301,127 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			return
 		}
 		if writeFrame(bw, frameBatch, enc.Bytes()) != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		avail--
+	}
+}
+
+// serveFileUnits opens a file-unit session (a fleet shard's serving
+// loop) and streams whole decoded files under the credit window — one
+// credit per unit frame — until exhaustion, error, or teardown from
+// either side. The shape mirrors serveSession exactly; only the payload
+// unit differs.
+func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+	if req.Spec == nil {
+		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
+		return
+	}
+	window := req.Window
+	if window <= 0 || window > maxWindow {
+		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
+		return
+	}
+	spec, err := decodeSpec(req.Spec)
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	us, err := s.svc.OpenUnits(ctx, spec)
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+	defer us.Close()
+
+	if err := writeFrame(bw, frameOK, nil); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	credits := make(chan int64, 1)
+	go func() {
+		defer cancel()
+		for {
+			typ, payload, err := readFrame(br, maxControlFrameBytes)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case frameCredit:
+				n, err := decodeCredit(payload)
+				if err != nil {
+					return
+				}
+				select {
+				case credits <- n:
+				case <-ctx.Done():
+					return
+				}
+			case frameClose:
+				return
+			default:
+				return
+			}
+		}
+	}()
+
+	var enc bytes.Buffer
+	avail := int64(window)
+	for {
+		for avail <= 0 {
+			select {
+			case n := <-credits:
+				avail += n
+			case <-ctx.Done():
+				return
+			}
+		}
+		for {
+			select {
+			case n := <-credits:
+				avail += n
+				continue
+			default:
+			}
+			break
+		}
+
+		u, err := us.NextUnit(ctx)
+		if err == io.EOF {
+			enc.Reset()
+			if err := encodeSessionStats(&enc, us.Stats()); err != nil {
+				writeError(bw, err)
+				return
+			}
+			if writeFrame(bw, frameStats, enc.Bytes()) != nil {
+				return
+			}
+			if writeFrame(bw, frameEOF, nil) != nil {
+				return
+			}
+			bw.Flush()
+			return
+		}
+		if err != nil {
+			writeError(bw, err)
+			return
+		}
+		enc.Reset()
+		if err := encodeFileUnit(&enc, u); err != nil {
+			writeError(bw, err)
+			return
+		}
+		if writeFrame(bw, frameFileUnit, enc.Bytes()) != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {

@@ -1,0 +1,267 @@
+package dppnet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dpp"
+)
+
+// OpenUnits opens a file-unit session on the remote service
+// (dpp.Service.OpenUnits over the wire): whole decoded files arrive
+// strictly in file-list order instead of a batch stream. This is how the
+// fleet multiplexer (dppshard) consumes a shard; training loops consume
+// batch sessions via Open.
+//
+// The spec must name its files explicitly (Spec.Files): units travel by
+// subset index, so the client must own the list the indices name. The
+// receive window counts unit frames in flight, sized like a batch
+// session's — max(1,Readers) × buffer depth — so a shard's scan workers
+// stay busy up to the same backpressure bound a local unit session's
+// merge window allows.
+func (c *Client) OpenUnits(ctx context.Context, spec dpp.Spec) (*RemoteUnitSession, error) {
+	if len(spec.Files) == 0 {
+		return nil, fmt.Errorf("dppnet: file-unit session needs an explicit file list")
+	}
+	ws, err := encodeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	readers, buffer := spec.Readers, spec.Buffer
+	if readers <= 0 {
+		readers = dpp.DefaultReaders
+	}
+	if buffer <= 0 {
+		buffer = dpp.DefaultBuffer
+	}
+	window := readers * buffer
+	if window > maxWindow {
+		window = maxWindow
+	}
+
+	conn, br, err := c.dial(ctx, openRequest{Kind: kindSession, Window: window, Spec: ws, FileUnits: true})
+	if err != nil {
+		return nil, err
+	}
+	watchStop := closeOnDone(ctx, conn)
+
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil {
+		watchStop()
+		conn.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	switch typ {
+	case frameOK:
+	case frameError:
+		watchStop()
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		watchStop()
+		conn.Close()
+		return nil, fmt.Errorf("dppnet: unexpected handshake reply %#x", typ)
+	}
+
+	rus := &RemoteUnitSession{
+		conn:  conn,
+		files: spec.Files,
+		// One slot past the credit window, for the same reason as a batch
+		// session's receive channel: the terminal message always fits.
+		recv:      make(chan remoteUnitMsg, window+1),
+		done:      make(chan struct{}),
+		watchStop: watchStop,
+	}
+	go rus.receive(br)
+	return rus, nil
+}
+
+// remoteUnitMsg is one received item handed from the connection reader
+// to NextUnit: a decoded unit, or the terminal error.
+type remoteUnitMsg struct {
+	unit *dpp.FileUnit
+	err  error
+}
+
+// RemoteUnitSession is the client half of one file-unit stream. NextUnit
+// is single-consumer; Close may race it from another goroutine, exactly
+// as with RemoteSession.
+type RemoteUnitSession struct {
+	conn      net.Conn
+	files     []string
+	recv      chan remoteUnitMsg
+	done      chan struct{}
+	watchStop func()
+
+	wmu sync.Mutex // serializes credit/close frame writes
+
+	mu      sync.Mutex
+	stats   dpp.SessionStats
+	gotEOF  bool
+	closed  bool
+	termErr error
+}
+
+// receive owns the connection's read half, mirroring RemoteSession's
+// receiver. It additionally enforces the in-order contract: units must
+// arrive with strictly consecutive subset indices starting at 0 — a
+// server violating that is protocol-corrupt, and failing here keeps the
+// fleet merge from ever seeing a misordered or aliased slot.
+func (rus *RemoteUnitSession) receive(br *bufio.Reader) {
+	defer close(rus.recv)
+	defer rus.watchStop()
+	terminal := func(err error) {
+		select {
+		case rus.recv <- remoteUnitMsg{err: err}:
+		case <-rus.done:
+		}
+	}
+	next := 0
+	for {
+		typ, payload, err := readFrame(br, maxFrameBytes)
+		if err != nil {
+			terminal(fmt.Errorf("dppnet: connection lost: %w", err))
+			return
+		}
+		switch typ {
+		case frameFileUnit:
+			u, err := decodeFileUnit(payload)
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt file-unit frame: %w", err))
+				return
+			}
+			if u.Index != next || u.Index >= len(rus.files) {
+				terminal(fmt.Errorf("dppnet: file unit %d out of order (want %d of %d)", u.Index, next, len(rus.files)))
+				return
+			}
+			u.File = rus.files[u.Index]
+			next++
+			select {
+			case rus.recv <- remoteUnitMsg{unit: u}:
+			case <-rus.done:
+				return
+			}
+		case frameStats:
+			st, err := decodeSessionStats(bytes.NewReader(payload))
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt stats frame: %w", err))
+				return
+			}
+			rus.mu.Lock()
+			rus.stats = st
+			rus.mu.Unlock()
+		case frameEOF:
+			rus.mu.Lock()
+			rus.gotEOF = true
+			rus.mu.Unlock()
+			terminal(io.EOF)
+			return
+		case frameError:
+			terminal(fmt.Errorf("%w: %s", ErrRemote, payload))
+			return
+		default:
+			terminal(fmt.Errorf("dppnet: unexpected frame %#x", typ))
+			return
+		}
+	}
+}
+
+// NextUnit returns the stream's next file unit, blocking until one
+// arrives, the scan is exhausted (io.EOF), the server reports an error
+// (wrapped in ErrRemote), the connection fails, ctx is cancelled, or the
+// session is closed (dpp.ErrClosed) — the same contract as a local
+// UnitSession.NextUnit. Each consumed unit returns one window credit.
+func (rus *RemoteUnitSession) NextUnit(ctx context.Context) (*dpp.FileUnit, error) {
+	rus.mu.Lock()
+	if rus.closed {
+		rus.mu.Unlock()
+		return nil, dpp.ErrClosed
+	}
+	if rus.termErr != nil {
+		err := rus.termErr
+		rus.mu.Unlock()
+		return nil, err
+	}
+	rus.mu.Unlock()
+
+	select {
+	case m, ok := <-rus.recv:
+		if !ok {
+			rus.mu.Lock()
+			defer rus.mu.Unlock()
+			if rus.closed {
+				return nil, dpp.ErrClosed
+			}
+			if rus.termErr != nil {
+				return nil, rus.termErr
+			}
+			return nil, io.EOF
+		}
+		if m.err != nil {
+			rus.mu.Lock()
+			closed := rus.closed
+			if rus.termErr == nil {
+				rus.termErr = m.err
+			}
+			rus.mu.Unlock()
+			if closed && m.err != io.EOF {
+				return nil, dpp.ErrClosed
+			}
+			return nil, m.err
+		}
+		rus.sendCredit()
+		return m.unit, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-rus.done:
+		return nil, dpp.ErrClosed
+	}
+}
+
+// sendCredit returns one window credit; a write failure means the
+// connection is already dead and will surface through the receiver.
+func (rus *RemoteUnitSession) sendCredit() {
+	var payload [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(payload[:], 1)
+	rus.wmu.Lock()
+	defer rus.wmu.Unlock()
+	_ = writeFrame(rus.conn, frameCredit, payload[:n])
+}
+
+// Stats returns the shard session's final accounting as reported in the
+// trailing stats frame, available once NextUnit has returned io.EOF.
+func (rus *RemoteUnitSession) Stats() (dpp.SessionStats, bool) {
+	rus.mu.Lock()
+	defer rus.mu.Unlock()
+	return rus.stats, rus.gotEOF
+}
+
+// Close tears the remote unit session down: a best-effort close frame,
+// then the connection. Idempotent; always returns nil.
+func (rus *RemoteUnitSession) Close() error {
+	rus.mu.Lock()
+	if rus.closed {
+		rus.mu.Unlock()
+		return nil
+	}
+	rus.closed = true
+	rus.mu.Unlock()
+	close(rus.done)
+	rus.watchStop()
+	rus.wmu.Lock()
+	_ = writeFrame(rus.conn, frameClose, nil)
+	rus.wmu.Unlock()
+	rus.conn.Close()
+	for range rus.recv {
+	}
+	return nil
+}

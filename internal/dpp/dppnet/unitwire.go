@@ -1,0 +1,165 @@
+package dppnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/reader"
+)
+
+// File-unit frame payload layout (all counts uvarint):
+//
+//	index | hit byte | dense | nKeys (len-prefixed keys)... |
+//	nBatches (reader.Batch wire codec each) |
+//	nTail (datagen.Sample wire codec each)
+//
+// The file path itself does not travel: units arrive strictly in
+// file-list order and the client owns the list it asked for, so the
+// subset index names the file. Decode bounds every count before
+// allocating, in the same adversarial posture as the batch and stats
+// codecs — a forged frame fails cleanly, it never allocates the forgery.
+const (
+	// maxUnitKeys bounds a unit's schema width; no schema in the
+	// reproduction is near this.
+	maxUnitKeys = 1 << 16
+	// maxUnitKeyLen bounds one feature name's length.
+	maxUnitKeyLen = 1 << 16
+	// maxUnitBatches bounds one file's complete-batch count.
+	maxUnitBatches = 1 << 20
+	// maxUnitTail bounds one file's tail-row count (always under the
+	// spec's batch size in honest traffic).
+	maxUnitTail = 1 << 24
+	// maxUnitIndex bounds the subset index; the client additionally
+	// requires indices to arrive exactly in order.
+	maxUnitIndex = 1 << 32
+	// maxUnitDense bounds the schema's dense width, mirroring the sample
+	// codec's own cap.
+	maxUnitDense = 1 << 20
+)
+
+// encodeFileUnit serializes one unit for a file-unit frame.
+func encodeFileUnit(w io.Writer, u *dpp.FileUnit) error {
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(u.Index)); err != nil {
+		return err
+	}
+	hit := byte(0)
+	if u.Hit {
+		hit = 1
+	}
+	if _, err := w.Write([]byte{hit}); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(u.Scan.Dense)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(u.Scan.Keys))); err != nil {
+		return err
+	}
+	for _, k := range u.Scan.Keys {
+		if err := putUvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, k); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(u.Scan.Batches))); err != nil {
+		return err
+	}
+	for _, b := range u.Scan.Batches {
+		if err := b.Encode(w); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(u.Scan.Tail))); err != nil {
+		return err
+	}
+	return datagen.EncodeSamples(w, u.Scan.Tail)
+}
+
+// decodeFileUnit parses a file-unit frame payload. The returned unit's
+// File is empty — the caller maps the subset index back to its own file
+// list. Trailing bytes after the tail rows are a protocol error.
+func decodeFileUnit(payload []byte) (*dpp.FileUnit, error) {
+	r := bytes.NewReader(payload)
+	bounded := func(name string, max uint64) (int, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("dppnet: file-unit %s: %w", name, err)
+		}
+		if v > max {
+			return 0, fmt.Errorf("dppnet: implausible file-unit %s %d", name, v)
+		}
+		return int(v), nil
+	}
+	idx, err := bounded("index", maxUnitIndex)
+	if err != nil {
+		return nil, err
+	}
+	hit, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dppnet: file-unit hit flag: %w", err)
+	}
+	if hit > 1 {
+		return nil, fmt.Errorf("dppnet: malformed file-unit hit flag %d", hit)
+	}
+	dense, err := bounded("dense width", maxUnitDense)
+	if err != nil {
+		return nil, err
+	}
+	nKeys, err := bounded("key count", maxUnitKeys)
+	if err != nil {
+		return nil, err
+	}
+	scan := &reader.FileScan{Dense: dense}
+	if nKeys > 0 {
+		scan.Keys = make([]string, nKeys)
+		for i := range scan.Keys {
+			kl, err := bounded("key length", maxUnitKeyLen)
+			if err != nil {
+				return nil, err
+			}
+			kb := make([]byte, kl)
+			if _, err := io.ReadFull(r, kb); err != nil {
+				return nil, fmt.Errorf("dppnet: file-unit key: %w", err)
+			}
+			scan.Keys[i] = string(kb)
+		}
+	}
+	nBatches, err := bounded("batch count", maxUnitBatches)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nBatches; i++ {
+		b, err := reader.DecodeBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("dppnet: file-unit batch %d: %w", i, err)
+		}
+		scan.Batches = append(scan.Batches, b)
+	}
+	nTail, err := bounded("tail count", maxUnitTail)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nTail; i++ {
+		s, err := datagen.DecodeSample(r)
+		if err != nil {
+			return nil, fmt.Errorf("dppnet: file-unit tail row %d: %w", i, err)
+		}
+		scan.Tail = append(scan.Tail, s)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("dppnet: %d trailing bytes after file unit", r.Len())
+	}
+	return &dpp.FileUnit{Index: idx, Scan: scan, Hit: hit == 1}, nil
+}

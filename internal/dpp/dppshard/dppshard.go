@@ -1,0 +1,696 @@
+// Package dppshard is the client-side fleet multiplexer over N
+// recd-serve shards: one logical preprocessing session whose file scan
+// is partitioned across servers by rendezvous (highest-random-weight)
+// hashing, so each DWRF file is decoded — and, under ShareScans, cached
+// — on exactly one shard, and the fleet's cache capacity is the sum of
+// the shards' budgets rather than N replicas of the same working set.
+//
+// Each shard serves its file subset as a dppnet file-unit stream (whole
+// decoded files in order: complete batches plus raw tail rows), and the
+// multiplexer reassembles the global file order with the same
+// deposit-by-index ordered-merge discipline a local session's fill pool
+// uses (reader.OrderedMerge). Batches whose rows stay inside one file
+// pass through untouched; batch boundaries that cross file boundaries
+// are cut client-side from the carried tails — which is what makes the
+// merged stream byte-identical to a single-server (or fully local)
+// session over the same spec, at any shard count.
+//
+// Shard death mid-stream re-routes deterministically: the dead shard's
+// not-yet-delivered files — and only those — are re-hashed over the
+// surviving shards (rendezvous hashing moves no other file), new unit
+// streams are opened for exactly those files, and the merge resumes at
+// the precise file boundary. The stream stays byte-identical through
+// the kill; see docs/ARCHITECTURE.md's determinism contract.
+package dppshard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dpp"
+	"repro/internal/dpp/dppnet"
+	"repro/internal/reader"
+	"repro/internal/storage"
+)
+
+// Config describes the fleet a session multiplexes over.
+type Config struct {
+	// Addrs are the shard servers (host:port), one dppnet endpoint each.
+	// Order does not affect routing — rendezvous hashing is symmetric in
+	// the member set — but duplicates are rejected.
+	Addrs []string
+	// Backend optionally gives the multiplexer local storage access for
+	// files whose batches cannot be cut shard-side: when a scan enters a
+	// file with carried rows (a misaligned spec), the batch boundaries
+	// depend on the carry, so the mux re-fills that file locally exactly
+	// as a ShareScans session's misaligned fallback does. Nil is fine for
+	// aligned specs; a misaligned scan without a backend fails cleanly.
+	Backend storage.Backend
+}
+
+// Fleet opens multiplexed sessions over a fixed shard set.
+type Fleet struct {
+	addrs   []string
+	backend storage.Backend
+}
+
+// New validates the shard set.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("dppshard: fleet needs at least one shard address")
+	}
+	seen := make(map[string]struct{}, len(cfg.Addrs))
+	for _, a := range cfg.Addrs {
+		if a == "" {
+			return nil, fmt.Errorf("dppshard: empty shard address")
+		}
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("dppshard: duplicate shard address %q", a)
+		}
+		seen[a] = struct{}{}
+	}
+	return &Fleet{addrs: append([]string(nil), cfg.Addrs...), backend: cfg.Backend}, nil
+}
+
+// route picks the shard for one file by rendezvous hashing: the highest
+// fnv64a(file, fingerprint, addr) score wins. Every client with the
+// same member set routes identically (no coordination), and removing a
+// member re-routes only that member's files — the property failover
+// leans on. The fingerprint is hashed in so distinct specs spread their
+// cache load independently.
+func route(file, fingerprint string, addrs []string) string {
+	best := ""
+	var bestScore uint64
+	for _, a := range addrs {
+		h := fnv.New64a()
+		h.Write([]byte(file))
+		h.Write([]byte{0})
+		h.Write([]byte(fingerprint))
+		h.Write([]byte{0})
+		h.Write([]byte(a))
+		s := h.Sum64()
+		if best == "" || s > bestScore || (s == bestScore && a < best) {
+			best, bestScore = a, s
+		}
+	}
+	return best
+}
+
+// group is one shard's route set: the global file indices it serves, in
+// increasing order.
+type group struct {
+	addr    string
+	indices []int
+}
+
+// regroup routes each global index over the alive shard set, emitting
+// groups in alive-set order (deterministic for a given member set).
+func regroup(files []string, fingerprint string, indices []int, alive []string) []group {
+	byAddr := make(map[string][]int, len(alive))
+	for _, idx := range indices {
+		a := route(files[idx], fingerprint, alive)
+		byAddr[a] = append(byAddr[a], idx)
+	}
+	out := make([]group, 0, len(byAddr))
+	for _, a := range alive {
+		if idxs := byAddr[a]; len(idxs) > 0 {
+			out = append(out, group{addr: a, indices: idxs})
+		}
+	}
+	return out
+}
+
+// shardState tracks one opened unit stream (initial or re-routed).
+type shardState struct {
+	addr    string
+	indices []int
+	sess    *dppnet.RemoteUnitSession
+
+	// Written by the owning pump under the session's pmu.
+	served  int // units delivered into the merge
+	failed  bool
+	stats   dpp.SessionStats // the shard's trailing stats frame
+	statsOK bool
+}
+
+// shardUnit is one merge slot: a delivered unit or the stream's fate.
+type shardUnit struct {
+	unit *dpp.FileUnit
+	err  error
+}
+
+// maxMergeWindow caps how many undelivered decoded files the merge may
+// hold client-side; whole files are much larger than batches, so the
+// cap is far below the batch-session buffer cap.
+const maxMergeWindow = 256
+
+// Session is one fleet-multiplexed preprocessing stream. It satisfies
+// dpp.Stream: Next returns batches in the single-server order until
+// io.EOF, and Close tears down every shard stream. Next is
+// single-consumer, as with every other session kind.
+type Session struct {
+	fleet       *Fleet
+	spec        dpp.Spec
+	files       []string
+	fingerprint string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	merge  *reader.OrderedMerge[shardUnit]
+	out    chan *reader.Batch
+	// mux is the session's local reader: it cuts carry-crossing batches
+	// from tails (ProduceBatch) and re-fills carry-entered files
+	// (FillFile, needs Config.Backend).
+	mux *reader.Reader
+	wg  sync.WaitGroup
+	// pumps tracks only the shard pump goroutines: a cleanly exhausted
+	// merge waits for them before closing the stream, so every healthy
+	// shard's trailing stats frame is drained by the time the consumer
+	// sees io.EOF and reads Stats.
+	pumps sync.WaitGroup
+
+	// pmu guards the shard set and teardown flag; wg.Add for re-route
+	// pumps happens under pmu with a stopped check, so a racing teardown
+	// can never Wait past an Add.
+	pmu      sync.Mutex
+	dead     map[string]bool
+	shards   []*shardState
+	stopped  bool
+	reroutes int64 // shard deaths survived mid-stream
+
+	mu                 sync.Mutex
+	muxStats           reader.Stats
+	consumerStall      time.Duration
+	consumerStallSince time.Time
+	firstErr           error
+	closed             bool
+}
+
+var _ dpp.Stream = (*Session)(nil)
+
+// Open routes spec.Files over the fleet and starts one unit stream per
+// shard with files to serve. The spec must name its files explicitly —
+// routing is by file, so the client must own the list. Admission errors
+// a shard reports (invalid spec, session cap) fail the whole Open;
+// shards that are unreachable at Open are treated exactly like a
+// mid-stream death: marked dead, their files re-routed to survivors.
+func (f *Fleet) Open(ctx context.Context, spec dpp.Spec) (*Session, error) {
+	if len(spec.Files) == 0 {
+		return nil, fmt.Errorf("dppshard: fleet session needs an explicit file list")
+	}
+	files := spec.Files
+	fingerprint := spec.Spec.Fingerprint()
+
+	readers, buffer := spec.Readers, spec.Buffer
+	if readers <= 0 {
+		readers = dpp.DefaultReaders
+	}
+	if buffer <= 0 {
+		buffer = dpp.DefaultBuffer
+	}
+
+	mux, err := reader.NewReader(f.backend, spec.Spec)
+	if err != nil {
+		return nil, err
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		fleet:       f,
+		spec:        spec,
+		files:       files,
+		fingerprint: fingerprint,
+		ctx:         sctx,
+		cancel:      cancel,
+		out:         make(chan *reader.Batch, readers*buffer),
+		mux:         mux,
+		dead:        make(map[string]bool),
+	}
+	window := len(f.addrs) * readers * buffer
+	if window > maxMergeWindow {
+		window = maxMergeWindow
+	}
+	s.merge = reader.NewOrderedMerge[shardUnit](len(files), window, nil)
+
+	// Open the initial shard streams synchronously, re-routing around
+	// unreachable shards; only then do pumps start, so Open's error
+	// semantics match a single server's (a spec the service rejects
+	// fails here, not as a mid-stream error).
+	queue := regroup(files, fingerprint, allIndices(len(files)), f.addrs)
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		rus, err := s.openShard(g)
+		if err != nil {
+			if errors.Is(err, dppnet.ErrRemote) || sctx.Err() != nil {
+				s.abandonOpen()
+				return nil, err
+			}
+			// Transport failure: the shard is dead to this session; its
+			// files re-route over the survivors.
+			s.dead[g.addr] = true
+			alive := s.aliveLocked()
+			if len(alive) == 0 {
+				s.abandonOpen()
+				return nil, fmt.Errorf("dppshard: no reachable shards: %w", err)
+			}
+			queue = append(queue, regroup(files, fingerprint, g.indices, alive)...)
+			continue
+		}
+		s.shards = append(s.shards, &shardState{addr: g.addr, indices: g.indices, sess: rus})
+	}
+
+	for _, st := range s.shards {
+		s.wg.Add(1)
+		s.pumps.Add(1)
+		go s.runPump(st)
+	}
+	s.wg.Add(1)
+	go s.runMerge()
+	return s, nil
+}
+
+func allIndices(n int) []int {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// openShard opens one unit stream carrying exactly g's file subset.
+func (s *Session) openShard(g group) (*dppnet.RemoteUnitSession, error) {
+	subset := make([]string, len(g.indices))
+	for i, idx := range g.indices {
+		subset[i] = s.files[idx]
+	}
+	shardSpec := s.spec
+	shardSpec.Files = subset
+	return dppnet.NewClient(g.addr).OpenUnits(s.ctx, shardSpec)
+}
+
+// abandonOpen tears down a half-built session whose Open is failing.
+func (s *Session) abandonOpen() {
+	s.cancel()
+	for _, st := range s.shards {
+		st.sess.Close()
+	}
+}
+
+// aliveLocked returns the fleet addresses this session has not declared
+// dead, in fleet order. Callers hold pmu (or, during Open, have sole
+// ownership).
+func (s *Session) aliveLocked() []string {
+	alive := make([]string, 0, len(s.fleet.addrs))
+	for _, a := range s.fleet.addrs {
+		if !s.dead[a] {
+			alive = append(alive, a)
+		}
+	}
+	return alive
+}
+
+// runPump drives one shard stream: wait for each of its global indices
+// to enter the merge window (backpressure), pull the unit, deposit it.
+// A shard that dies mid-stream hands its remaining indices to
+// rerouteShard; a shard that finishes cleanly drains the trailing
+// stats frame so the fleet's aggregate accounting includes it.
+func (s *Session) runPump(st *shardState) {
+	defer s.wg.Done()
+	defer s.pumps.Done()
+	defer st.sess.Close()
+	pos := 0
+	for pos < len(st.indices) {
+		gidx := st.indices[pos]
+		if !s.merge.WaitWindow(gidx) {
+			return // merge aborted: teardown or a terminal error elsewhere
+		}
+		u, err := st.sess.NextUnit(s.ctx)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			if err == io.EOF {
+				err = fmt.Errorf("dppshard: shard %s ended after %d of %d units", st.addr, pos, len(st.indices))
+			}
+			s.rerouteShard(st, pos, err)
+			return
+		}
+		s.merge.Deposit(gidx, shardUnit{unit: u})
+		pos++
+		s.pmu.Lock()
+		st.served = pos
+		s.pmu.Unlock()
+	}
+	// Subset delivered; the next read is the trailing stats + EOF.
+	if _, err := st.sess.NextUnit(s.ctx); err == io.EOF {
+		if stats, ok := st.sess.Stats(); ok {
+			s.pmu.Lock()
+			st.stats, st.statsOK = stats, true
+			s.pmu.Unlock()
+		}
+	}
+}
+
+// rerouteShard declares st's shard dead and re-routes its undelivered
+// files over the survivors, opening fresh unit streams for exactly
+// those files. Rendezvous hashing guarantees no other shard's files
+// move, and the merge consumes by global index, so the stream resumes
+// at the precise file boundary the dead shard reached. With no
+// survivors left, the failure surfaces in-order as the stream error at
+// the first undelivered file.
+func (s *Session) rerouteShard(st *shardState, pos int, cause error) {
+	remaining := st.indices[pos:]
+	s.pmu.Lock()
+	s.dead[st.addr] = true
+	st.failed = true
+	s.reroutes++
+	alive := s.aliveLocked()
+	stopped := s.stopped
+	s.pmu.Unlock()
+	if stopped {
+		return
+	}
+	if len(alive) == 0 {
+		s.merge.Deposit(remaining[0], shardUnit{err: fmt.Errorf("dppshard: shard %s died with no survivors: %w", st.addr, cause)})
+		return
+	}
+	queue := regroup(s.files, s.fingerprint, remaining, alive)
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		rus, err := s.openShard(g)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, dppnet.ErrRemote) {
+				// The survivor is up but refused the session (e.g. its
+				// admission cap): not a routing problem, a terminal one.
+				s.merge.Deposit(g.indices[0], shardUnit{err: fmt.Errorf("dppshard: re-route to %s failed: %w", g.addr, err)})
+				continue
+			}
+			s.pmu.Lock()
+			s.dead[g.addr] = true
+			alive := s.aliveLocked()
+			s.pmu.Unlock()
+			if len(alive) == 0 {
+				s.merge.Deposit(g.indices[0], shardUnit{err: fmt.Errorf("dppshard: shard %s died with no survivors: %w", g.addr, err)})
+				return
+			}
+			queue = append(queue, regroup(s.files, s.fingerprint, g.indices, alive)...)
+			continue
+		}
+		st2 := &shardState{addr: g.addr, indices: g.indices, sess: rus}
+		s.pmu.Lock()
+		if s.stopped {
+			s.pmu.Unlock()
+			rus.Close()
+			return
+		}
+		s.shards = append(s.shards, st2)
+		// Safe relative to teardown's Wait: this pump's own wg slot is
+		// still held, so neither counter can be at zero here.
+		s.wg.Add(1)
+		s.pumps.Add(1)
+		s.pmu.Unlock()
+		go s.runPump(st2)
+	}
+}
+
+// runMerge consumes deposited units strictly in global file order and
+// emits the batch stream, closing out only after the outcome is
+// recorded — the same discipline as every other session kind.
+func (s *Session) runMerge() {
+	defer s.wg.Done()
+	err := s.mergeLoop()
+	if err == nil {
+		// Clean exhaustion: every deposit was consumed, so the pumps are
+		// past their last unit and only draining trailing stats frames —
+		// a prompt wait that makes Stats complete at io.EOF.
+		s.pumps.Wait()
+	}
+	s.mu.Lock()
+	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
+		s.firstErr = err
+	}
+	s.muxStats.Add(s.mux.Stats())
+	s.mu.Unlock()
+	s.merge.Abort()
+	close(s.out)
+}
+
+// mergeLoop is the fleet twin of the ShareScans scan loop: files entered
+// on a batch boundary pass their shard-cut batches through, files
+// entered with carried rows are re-filled locally and cut against the
+// carry, and the final short batch is cut from the last tail.
+func (s *Session) mergeLoop() error {
+	batchSize := s.mux.BatchSize()
+	var carry []datagen.Sample
+	var keys []string
+	var dense int
+	checkSchema := func(file string, fileKeys []string) error {
+		if keys != nil && len(fileKeys) != len(keys) {
+			return fmt.Errorf("dppshard: file %q schema mismatch (%d vs %d features)", file, len(fileKeys), len(keys))
+		}
+		return nil
+	}
+	for i := range s.files {
+		res, ok := s.merge.Await(i)
+		if !ok {
+			return s.ctx.Err()
+		}
+		if res.err != nil {
+			return res.err
+		}
+		scan := res.unit.Scan
+		if len(carry) == 0 {
+			if err := checkSchema(s.files[i], scan.Keys); err != nil {
+				return err
+			}
+			if keys == nil {
+				keys, dense = scan.Keys, scan.Dense
+			}
+			for _, b := range scan.Batches {
+				if err := s.emitOut(b); err != nil {
+					return err
+				}
+			}
+			// Copy the tail: the unit may be cache-shared shard-side and
+			// the carry slice is appended to below.
+			carry = append([]datagen.Sample(nil), scan.Tail...)
+			continue
+		}
+		// Carry-entered file: its batch boundaries depend on the carried
+		// rows, so the shard-cut batches cannot be used. Re-fill locally,
+		// exactly as the ShareScans misaligned fallback does.
+		if s.fleet.backend == nil {
+			return fmt.Errorf("dppshard: file %q entered mid-batch but the fleet has no local backend to re-fill it (misaligned spec needs Config.Backend)", s.files[i])
+		}
+		samples, fileKeys, fileDense, err := s.mux.FillFile(s.ctx, s.files[i])
+		if err != nil {
+			return err
+		}
+		if err := checkSchema(s.files[i], fileKeys); err != nil {
+			return err
+		}
+		if keys == nil {
+			keys, dense = fileKeys, fileDense
+		}
+		carry = append(carry, samples...)
+		for len(carry) >= batchSize {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+			b, err := s.mux.ProduceBatch(carry[:batchSize], keys, dense)
+			if err != nil {
+				return err
+			}
+			if err := s.emitOut(b); err != nil {
+				return err
+			}
+			carry = carry[batchSize:]
+		}
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if len(carry) > 0 {
+		b, err := s.mux.ProduceBatch(carry, keys, dense)
+		if err != nil {
+			return err
+		}
+		return s.emitOut(b)
+	}
+	return nil
+}
+
+// emitOut hands one batch to the consumer through the bounded output
+// buffer, charging blocked time to the consumer-stall counter.
+func (s *Session) emitOut(b *reader.Batch) error {
+	select {
+	case s.out <- b:
+		return nil
+	default:
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.consumerStallSince = start
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.consumerStall += time.Since(start)
+		s.consumerStallSince = time.Time{}
+		s.mu.Unlock()
+	}()
+	select {
+	case s.out <- b:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+// Next returns the fleet stream's next batch — the single-server order,
+// whatever the shard count or failover history. The contract matches
+// every other session kind: batches until io.EOF, the first error, a
+// cancelled ctx, or dpp.ErrClosed.
+func (s *Session) Next(ctx context.Context) (*reader.Batch, error) {
+	select {
+	case b, ok := <-s.out:
+		if !ok {
+			return nil, s.finish()
+		}
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.ctx.Done():
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, dpp.ErrClosed
+		}
+		return nil, s.ctx.Err()
+	}
+}
+
+// finish settles the stream outcome once the output has closed.
+func (s *Session) finish() error {
+	ctxErr := s.ctx.Err()
+	s.teardown()
+	s.mu.Lock()
+	err := s.firstErr
+	closed := s.closed
+	s.mu.Unlock()
+	if err == nil {
+		if closed {
+			err = dpp.ErrClosed
+		} else if ctxErr != nil {
+			err = ctxErr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// teardown stops the pumps and the merge and waits for every session
+// goroutine; shard connections close as their pumps exit. Idempotent.
+func (s *Session) teardown() {
+	s.pmu.Lock()
+	s.stopped = true
+	s.pmu.Unlock()
+	s.cancel()
+	s.merge.Abort()
+	s.wg.Wait()
+}
+
+// Close tears the fleet session down across every shard. Idempotent;
+// always returns nil. Batches already returned by Next remain valid.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.teardown()
+	return nil
+}
+
+// Stats aggregates the fleet session's accounting: every shard's
+// trailing stats (decode work, egress, per-shard cache traffic) summed
+// with the multiplexer's own local reader work (carry-file re-fills and
+// carry-crossing batch cuts). For an aligned cold scan the aggregate
+// reader counters equal the single-server session's exactly; shard
+// stats are complete once Next has returned io.EOF (a shard killed
+// mid-stream loses its trailing frame — its completed work is absent,
+// which ShardStats surfaces per shard).
+func (s *Session) Stats() dpp.SessionStats {
+	var agg dpp.SessionStats
+	s.pmu.Lock()
+	for _, st := range s.shards {
+		if st.statsOK {
+			agg.Reader.Add(st.stats.Reader)
+			agg.Cache.Hits += st.stats.Cache.Hits
+			agg.Cache.Misses += st.stats.Cache.Misses
+		}
+	}
+	agg.Scheduler.Workers = len(s.aliveLocked())
+	s.pmu.Unlock()
+	agg.Scheduler.WorkerStall = s.merge.Stall()
+	s.mu.Lock()
+	agg.Reader.Add(s.muxStats)
+	agg.Scheduler.ConsumerStall = s.consumerStall
+	if !s.consumerStallSince.IsZero() {
+		agg.Scheduler.ConsumerStall += time.Since(s.consumerStallSince)
+	}
+	s.mu.Unlock()
+	return agg
+}
+
+// ShardStat is one shard stream's view in ShardStats.
+type ShardStat struct {
+	// Addr is the shard's address; re-routed file sets appear as their
+	// own entries (an address can host several streams after failover).
+	Addr string
+	// Files is the number of files routed to this stream; Served is how
+	// many it delivered into the merge.
+	Files, Served int
+	// Failed marks a stream whose shard died mid-stream.
+	Failed bool
+	// Stats is the shard's trailing accounting; valid when StatsOK (the
+	// stream completed and delivered its stats frame).
+	Stats   dpp.SessionStats
+	StatsOK bool
+}
+
+// ShardStats returns the per-shard-stream accounting plus the count of
+// shard deaths survived — the fleet-level cache-partitioning evidence
+// (each file's decode shows up in exactly one shard's misses) and the
+// failover audit trail.
+func (s *Session) ShardStats() (stats []ShardStat, reroutes int64) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	out := make([]ShardStat, 0, len(s.shards))
+	for _, st := range s.shards {
+		out = append(out, ShardStat{
+			Addr:    st.addr,
+			Files:   len(st.indices),
+			Served:  st.served,
+			Failed:  st.failed,
+			Stats:   st.stats,
+			StatsOK: st.statsOK,
+		})
+	}
+	return out, s.reroutes
+}

@@ -1,11 +1,9 @@
 package dpp
 
 import (
-	"container/list"
 	"context"
 
-	"sync"
-
+	"repro/internal/cachecore"
 	"repro/internal/reader"
 )
 
@@ -24,42 +22,24 @@ import (
 // lets cached entries compose into a stream byte-identical to an
 // uncached serial scan (pinned by the reader and dpp determinism tests).
 //
-// Concurrent requests for a missing entry coalesce: one caller computes
-// while the rest block on that computation (single-flight), so a burst of
-// sessions opening over the same partition decodes each file once.
-// Memory is bounded in bytes: completed entries are evicted least-
-// recently-used once the budget is exceeded. Evicted entries remain valid
-// for sessions already holding them — entries are immutable and the
-// cache never recycles their memory.
+// The single-flight + byte-bounded-LRU engine underneath is
+// internal/cachecore, shared with storage.CachingBackend: concurrent
+// requests for a missing entry coalesce (one caller computes, the rest
+// wait and are charged hits), completed entries are evicted least-
+// recently-used once the budget is exceeded, and a failed compute
+// reaches only its own caller. Evicted entries remain valid for
+// sessions already holding them — entries are immutable and the cache
+// never recycles their memory.
 //
 // All methods are safe for concurrent use.
 type ScanCache struct {
-	max int64
-
-	mu      sync.Mutex
-	bytes   int64
-	entries map[scanKey]*scanEntry
-	lru     *list.List // complete entries only; front = most recent
-
-	hits, misses, evictions int64
+	core *cachecore.Cache[scanKey, *reader.FileScan]
 }
 
 // scanKey is the identity of one shareable unit of scan work.
 type scanKey struct {
 	file        string
 	fingerprint string
-}
-
-// scanEntry is one cached (or in-flight) file scan.
-type scanEntry struct {
-	key  scanKey
-	el   *list.Element // nil while in flight
-	cost int64
-	hits int64
-
-	ready chan struct{} // closed when scan/err are set
-	scan  *reader.FileScan
-	err   error
 }
 
 // NewScanCache builds a cache bounded to maxBytes of estimated batch and
@@ -69,9 +49,10 @@ func NewScanCache(maxBytes int64) *ScanCache {
 		panic("dpp: scan cache needs a positive byte budget")
 	}
 	return &ScanCache{
-		max:     maxBytes,
-		entries: make(map[scanKey]*scanEntry),
-		lru:     list.New(),
+		core: cachecore.New[scanKey](
+			cachecore.Config{MaxBytes: maxBytes, CountWaiterHits: true},
+			func(fs *reader.FileScan) int64 { return fs.MemBytes() },
+		),
 	}
 }
 
@@ -83,98 +64,13 @@ func NewScanCache(maxBytes int64) *ScanCache {
 // session's scan. Cancelling ctx abandons the wait (the in-flight
 // compute itself is cancelled only by its own caller's context).
 func (c *ScanCache) Get(ctx context.Context, file, fingerprint string, compute func(context.Context) (*reader.FileScan, error)) (scan *reader.FileScan, hit bool, err error) {
-	key := scanKey{file: file, fingerprint: fingerprint}
-	for {
-		c.mu.Lock()
-		if e, ok := c.entries[key]; ok {
-			select {
-			case <-e.ready: // complete
-				if e.err == nil {
-					c.touch(e)
-					c.hits++
-					e.hits++
-					c.mu.Unlock()
-					return e.scan, true, nil
-				}
-				// Failed entries are removed by their computer; if one is
-				// still visible we lost a race — fall through and wait.
-			default:
-			}
-			c.mu.Unlock()
-			select {
-			case <-e.ready:
-			case <-ctx.Done():
-				return nil, false, ctx.Err()
-			}
-			c.mu.Lock()
-			if e.err == nil {
-				c.touch(e)
-				c.hits++
-				e.hits++
-				c.mu.Unlock()
-				return e.scan, true, nil
-			}
-			c.mu.Unlock()
-			continue // leader failed; retry (and possibly lead)
-		}
-
-		e := &scanEntry{key: key, ready: make(chan struct{})}
-		c.entries[key] = e
-		c.misses++
-		c.mu.Unlock()
-
-		e.scan, e.err = compute(ctx)
-
-		c.mu.Lock()
-		if e.err != nil {
-			delete(c.entries, key)
-			c.mu.Unlock()
-			close(e.ready)
-			return nil, false, e.err
-		}
-		e.cost = e.scan.MemBytes()
-		e.el = c.lru.PushFront(e)
-		c.bytes += e.cost
-		c.evict()
-		c.mu.Unlock()
-		close(e.ready)
-		return e.scan, false, nil
-	}
-}
-
-// touch marks an entry most-recently-used. Callers hold c.mu.
-func (c *ScanCache) touch(e *scanEntry) {
-	if e.el != nil {
-		c.lru.MoveToFront(e.el)
-	}
-}
-
-// evict drops least-recently-used complete entries until the budget
-// holds. Callers hold c.mu. A single entry larger than the whole budget
-// is evicted immediately after insertion — it is served to its computer
-// and its coalesced waiters but never retained.
-func (c *ScanCache) evict() {
-	for c.bytes > c.max {
-		last := c.lru.Back()
-		if last == nil {
-			return
-		}
-		e := last.Value.(*scanEntry)
-		c.lru.Remove(last)
-		delete(c.entries, e.key)
-		c.bytes -= e.cost
-		e.el = nil
-		c.evictions++
-	}
+	return c.core.Get(ctx, scanKey{file: file, fingerprint: fingerprint}, compute)
 }
 
 // Contains reports whether a completed entry for (file, fingerprint) is
 // currently resident, without touching its recency.
 func (c *ScanCache) Contains(file, fingerprint string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[scanKey{file: file, fingerprint: fingerprint}]
-	return ok && e.el != nil
+	return c.core.Contains(scanKey{file: file, fingerprint: fingerprint})
 }
 
 // ScanCacheStats is a snapshot of cache-wide accounting.
@@ -191,14 +87,13 @@ type ScanCacheStats struct {
 
 // Stats returns a snapshot of the cache accounting.
 func (c *ScanCache) Stats() ScanCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := c.core.Stats()
 	return ScanCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
 	}
 }
 
@@ -217,16 +112,14 @@ type EntryStats struct {
 // Entries returns the resident entries in recency order (most recently
 // used first) — the order in which eviction will NOT happen.
 func (c *ScanCache) Entries() []EntryStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]EntryStats, 0, c.lru.Len())
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*scanEntry)
+	core := c.core.Entries()
+	out := make([]EntryStats, 0, len(core))
+	for _, e := range core {
 		out = append(out, EntryStats{
-			File:        e.key.file,
-			Fingerprint: e.key.fingerprint,
-			Hits:        e.hits,
-			Bytes:       e.cost,
+			File:        e.Key.file,
+			Fingerprint: e.Key.fingerprint,
+			Hits:        e.Hits,
+			Bytes:       e.Bytes,
 		})
 	}
 	return out

@@ -46,12 +46,14 @@ type Spec struct {
 	//
 	// A ShareScans session runs a single scan loop — the cache itself is
 	// its cross-session parallelism — so Readers is effectively 1 and
-	// Resize/autoscaling are no-ops on it. The shared scan loop also runs
-	// fill inline, so reader.Spec's FillAhead prefetch knob has no effect
-	// on a ShareScans session's cache misses (ConvertWorkers still
-	// applies). Miss-heavy workloads that depend on fill/convert overlap
-	// should stay unshared until the cache grows miss-path prefetch (see
-	// ROADMAP open items).
+	// Resize/autoscaling are no-ops on it. reader.Spec's FillAhead knob
+	// instead becomes the miss-path prefetch depth: with FillAhead > 0 a
+	// producer goroutine runs up to FillAhead files ahead of the emit
+	// loop, issuing the ScanCache lookups (and misaligned-fallback fills)
+	// speculatively in file order, so a cold scan overlaps the next
+	// file's fill/convert with the current file's egress. Lookup order,
+	// single-flight dedup, and hit/miss accounting are identical to the
+	// inline (FillAhead == 0) path.
 	ShareScans bool
 }
 
@@ -401,7 +403,24 @@ func (s *Session) runSharedScan(r *reader.Reader, fingerprint string, files []st
 	defer s.wg.Done()
 	var served reader.Stats // egress accounting for cache-hit batches
 	var cache SessionCacheStats
-	err := s.scanShared(r, fingerprint, files, &served, &cache, s.emitOut)
+	var err error
+	if s.spec.FillAhead > 0 {
+		// Miss-path prefetch: a producer issues the cache lookups up to
+		// FillAhead files ahead of the emit loop, on its own reader so the
+		// fetch-side accounting (fill, convert, process for misses) and
+		// the emit-side accounting (carry-cut ProduceBatch) stay separable
+		// and sum to the inline path's totals.
+		var producer *reader.Reader
+		producer, err = reader.NewReader(s.svc.backend, s.spec.Spec)
+		if err == nil {
+			err = s.scanSharedPrefetch(r, producer, fingerprint, files, &served, &cache, s.emitOut)
+			s.mu.Lock()
+			s.stats.Add(producer.Stats())
+			s.mu.Unlock()
+		}
+	} else {
+		err = s.scanShared(r, fingerprint, files, &served, &cache, s.emitOut)
+	}
 	s.mu.Lock()
 	if err != nil && s.firstErr == nil && !errors.Is(err, context.Canceled) {
 		s.firstErr = err
@@ -480,6 +499,157 @@ func (s *Session) scanShared(r *reader.Reader, fingerprint string, files []strin
 			keys, dense = fileKeys, fileDense
 		}
 		carry = append(carry, samples...)
+		for len(carry) >= batchSize {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+			b, err := r.ProduceBatch(carry[:batchSize], keys, dense)
+			if err != nil {
+				return err
+			}
+			if err := emit(b); err != nil {
+				return err
+			}
+			carry = carry[batchSize:]
+		}
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if len(carry) > 0 {
+		b, err := r.ProduceBatch(carry, keys, dense)
+		if err != nil {
+			return err
+		}
+		return emit(b)
+	}
+	return nil
+}
+
+// sharedItem is one prefetched file handed from the shared-scan producer
+// to the emit loop: a cache-path scan (aligned entry) or a fallback fill
+// (carry-entered file), or the fetch error that ends the stream.
+type sharedItem struct {
+	file string
+	// scan is set for files entered on a batch boundary (the cache path);
+	// samples/keys/dense carry a misaligned fallback fill.
+	scan    *reader.FileScan
+	hit     bool
+	samples []datagen.Sample
+	keys    []string
+	dense   int
+	err     error
+}
+
+// scanSharedPrefetch is scanShared with the fetch side hoisted onto a
+// producer goroutine running up to FillAhead files ahead of the emit
+// loop. The producer cannot see the consumer's carry slice, but it does
+// not need the rows — only whether each file is entered on a batch
+// boundary — so it tracks the carry length arithmetically
+// ((len + rows) mod batch size), which by construction matches the
+// consumer's actual carry at every file. Lookups therefore hit the
+// ScanCache in exactly the inline path's order and alignment split, one
+// producer issuing them sequentially (single-flight dedup unchanged),
+// and the hit/miss counts are identical; what the prefetch buys is the
+// next miss's fill/convert overlapping the current file's emit.
+func (s *Session) scanSharedPrefetch(r, producer *reader.Reader, fingerprint string, files []string, served *reader.Stats, cache *SessionCacheStats, emit func(*reader.Batch) error) error {
+	batchSize := r.BatchSize()
+	pctx, pcancel := context.WithCancel(s.ctx)
+	items := make(chan sharedItem, s.spec.FillAhead)
+	var pwg sync.WaitGroup
+	pwg.Add(1)
+	go func() {
+		defer pwg.Done()
+		defer close(items)
+		carryLen := 0
+		for _, f := range files {
+			item := sharedItem{file: f}
+			if carryLen == 0 {
+				scan, hit, err := s.svc.cache.Get(pctx, f, fingerprint, func(ctx context.Context) (*reader.FileScan, error) {
+					return producer.ScanFile(ctx, f)
+				})
+				if err != nil {
+					item.err = err
+				} else {
+					// Counting here (not at consume) matches the inline
+					// path: a lookup performed is a lookup counted, even if
+					// the emit loop exits before draining it. The producer
+					// is joined before scanSharedPrefetch returns, so the
+					// counters are quiescent when runSharedScan reads them.
+					if hit {
+						cache.Hits++
+					} else {
+						cache.Misses++
+					}
+					item.scan, item.hit = scan, hit
+					carryLen = len(scan.Tail)
+				}
+			} else {
+				samples, keys, dense, err := producer.FillFile(pctx, f)
+				if err != nil {
+					item.err = err
+				} else {
+					item.samples, item.keys, item.dense = samples, keys, dense
+					carryLen = (carryLen + len(samples)) % batchSize
+				}
+			}
+			select {
+			case items <- item:
+			case <-pctx.Done():
+				return
+			}
+			if item.err != nil {
+				return
+			}
+		}
+	}()
+	// The producer parks on the items channel or on pctx; cancelling and
+	// waiting here bounds it to this call whatever path exits the loop.
+	defer pwg.Wait()
+	defer pcancel()
+
+	var carry []datagen.Sample
+	var keys []string
+	var dense int
+	checkSchema := func(file string, fileKeys []string) error {
+		if keys == nil || len(fileKeys) == len(keys) {
+			return nil
+		}
+		return fmt.Errorf("dpp: file %q schema mismatch (%d vs %d features)", file, len(fileKeys), len(keys))
+	}
+	for item := range items {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		if item.err != nil {
+			return item.err
+		}
+		if item.scan != nil {
+			if err := checkSchema(item.file, item.scan.Keys); err != nil {
+				return err
+			}
+			if keys == nil {
+				keys, dense = item.scan.Keys, item.scan.Dense
+			}
+			for _, b := range item.scan.Batches {
+				if item.hit {
+					served.BatchesProduced++
+					served.SentBytes += int64(b.WireBytes())
+				}
+				if err := emit(b); err != nil {
+					return err
+				}
+			}
+			carry = append([]datagen.Sample(nil), item.scan.Tail...)
+			continue
+		}
+		if err := checkSchema(item.file, item.keys); err != nil {
+			return err
+		}
+		if keys == nil {
+			keys, dense = item.keys, item.dense
+		}
+		carry = append(carry, item.samples...)
 		for len(carry) >= batchSize {
 			if err := s.ctx.Err(); err != nil {
 				return err

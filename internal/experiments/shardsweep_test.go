@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestShardSweep pins the sweep's deterministic shape: the merged batch
+// count is identical at every shard count (the byte-identity contract's
+// coarse shadow), the fleet decodes each file exactly once per point
+// (per-shard misses sum to the file count, flat in k), routing spreads
+// files across shards (the max per-shard subset shrinks as k grows), and
+// a healthy sweep never re-routes. Throughput is reported, not gated —
+// scripts/bench.sh gates the 2-vs-1 shard ratio where cache capacity,
+// not CI scheduling noise, decides it.
+func TestShardSweep(t *testing.T) {
+	scale := Full
+	if testing.Short() {
+		scale = Small
+	}
+	ns := ShardNs(scale)
+	points, err := ShardSweep(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ns) {
+		t.Fatalf("swept %d points, want %d", len(points), len(ns))
+	}
+	for _, pt := range points {
+		if pt.Batches == 0 || pt.BatchesPerSec == 0 {
+			t.Fatalf("k=%d streamed nothing: %+v", pt.Shards, pt)
+		}
+		if pt.Batches != points[0].Batches {
+			t.Errorf("k=%d streamed %d batches, k=1 streamed %d (merged stream must not depend on k)",
+				pt.Shards, pt.Batches, points[0].Batches)
+		}
+		if pt.FilesDecoded != points[0].FilesDecoded {
+			t.Errorf("k=%d decoded %d files, want %d (each file decoded on exactly one shard)",
+				pt.Shards, pt.FilesDecoded, points[0].FilesDecoded)
+		}
+		if pt.Reroutes != 0 {
+			t.Errorf("k=%d re-routed %d times on a healthy fleet", pt.Shards, pt.Reroutes)
+		}
+	}
+	// Routing balance: at the largest k, no shard owns the whole table.
+	last := points[len(points)-1]
+	if last.Shards > 1 && int64(last.MaxShardFiles) >= last.FilesDecoded {
+		t.Errorf("k=%d routed every file to one shard (max subset %d of %d)",
+			last.Shards, last.MaxShardFiles, last.FilesDecoded)
+	}
+}
+
+// TestShardSweepRunnerRegistered: the sweep is a first-class experiment.
+func TestShardSweepRunnerRegistered(t *testing.T) {
+	r, ok := ByID("shard-sweep")
+	if !ok {
+		t.Fatal("shard-sweep experiment not registered")
+	}
+	if r.Brief == "" || r.Run == nil {
+		t.Fatal("incomplete shard-sweep runner")
+	}
+}

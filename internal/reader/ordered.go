@@ -1,0 +1,190 @@
+package reader
+
+import (
+	"sync"
+	"time"
+)
+
+// OrderedMerge is the deposit-by-index merge discipline shared by
+// ScanQueue (a resizable worker pool filling one file list) and the
+// sharded fleet multiplexer (dppshard, N remote shards each producing a
+// deterministic subset of one file list): producers complete slots in
+// any order and any interleaving, a single consumer awaits them
+// strictly in index order, and a sliding window over the consumer's
+// position bounds how far producers may run ahead — the memory bound
+// and the backpressure channel in one mechanism.
+//
+// Producers acquire indices one of two ways. Claim hands out the next
+// unclaimed index (ScanQueue's shape: interchangeable workers pulling
+// from a shared frontier). WaitWindow blocks until a caller-chosen
+// index enters the window (dppshard's shape: each producer's index
+// sequence is fixed by routing, so there is nothing to claim — only
+// backpressure to obey). Both respect the same window, so a consumer
+// paired with either kind of producer holds at most window slots of
+// undelivered results.
+//
+// All methods are safe for concurrent use.
+type OrderedMerge[T any] struct {
+	n int // slot count; indices are [0, n)
+	// now stamps blocking intervals for the consumer-starvation counter;
+	// injectable so controller tests can run on a manual clock.
+	now func() time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int // next index Claim will hand out
+	base    int // next index Await will deliver
+	window  int // producers may hold indices in [base, base+window)
+	results map[int]T
+	aborted bool
+
+	stall time.Duration // completed time Await spent blocked on missing deposits
+	// awaitSince is nonzero while Await is currently blocked; Stall folds
+	// the live interval in so a controller watching a wedged merge sees
+	// the starvation grow, not a frozen counter.
+	awaitSince time.Time
+}
+
+// NewOrderedMerge builds a merge over n slots with the given window
+// (clamped to at least 1). A nil now falls back to time.Now.
+func NewOrderedMerge[T any](n, window int, now func() time.Time) *OrderedMerge[T] {
+	if window < 1 {
+		window = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	m := &OrderedMerge[T]{n: n, now: now, window: window, results: make(map[int]T)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Len reports the slot count.
+func (m *OrderedMerge[T]) Len() int { return m.n }
+
+// Claim hands the caller the next unclaimed index, blocking while the
+// window is full. ok is false once the indices are exhausted or the
+// merge is aborted; a caller that gets ok must eventually Deposit that
+// index (claims are never reassigned, so an abandoned claim would wedge
+// the consumer).
+func (m *OrderedMerge[T]) Claim() (idx int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted || m.next >= m.n {
+			return 0, false
+		}
+		if m.next < m.base+m.window {
+			idx = m.next
+			m.next++
+			return idx, true
+		}
+		m.cond.Wait()
+	}
+}
+
+// WaitWindow blocks until idx is inside the claim window — the
+// backpressure gate for producers whose index sequence is fixed in
+// advance rather than claimed. Returns false when the merge aborts or
+// idx is out of range; true means the producer may fill the slot now.
+// Indices at or behind the consumer's position are immediately
+// admissible (their window check is vacuous).
+func (m *OrderedMerge[T]) WaitWindow(idx int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted || idx >= m.n {
+			return false
+		}
+		if idx < m.base+m.window {
+			return true
+		}
+		m.cond.Wait()
+	}
+}
+
+// Deposit publishes a completed slot and wakes the consumer.
+func (m *OrderedMerge[T]) Deposit(idx int, v T) {
+	m.mu.Lock()
+	m.results[idx] = v
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Await returns slot results strictly in index order: the call pattern
+// is Await(0), Await(1), ... Each call blocks until that index has been
+// deposited; ok is false when the merge is aborted or idx is past the
+// slot count. Time spent blocked accumulates into Stall — the
+// producer-starvation signal autoscaling consumes.
+func (m *OrderedMerge[T]) Await(idx int) (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= m.n {
+		var zero T
+		return zero, false
+	}
+	var blockedAt time.Time
+	settle := func() {
+		if !blockedAt.IsZero() {
+			m.stall += m.now().Sub(blockedAt)
+			m.awaitSince = time.Time{}
+		}
+	}
+	for {
+		if m.aborted {
+			settle()
+			var zero T
+			return zero, false
+		}
+		if r, have := m.results[idx]; have {
+			settle()
+			delete(m.results, idx)
+			m.base = idx + 1
+			m.cond.Broadcast() // the window slid forward
+			return r, true
+		}
+		if blockedAt.IsZero() {
+			blockedAt = m.now()
+			m.awaitSince = blockedAt
+		}
+		m.cond.Wait()
+	}
+}
+
+// SetWindow resizes the window (clamped to at least 1), waking
+// producers the wider window unblocks. Shrinking never revokes claims
+// already handed out.
+func (m *OrderedMerge[T]) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	m.window = n
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Abort wakes every blocked Claim, WaitWindow, and Await with
+// ok == false. Idempotent; called on teardown and after the consumer
+// finishes, so producers parked on a full window never outlive the
+// merge.
+func (m *OrderedMerge[T]) Abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Stall returns the accumulated time Await spent blocked waiting for
+// deposits — including an in-progress block — the "consumer starved for
+// producers" half of the autoscaling signal (the other half, waiting on
+// the downstream consumer, is measured where batches are handed off).
+func (m *OrderedMerge[T]) Stall() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stall
+	if !m.awaitSince.IsZero() {
+		st += m.now().Sub(m.awaitSince)
+	}
+	return st
+}

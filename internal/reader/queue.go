@@ -2,7 +2,6 @@ package reader
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"repro/internal/datagen"
@@ -25,26 +24,14 @@ import (
 // backpressure to the fill workers. The window resizes with the worker
 // pool.
 //
+// The claim/deposit/await-in-order machinery itself is OrderedMerge,
+// shared with the fleet multiplexer (dppshard); ScanQueue binds it to a
+// file list and FileResult.
+//
 // All methods are safe for concurrent use.
 type ScanQueue struct {
 	files []string
-	// now stamps blocking intervals for the worker-starvation counter;
-	// injectable so controller tests can run on a manual clock.
-	now func() time.Time
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	next    int // next index to claim
-	base    int // next index Await will deliver
-	window  int // claim bound: claim allowed while idx < base+window
-	results map[int]FileResult
-	aborted bool
-
-	stall time.Duration // completed time Await spent blocked on missing deposits
-	// awaitSince is nonzero while Await is currently blocked; Stall folds
-	// the live interval in so a controller watching a wedged merge sees
-	// the starvation grow, not a frozen counter.
-	awaitSince time.Time
+	m     *OrderedMerge[FileResult]
 }
 
 // FileResult is one filled file handed from a claiming worker to the
@@ -57,21 +44,15 @@ type FileResult struct {
 }
 
 // NewScanQueue builds a queue over files with the given claim window
-// (clamped to at least 1). A nil now falls back to time.Now.
+// (clamped to at least 1). A nil now falls back to time.Now; it stamps
+// blocking intervals for the worker-starvation counter, injectable so
+// controller tests can run on a manual clock.
 func NewScanQueue(files []string, window int, now func() time.Time) *ScanQueue {
-	if window < 1 {
-		window = 1
-	}
-	if now == nil {
-		now = time.Now
-	}
-	q := &ScanQueue{files: files, now: now, window: window, results: make(map[int]FileResult)}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	return &ScanQueue{files: files, m: NewOrderedMerge[FileResult](len(files), window, now)}
 }
 
 // Len reports the scan-set size.
-func (q *ScanQueue) Len() int { return len(q.files) }
+func (q *ScanQueue) Len() int { return q.m.Len() }
 
 // Claim hands the caller the next unclaimed file index, blocking while
 // the claim window is full. ok is false once the scan set is exhausted or
@@ -79,103 +60,38 @@ func (q *ScanQueue) Len() int { return len(q.files) }
 // Deposit the result (claims are never reassigned, so an abandoned claim
 // would wedge the assembler).
 func (q *ScanQueue) Claim() (idx int, file string, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if q.aborted || q.next >= len(q.files) {
-			return 0, "", false
-		}
-		if q.next < q.base+q.window {
-			idx = q.next
-			q.next++
-			return idx, q.files[idx], true
-		}
-		q.cond.Wait()
+	idx, ok = q.m.Claim()
+	if !ok {
+		return 0, "", false
 	}
+	return idx, q.files[idx], true
 }
 
 // Deposit publishes a claimed file's fill result and wakes the assembler.
-func (q *ScanQueue) Deposit(idx int, res FileResult) {
-	q.mu.Lock()
-	q.results[idx] = res
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
+func (q *ScanQueue) Deposit(idx int, res FileResult) { q.m.Deposit(idx, res) }
 
 // Await returns file results strictly in index order: the idx'th call
 // pattern is Await(0), Await(1), ... Each call blocks until that index
 // has been deposited; ok is false when the queue is aborted or idx is
 // past the scan set. Time spent blocked accumulates into Stall — the
 // worker-starvation signal autoscaling consumes.
-func (q *ScanQueue) Await(idx int) (res FileResult, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if idx >= len(q.files) {
-		return FileResult{}, false
-	}
-	var blockedAt time.Time
-	settle := func() {
-		if !blockedAt.IsZero() {
-			q.stall += q.now().Sub(blockedAt)
-			q.awaitSince = time.Time{}
-		}
-	}
-	for {
-		if q.aborted {
-			settle()
-			return FileResult{}, false
-		}
-		if r, have := q.results[idx]; have {
-			settle()
-			delete(q.results, idx)
-			q.base = idx + 1
-			q.cond.Broadcast() // the claim window slid forward
-			return r, true
-		}
-		if blockedAt.IsZero() {
-			blockedAt = q.now()
-			q.awaitSince = blockedAt
-		}
-		q.cond.Wait()
-	}
-}
+func (q *ScanQueue) Await(idx int) (res FileResult, ok bool) { return q.m.Await(idx) }
 
 // SetWindow resizes the claim window (clamped to at least 1), waking
 // workers the wider window unblocks. Shrinking never revokes claims
 // already handed out.
-func (q *ScanQueue) SetWindow(n int) {
-	if n < 1 {
-		n = 1
-	}
-	q.mu.Lock()
-	q.window = n
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
+func (q *ScanQueue) SetWindow(n int) { q.m.SetWindow(n) }
 
 // Abort wakes every blocked Claim and Await with ok == false. Idempotent;
 // called on session teardown and after the assembler finishes, so workers
 // parked on a full window never outlive the scan.
-func (q *ScanQueue) Abort() {
-	q.mu.Lock()
-	q.aborted = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
+func (q *ScanQueue) Abort() { q.m.Abort() }
 
 // Stall returns the accumulated time Await spent blocked waiting for
 // deposits — including an in-progress block — which is the "scan starved
 // for fill workers" half of the autoscaling signal (the other half,
 // waiting on the consumer, is measured where batches are handed off).
-func (q *ScanQueue) Stall() time.Duration {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	st := q.stall
-	if !q.awaitSince.IsZero() {
-		st += q.now().Sub(q.awaitSince)
-	}
-	return st
-}
+func (q *ScanQueue) Stall() time.Duration { return q.m.Stall() }
 
 // FillQueue runs one worker over the queue: claim a file, fill it, and
 // deposit the result, until the scan set is exhausted, the queue aborts,

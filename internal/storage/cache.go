@@ -1,8 +1,9 @@
 package storage
 
 import (
-	"container/list"
-	"sync"
+	"context"
+
+	"repro/internal/cachecore"
 )
 
 // CachingBackend wraps another Backend with a byte-bounded LRU cache of
@@ -12,38 +13,20 @@ import (
 // differ cannot share decoded batches (dpp.ScanCache), but they can still
 // share the fetched bytes underneath.
 //
-// Concurrent Gets of the same uncached path are coalesced: one caller
-// fetches from the inner backend while the rest wait for that fetch
-// (single-flight), so a thundering herd of sessions opening on the same
-// partition costs one inner read per file.
+// The single-flight + LRU engine is internal/cachecore, shared with
+// dpp.ScanCache: concurrent Gets of the same uncached path are coalesced
+// — one caller fetches from the inner backend while the rest wait for
+// that fetch — so a thundering herd of sessions opening on the same
+// partition costs one inner read per file, and a fetch error propagates
+// only to the caller that performed the fetch (waiters retry, so one
+// caller's transient failure cannot poison another session's scan).
 //
 // The cached slices are the inner backend's return values and are served
 // to every caller; Backend's contract already requires callers to treat
 // returned slices as immutable, so sharing them is safe.
 type CachingBackend struct {
 	inner Backend
-	max   int64
-
-	mu       sync.Mutex
-	bytes    int64
-	entries  map[string]*list.Element // -> *blobEntry, in lru
-	lru      *list.List               // front = most recently used
-	inflight map[string]*blobFetch
-
-	hits, misses, evictions int64
-}
-
-// blobEntry is one cached blob with its LRU bookkeeping.
-type blobEntry struct {
-	path string
-	data []byte
-}
-
-// blobFetch coalesces concurrent misses on one path.
-type blobFetch struct {
-	done chan struct{}
-	data []byte
-	err  error
+	core  *cachecore.Cache[string, []byte]
 }
 
 var _ Backend = (*CachingBackend)(nil)
@@ -56,80 +39,23 @@ func NewCachingBackend(inner Backend, maxBytes int64) *CachingBackend {
 		panic("storage: caching backend needs a positive byte budget")
 	}
 	return &CachingBackend{
-		inner:    inner,
-		max:      maxBytes,
-		entries:  make(map[string]*list.Element),
-		lru:      list.New(),
-		inflight: make(map[string]*blobFetch),
+		inner: inner,
+		core: cachecore.New[string](
+			cachecore.Config{MaxBytes: maxBytes},
+			func(data []byte) int64 { return int64(len(data)) },
+		),
 	}
 }
 
 // Get returns the blob at path, serving from cache when possible. Misses
 // fetch from the inner backend exactly once per concurrent group of
 // callers and then populate the cache, evicting least-recently-used blobs
-// to stay within the byte budget. A fetch error propagates only to the
-// caller that performed the fetch; coalesced waiters retry (and one of
-// them fetches), so one caller's transient failure cannot poison another
-// session's scan — the same contract as dpp.ScanCache.
+// to stay within the byte budget.
 func (c *CachingBackend) Get(path string) ([]byte, error) {
-	for {
-		c.mu.Lock()
-		if el, ok := c.entries[path]; ok {
-			c.lru.MoveToFront(el)
-			c.hits++
-			data := el.Value.(*blobEntry).data
-			c.mu.Unlock()
-			return data, nil
-		}
-		if f, ok := c.inflight[path]; ok {
-			c.mu.Unlock()
-			<-f.done
-			if f.err == nil {
-				return f.data, nil
-			}
-			continue // leader failed; retry (and possibly fetch ourselves)
-		}
-		f := &blobFetch{done: make(chan struct{})}
-		c.inflight[path] = f
-		c.misses++
-		c.mu.Unlock()
-
-		f.data, f.err = c.inner.Get(path)
-
-		c.mu.Lock()
-		delete(c.inflight, path)
-		if f.err == nil {
-			c.insert(path, f.data)
-		}
-		c.mu.Unlock()
-		close(f.done)
-		return f.data, f.err
-	}
-}
-
-// insert adds a blob and evicts from the LRU tail until the budget holds.
-// Callers hold c.mu.
-func (c *CachingBackend) insert(path string, data []byte) {
-	if int64(len(data)) > c.max {
-		return // would evict the entire cache for one unretainable blob
-	}
-	if el, ok := c.entries[path]; ok { // raced with another insert
-		c.lru.MoveToFront(el)
-		return
-	}
-	c.entries[path] = c.lru.PushFront(&blobEntry{path: path, data: data})
-	c.bytes += int64(len(data))
-	for c.bytes > c.max {
-		last := c.lru.Back()
-		if last == nil {
-			break
-		}
-		e := last.Value.(*blobEntry)
-		c.lru.Remove(last)
-		delete(c.entries, e.path)
-		c.bytes -= int64(len(e.data))
-		c.evictions++
-	}
+	data, _, err := c.core.Get(context.Background(), path, func(context.Context) ([]byte, error) {
+		return c.inner.Get(path)
+	})
+	return data, err
 }
 
 // ReadRange serves the range from a cached blob when present (charging a
@@ -137,27 +63,21 @@ func (c *CachingBackend) insert(path string, data []byte) {
 // populate the cache — partial reads cannot be safely promoted to whole
 // blobs.
 func (c *CachingBackend) ReadRange(path string, off, n int64) ([]byte, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[path]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
-		data := el.Value.(*blobEntry).data
-		c.mu.Unlock()
-		if off < 0 || n < 0 {
-			return c.inner.ReadRange(path, off, n) // let inner report the error idiomatically
-		}
-		if off > int64(len(data)) {
-			return c.inner.ReadRange(path, off, n)
-		}
-		end := off + n
-		if end > int64(len(data)) {
-			end = int64(len(data))
-		}
-		return data[off:end], nil
+	data, ok := c.core.Peek(path)
+	if !ok {
+		return c.inner.ReadRange(path, off, n)
 	}
-	c.misses++
-	c.mu.Unlock()
-	return c.inner.ReadRange(path, off, n)
+	if off < 0 || n < 0 {
+		return c.inner.ReadRange(path, off, n) // let inner report the error idiomatically
+	}
+	if off > int64(len(data)) {
+		return c.inner.ReadRange(path, off, n)
+	}
+	end := off + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[off:end], nil
 }
 
 // Size delegates to the inner backend.
@@ -184,13 +104,12 @@ type CacheStats struct {
 
 // Stats returns a snapshot of the cache accounting.
 func (c *CachingBackend) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := c.core.Stats()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		Bytes:     c.bytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
 	}
 }

@@ -29,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkRemoteSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkStaticStalledConsumer$|BenchmarkAutoscaledStalledConsumer$|BenchmarkPipelineEndToEnd$'}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkIKJTConversion$|BenchmarkJaggedIndexSelect$|BenchmarkJaggedIndexSelectAlloc$|BenchmarkIKJTToKJTRoundTrip$|BenchmarkDWRFWriteClustered$|BenchmarkReaderTier$|BenchmarkReaderTierPipelined$|BenchmarkServiceSession$|BenchmarkRemoteSession$|BenchmarkSharedSessions$|BenchmarkUnsharedSessions$|BenchmarkStaticStalledConsumer$|BenchmarkAutoscaledStalledConsumer$|BenchmarkShardedFleet1$|BenchmarkShardedFleet2$|BenchmarkShardedFleet4$|BenchmarkPipelineEndToEnd$'}
 BENCH_COUNT=${BENCH_COUNT:-1}
 MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-20}
 BASELINE=${BENCH_BASELINE:-benchmarks/baseline.txt}
@@ -87,6 +87,35 @@ awk -v max="$MAX_REMOTE_PCT" '
         }
         if (pct > max) {
             printf "bench: FAIL — remote session %.1f%% slower than local, cap %.0f%%\n", pct, max
+            exit 1
+        }
+    }
+' "$LATEST"
+
+# --- Sharded-fleet capacity gate: the same multi-epoch scan over two
+# preprocessing shards (BenchmarkShardedFleet2) must beat one shard
+# (BenchmarkShardedFleet1) by at least BENCH_MIN_SHARD_SCALING. The
+# per-shard ScanCache is budgeted at 3/4 of the table, so one shard
+# thrashes every epoch while two shards' summed (rendezvous-partitioned)
+# capacity holds it — the win is additive cache, not parallelism, which
+# is why it gates cleanly on the 1-CPU runner. Same-run ratio.
+MIN_SHARD_SCALING=${BENCH_MIN_SHARD_SCALING:-1.3}
+awk -v min="$MIN_SHARD_SCALING" '
+    /^BenchmarkShardedFleet1[^0-9]/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < one || !one)) one = $i + 0 }
+    /^BenchmarkShardedFleet2[^0-9]/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && ($i + 0 < two || !two)) two = $i + 0 }
+    END {
+        if (!one || !two) {
+            print "bench: shard-scaling ratio not measured (pattern excluded the fleet pair)"
+            exit 0
+        }
+        ratio = one / two
+        printf "bench: 2-shard vs 1-shard fleet: %.0f / %.0f ns/op = %.2fx aggregate throughput (gate %.2fx)\n", one, two, ratio, min
+        summary = ENVIRON["GITHUB_STEP_SUMMARY"]
+        if (summary != "") {
+            printf "### Sharded preprocessing fleet\n\n| shards | ns/op |\n|---|---|\n| 1 (cache thrashes) | %.0f |\n| 2 (fleet cache fits) | %.0f |\n\n**%.2fx** aggregate throughput (gate: >= %.2fx; per-shard cache fixed at 3/4 table)\n", one, two, ratio, min >> summary
+        }
+        if (ratio < min) {
+            printf "bench: FAIL — 2-shard fleet only %.2fx faster than 1 shard, need %.2fx\n", ratio, min
             exit 1
         }
     }

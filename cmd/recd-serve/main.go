@@ -32,17 +32,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -56,6 +60,8 @@ func main() {
 		rawCacheMB  = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
 		autoscale   = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
 		maxReaders  = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
+		obsListen   = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
+		accessLogN  = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
 	)
 	flag.Parse()
 
@@ -116,6 +122,47 @@ func main() {
 		shards = append(shards, &shard{addr: addr, svc: svc, srv: dppnet.NewServer(svc), ln: ln})
 	}
 
+	// Observability sidecar: one private HTTP listener for the whole
+	// process, with per-shard labeled series and every shard's session
+	// lifecycle feeding one access log.
+	var (
+		obsSrv  *obs.Server
+		alog    *obs.AccessLog
+		obsDone chan error
+	)
+	if *obsListen != "" {
+		reg := obs.NewRegistry()
+		alog = obs.NewAccessLog(*accessLogN)
+		obs.RegisterProcess(reg)
+		obs.RegisterAccessLog(reg, alog)
+		if tt.Cache != nil {
+			obs.RegisterStoreCache(reg, nil, tt.Cache.Stats)
+		}
+		for i, sh := range shards {
+			labels := obs.Labels{"shard": strconv.Itoa(i)}
+			obs.RegisterService(reg, labels, sh.svc)
+			obs.RegisterNetServer(reg, labels, sh.srv)
+			sh.srv.OnSession = obs.SessionHook(alog)
+		}
+		statsz := func() any {
+			out := make(map[string]any, len(shards))
+			for i, sh := range shards {
+				out[fmt.Sprintf("shard%d", i)] = map[string]any{
+					"addr": sh.addr, "service": sh.svc.Stats(), "net": sh.srv.Stats(),
+				}
+			}
+			return out
+		}
+		obsSrv = obs.NewServer(obs.Config{Registry: reg, AccessLog: alog, Statsz: statsz})
+		obsLn, err := net.Listen("tcp", *obsListen)
+		if err != nil {
+			fatal(err)
+		}
+		obsDone = make(chan error, 1)
+		go func() { obsDone <- obsSrv.Serve(obsLn) }()
+		fmt.Printf("recd-serve: observability sidecar on %s\n", obsLn.Addr())
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -161,6 +208,22 @@ func main() {
 	if tt.Cache != nil {
 		bs := tt.Cache.Stats()
 		fmt.Printf("recd-serve: raw-byte tier %d/%d hits/misses\n", bs.Hits, bs.Misses)
+	}
+
+	// Graceful sidecar teardown, after the data plane has drained: give
+	// in-flight scrapes a bounded moment to finish, then print the access
+	// log's lifetime tally — the shutdown-time flush of what the ring saw.
+	if obsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := obsSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "recd-serve: sidecar shutdown:", err)
+		}
+		cancel()
+		if err := <-obsDone; err != nil {
+			fmt.Fprintln(os.Stderr, "recd-serve: sidecar:", err)
+		}
+		st := alog.Stats()
+		fmt.Printf("recd-serve: access log: %d opens, %d closes, %d errors\n", st.Opens, st.Closes, st.Errors)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
 	"repro/internal/dpp/dppshard"
+	"repro/internal/obs"
 	"repro/internal/reader"
 	"repro/internal/trainer"
 )
@@ -61,6 +63,7 @@ func main() {
 		ckpt     = flag.String("ckpt", "", "checkpoint output path (optional)")
 		seed     = flag.Int64("seed", 11, "random seed")
 		connect  = flag.String("connect", "", "recd-serve address (host:port), or a comma-separated shard list for a sharded fleet; empty runs the service in-process")
+		obsSide  = flag.String("obs-listen", "", "observability sidecar HTTP address for this trainer (/metrics, /debug/pprof, /healthz, /statsz); empty disables")
 	)
 	flag.Parse()
 
@@ -104,6 +107,20 @@ func main() {
 
 	ctx := context.Background()
 
+	// Trainer-side observability: in-process preprocessing series when
+	// the service runs locally, plus process/runtime series either way.
+	// The server-side view of a -connect run lives on recd-serve's own
+	// -obs-listen sidecar.
+	var reg *obs.Registry
+	var statsz func() any
+	if *obsSide != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterProcess(reg)
+		if tt.Cache != nil {
+			obs.RegisterStoreCache(reg, nil, tt.Cache.Stats)
+		}
+	}
+
 	// open abstracts where sessions come from: a local service or a
 	// remote dppnet server. Both return the same dpp.Stream pull shape,
 	// so the training loop below does not care which side of the TCP
@@ -117,6 +134,10 @@ func main() {
 			fatal(err)
 		}
 		defer svc.Close()
+		if reg != nil {
+			obs.RegisterService(reg, nil, svc)
+			statsz = func() any { return svc.Stats() }
+		}
 		open = func(hour int64) dpp.Stream {
 			files, err := tt.Catalog.Files("train", hour)
 			if err != nil {
@@ -228,6 +249,19 @@ func main() {
 		}
 	}
 
+	var obsSrv *obs.Server
+	var obsDone chan error
+	if reg != nil {
+		obsSrv = obs.NewServer(obs.Config{Registry: reg, Statsz: statsz})
+		ln, err := net.Listen("tcp", *obsSide)
+		if err != nil {
+			fatal(err)
+		}
+		obsDone = make(chan error, 1)
+		go func() { obsDone <- obsSrv.Serve(ln) }()
+		fmt.Printf("recd-train: observability sidecar on %s\n", ln.Addr())
+	}
+
 	readHour := func(hour int64) []*reader.Batch {
 		sess := open(hour)
 		defer sess.Close()
@@ -304,6 +338,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\ncheckpoint written to %s (%d bytes)\n", *ckpt, buf.Len())
+	}
+
+	if obsSrv != nil {
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		if err := obsSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "recd-train: sidecar shutdown:", err)
+		}
+		cancel()
+		<-obsDone
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // Config tunes the engine to a tier's documented contract.
@@ -46,11 +47,16 @@ type Cache[K comparable, V any] struct {
 	cost       func(V) int64
 
 	mu      sync.Mutex
-	bytes   int64
 	entries map[K]*entry[K, V]
 	lru     *list.List // complete resident entries only; front = most recent
 
-	hits, misses, evictions int64
+	// The accounting is atomic so Stats never contends with Get/Peek: a
+	// metrics scraper polling every cache tier in the process must stay
+	// invisible to the hot path. bytes and resident are mutated only
+	// under mu (the eviction logic reads them there), but loaded
+	// lock-free by Stats.
+	hits, misses, evictions atomic.Int64
+	bytes, resident         atomic.Int64
 }
 
 // entry is one cached (or in-flight) computation.
@@ -100,7 +106,7 @@ func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Conte
 			case <-e.ready: // complete
 				if e.err == nil {
 					c.touch(e)
-					c.hits++
+					c.hits.Add(1)
 					e.hits++
 					c.mu.Unlock()
 					return e.val, true, nil
@@ -122,7 +128,7 @@ func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Conte
 			c.mu.Lock()
 			if c.waiterHits {
 				c.touch(e)
-				c.hits++
+				c.hits.Add(1)
 				e.hits++
 			}
 			c.mu.Unlock()
@@ -131,7 +137,7 @@ func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Conte
 
 		e := &entry[K, V]{key: key, ready: make(chan struct{})}
 		c.entries[key] = e
-		c.misses++
+		c.misses.Add(1)
 		c.mu.Unlock()
 
 		e.val, e.err = compute(ctx)
@@ -151,7 +157,8 @@ func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Conte
 			delete(c.entries, key)
 		} else {
 			e.el = c.lru.PushFront(e)
-			c.bytes += e.cost
+			c.bytes.Add(e.cost)
+			c.resident.Add(1)
 			c.evict()
 		}
 		c.mu.Unlock()
@@ -170,11 +177,11 @@ func (c *Cache[K, V]) Peek(key K) (V, bool) {
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok && e.el != nil {
 		c.touch(e)
-		c.hits++
+		c.hits.Add(1)
 		e.hits++
 		return e.val, true
 	}
-	c.misses++
+	c.misses.Add(1)
 	var zero V
 	return zero, false
 }
@@ -198,7 +205,7 @@ func (c *Cache[K, V]) touch(e *entry[K, V]) {
 // evict drops least-recently-used resident entries until the budget
 // holds. Callers hold c.mu.
 func (c *Cache[K, V]) evict() {
-	for c.bytes > c.max {
+	for c.bytes.Load() > c.max {
 		last := c.lru.Back()
 		if last == nil {
 			return
@@ -206,9 +213,10 @@ func (c *Cache[K, V]) evict() {
 		e := last.Value.(*entry[K, V])
 		c.lru.Remove(last)
 		delete(c.entries, e.key)
-		c.bytes -= e.cost
+		c.bytes.Add(-e.cost)
+		c.resident.Add(-1)
 		e.el = nil
-		c.evictions++
+		c.evictions.Add(1)
 	}
 }
 
@@ -225,16 +233,18 @@ type Stats struct {
 	Bytes   int64
 }
 
-// Stats returns a snapshot of the cache accounting.
+// Stats returns a snapshot of the cache accounting. It reads only
+// atomics — no lock is taken — so a metrics scraper may poll it at any
+// frequency without contending with the serving path. The fields are
+// individually consistent (each monotone counter is exact); the snapshot
+// as a whole is not a single linearization point.
 func (c *Cache[K, V]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int(c.resident.Load()),
+		Bytes:     c.bytes.Load(),
 	}
 }
 

@@ -30,7 +30,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/storage"
 )
 
@@ -92,10 +94,18 @@ type Service struct {
 	// MaxSessions cap holds across concurrent Opens.
 	reserved int
 
-	opened        int64
-	batchesServed int64
-	scaleUps      int64
-	scaleDowns    int64
+	// Service-level accounting, kept as internal/metrics counters so the
+	// hot paths (noteBatch on every served batch, noteScale on every
+	// resize) never touch mu and an observability scraper reads them
+	// without test hooks. The stall counters accumulate retired sessions'
+	// final worker/consumer starvation; Stats folds live sessions in.
+	opened          metrics.Counter
+	batchesServed   metrics.Counter
+	scaleUps        metrics.Counter
+	scaleDowns      metrics.Counter
+	sessionErrors   metrics.Counter
+	workerStallNS   metrics.Counter
+	consumerStallNS metrics.Counter
 }
 
 // New validates the config and builds an empty service.
@@ -155,6 +165,9 @@ type Stats struct {
 	ActiveSessions int
 	// BatchesServed counts batches handed out across all sessions.
 	BatchesServed int64
+	// SessionErrors counts sessions that ended with a reader or scan
+	// error (clean EOFs and client-initiated closes are not errors).
+	SessionErrors int64
 	// Cache is the cross-session scan cache's aggregate accounting;
 	// zero-valued when the cache is disabled.
 	Cache ScanCacheStats
@@ -168,22 +181,60 @@ type Stats struct {
 type ServiceSchedulerStats struct {
 	// ScaleUps and ScaleDowns count pool resizes across all sessions.
 	ScaleUps, ScaleDowns int64
+	// WorkerStall and ConsumerStall aggregate every session's starvation
+	// telemetry — retired sessions' final counters plus live sessions'
+	// current ones — so the controller's input signal is observable
+	// service-wide (an operator's /metrics view of why pools resize),
+	// not only per session in tests. Timing telemetry, not part of the
+	// deterministic contract.
+	WorkerStall, ConsumerStall time.Duration
 }
 
-// Stats returns a snapshot of the service accounting.
+// Stats returns a snapshot of the service accounting. The stall fields
+// mix retired-session totals with live-session reads taken after the
+// session list is snapshotted, so they are approximate at any instant
+// (exact once the service is quiescent); every other counter is exact.
 func (s *Service) Stats() Stats {
 	var cache ScanCacheStats
 	if s.cache != nil {
 		cache = s.cache.Stats()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	liveUnits := make([]*UnitSession, 0, len(s.unitSessions))
+	for _, u := range s.unitSessions {
+		liveUnits = append(liveUnits, u)
+	}
+	active := len(s.sessions) + len(s.unitSessions)
+	s.mu.Unlock()
+
+	sched := ServiceSchedulerStats{
+		ScaleUps:      s.scaleUps.Value(),
+		ScaleDowns:    s.scaleDowns.Value(),
+		WorkerStall:   time.Duration(s.workerStallNS.Value()),
+		ConsumerStall: time.Duration(s.consumerStallNS.Value()),
+	}
+	for _, sess := range live {
+		st := sess.SchedulerStats()
+		sched.WorkerStall += st.WorkerStall
+		sched.ConsumerStall += st.ConsumerStall
+	}
+	for _, u := range liveUnits {
+		st := u.Stats().Scheduler
+		sched.WorkerStall += st.WorkerStall
+		sched.ConsumerStall += st.ConsumerStall
+	}
+
 	return Stats{
-		SessionsOpened: s.opened,
-		ActiveSessions: len(s.sessions) + len(s.unitSessions),
-		BatchesServed:  s.batchesServed,
+		SessionsOpened: s.opened.Value(),
+		ActiveSessions: active,
+		BatchesServed:  s.batchesServed.Value(),
+		SessionErrors:  s.sessionErrors.Value(),
 		Cache:          cache,
-		Scheduler:      ServiceSchedulerStats{ScaleUps: s.scaleUps, ScaleDowns: s.scaleDowns},
+		Scheduler:      sched,
 	}
 }
 
@@ -241,7 +292,7 @@ func (s *Service) Open(ctx context.Context, spec Spec) (*Session, error) {
 		return nil, fmt.Errorf("dpp: service closed")
 	}
 	s.sessions[id] = sess
-	s.opened++
+	s.opened.Inc()
 	s.mu.Unlock()
 	return sess, nil
 }
@@ -273,29 +324,37 @@ func (s *Service) Close() error {
 	return nil
 }
 
-func (s *Service) noteBatch() {
-	s.mu.Lock()
-	s.batchesServed++
-	s.mu.Unlock()
-}
+func (s *Service) noteBatch() { s.batchesServed.Inc() }
 
 func (s *Service) noteScale(up bool) {
-	s.mu.Lock()
 	if up {
-		s.scaleUps++
+		s.scaleUps.Inc()
 	} else {
-		s.scaleDowns++
+		s.scaleDowns.Inc()
 	}
-	s.mu.Unlock()
 }
 
-func (s *Service) forget(id int64) {
+// retire removes a finished session and folds its final scheduling
+// telemetry into the service-wide counters, so stall accounting survives
+// the session it was measured on. Called exactly once per session (the
+// release path guards it).
+func (s *Service) retire(id int64, sched SchedulerStats, errored bool) {
+	s.workerStallNS.Add(int64(sched.WorkerStall))
+	s.consumerStallNS.Add(int64(sched.ConsumerStall))
+	if errored {
+		s.sessionErrors.Inc()
+	}
 	s.mu.Lock()
 	delete(s.sessions, id)
 	s.mu.Unlock()
 }
 
-func (s *Service) forgetUnit(id int64) {
+func (s *Service) retireUnit(id int64, sched SchedulerStats, errored bool) {
+	s.workerStallNS.Add(int64(sched.WorkerStall))
+	s.consumerStallNS.Add(int64(sched.ConsumerStall))
+	if errored {
+		s.sessionErrors.Inc()
+	}
 	s.mu.Lock()
 	delete(s.unitSessions, id)
 	s.mu.Unlock()

@@ -242,16 +242,19 @@ func decodeServiceStats(payload []byte) (dpp.Stats, error) {
 		return dpp.Stats{}, err
 	}
 	for name, v := range map[string]int64{
-		"SessionsOpened":       st.SessionsOpened,
-		"ActiveSessions":       int64(st.ActiveSessions),
-		"BatchesServed":        st.BatchesServed,
-		"Cache.Hits":           st.Cache.Hits,
-		"Cache.Misses":         st.Cache.Misses,
-		"Cache.Evictions":      st.Cache.Evictions,
-		"Cache.Entries":        int64(st.Cache.Entries),
-		"Cache.Bytes":          st.Cache.Bytes,
-		"Scheduler.ScaleUps":   st.Scheduler.ScaleUps,
-		"Scheduler.ScaleDowns": st.Scheduler.ScaleDowns,
+		"SessionsOpened":          st.SessionsOpened,
+		"ActiveSessions":          int64(st.ActiveSessions),
+		"BatchesServed":           st.BatchesServed,
+		"Cache.Hits":              st.Cache.Hits,
+		"Cache.Misses":            st.Cache.Misses,
+		"Cache.Evictions":         st.Cache.Evictions,
+		"Cache.Entries":           int64(st.Cache.Entries),
+		"Cache.Bytes":             st.Cache.Bytes,
+		"SessionErrors":           st.SessionErrors,
+		"Scheduler.ScaleUps":      st.Scheduler.ScaleUps,
+		"Scheduler.ScaleDowns":    st.Scheduler.ScaleDowns,
+		"Scheduler.WorkerStall":   int64(st.Scheduler.WorkerStall),
+		"Scheduler.ConsumerStall": int64(st.Scheduler.ConsumerStall),
 	} {
 		if v < 0 {
 			return dpp.Stats{}, fmt.Errorf("dppnet: negative service stat %s = %d", name, v)

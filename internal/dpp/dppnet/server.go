@@ -11,8 +11,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dpp"
+	"repro/internal/metrics"
 )
 
 // Server fronts one dpp.Service on a TCP listener: every accepted
@@ -23,14 +26,102 @@ import (
 type Server struct {
 	svc *dpp.Service
 
+	// OnSession, when non-nil, receives one SessionEvent per session
+	// lifecycle transition this server serves (open, close, error) — the
+	// feed an access log subscribes to. Set it before Serve; it is read
+	// from handler goroutines and must not be mutated afterwards. The
+	// callback runs on the serving path and must be cheap and non-blocking
+	// (obs.AccessLog.Record is; anything that can stall must hand off).
+	OnSession func(SessionEvent)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// Transport accounting, exported through Stats for the observability
+	// sidecar: internal/metrics atomics, so the serving loop never takes
+	// a lock to count.
+	connsAccepted  metrics.Counter
+	connsActive    metrics.Gauge
+	sessionsServed metrics.Counter
+	batchesSent    metrics.Counter
+	unitsSent      metrics.Counter
+	bytesSent      metrics.Counter
+	creditStalls   metrics.Counter
+	creditStallNS  metrics.Counter
+	sessionSeq     atomic.Int64
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// SessionEvent is one access-log record from the server's perspective.
+// Kind is "open" (a session was admitted), "close" (its stream ended —
+// Detail says how: "eof", "teardown", or "error: ..."), or "error" (the
+// handshake or admission failed; no session existed).
+type SessionEvent struct {
+	// Kind is "open", "close", or "error".
+	Kind string
+	// ID is a server-local session sequence number tying an open event to
+	// its close; 0 for pre-admission errors.
+	ID int64
+	// Peer is the client's remote address.
+	Peer string
+	// Table is the spec's table name.
+	Table string
+	// FileUnits marks a fleet shard's file-unit session.
+	FileUnits bool
+	// ShareScans marks a session that opted into the ScanCache.
+	ShareScans bool
+	// Batches and Bytes count frames and payload bytes shipped; set on
+	// close events (for file-unit sessions, Batches counts unit frames).
+	Batches, Bytes int64
+	// Duration is the session's wall-clock lifetime; set on close events.
+	Duration time.Duration
+	// Detail carries the outcome or error text.
+	Detail string
+}
+
+// ServerStats is a snapshot of the server's transport accounting.
+type ServerStats struct {
+	// ConnsAccepted counts every accepted connection; ConnsActive is the
+	// number currently being handled.
+	ConnsAccepted, ConnsActive int64
+	// SessionsServed counts admitted wire sessions (batch and file-unit).
+	SessionsServed int64
+	// BatchesSent and UnitsSent count payload frames shipped; BytesSent
+	// totals their payload bytes.
+	BatchesSent, UnitsSent, BytesSent int64
+	// CreditStalls counts credit-window exhaustion episodes — the serving
+	// loop wanted to send but the consumer owed credits — and
+	// CreditStallTime totals the time spent blocked in them. This is the
+	// wire-level twin of the sessions' ConsumerStall signal.
+	CreditStalls    int64
+	CreditStallTime time.Duration
+}
+
+// Stats returns a snapshot of the transport accounting. Lock-free; safe
+// to poll at any frequency.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsAccepted:   s.connsAccepted.Value(),
+		ConnsActive:     s.connsActive.Value(),
+		SessionsServed:  s.sessionsServed.Value(),
+		BatchesSent:     s.batchesSent.Value(),
+		UnitsSent:       s.unitsSent.Value(),
+		BytesSent:       s.bytesSent.Value(),
+		CreditStalls:    s.creditStalls.Value(),
+		CreditStallTime: time.Duration(s.creditStallNS.Value()),
+	}
+}
+
+// event hands one access-log record to the OnSession subscriber, if any.
+func (s *Server) event(ev SessionEvent) {
+	if s.OnSession != nil {
+		s.OnSession(ev)
+	}
 }
 
 // NewServer wraps a service; call Serve to start accepting.
@@ -72,6 +163,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.connsAccepted.Inc()
+		s.connsActive.Inc()
 		go func() {
 			defer s.wg.Done()
 			defer s.forget(conn)
@@ -124,6 +217,7 @@ func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.connsActive.Dec()
 }
 
 // handle runs one connection's conversation. Every exit path closes the
@@ -145,13 +239,16 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	peer := conn.RemoteAddr().String()
 	typ, payload, err := readFrame(br, maxControlFrameBytes)
 	if err != nil || typ != frameOpen {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: "expected open frame"})
 		writeError(bw, fmt.Errorf("dppnet: expected open frame"))
 		return
 	}
 	var req openRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: "malformed handshake"})
 		writeError(bw, fmt.Errorf("dppnet: malformed handshake: %w", err))
 		return
 	}
@@ -161,11 +258,12 @@ func (s *Server) handle(conn net.Conn) {
 		s.serveStatsz(bw)
 	case kindSession:
 		if req.FileUnits {
-			s.serveFileUnits(br, bw, &req)
+			s.serveFileUnits(peer, br, bw, &req)
 		} else {
-			s.serveSession(conn, br, bw, &req)
+			s.serveSession(peer, br, bw, &req)
 		}
 	default:
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: fmt.Sprintf("unknown request kind %q", req.Kind)})
 		writeError(bw, fmt.Errorf("dppnet: unknown request kind %q", req.Kind))
 	}
 }
@@ -186,18 +284,21 @@ func (s *Server) serveStatsz(bw *bufio.Writer) {
 // serveSession opens a service session for the handshake's spec and
 // streams it under the credit window until exhaustion, error, or
 // teardown from either side.
-func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
 	if req.Spec == nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: "session handshake has no spec"})
 		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
 		return
 	}
 	window := req.Window
 	if window <= 0 || window > maxWindow {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: fmt.Sprintf("window %d out of range", req.Window)})
 		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
 		return
 	}
 	spec, err := decodeSpec(req.Spec)
 	if err != nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: err.Error()})
 		writeError(bw, err)
 		return
 	}
@@ -211,10 +312,22 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 
 	sess, err := s.svc.Open(ctx, spec)
 	if err != nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Table: spec.Table, Detail: err.Error()})
 		writeError(bw, err)
 		return
 	}
 	defer sess.Close()
+
+	id := s.sessionSeq.Add(1)
+	s.sessionsServed.Inc()
+	opened := time.Now()
+	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, ShareScans: spec.ShareScans})
+	var sent, sentBytes int64
+	outcome := "teardown"
+	defer func() {
+		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, ShareScans: spec.ShareScans,
+			Batches: sent, Bytes: sentBytes, Duration: time.Since(opened), Detail: outcome})
+	}()
 
 	if err := writeFrame(bw, frameOK, nil); err != nil {
 		return
@@ -256,13 +369,23 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 	var enc bytes.Buffer
 	avail := int64(window)
 	for {
-		for avail <= 0 {
-			select {
-			case n := <-credits:
-				avail += n
-			case <-ctx.Done():
-				return
+		if avail <= 0 {
+			// Credit window exhausted: the serving loop wants to send but
+			// the consumer owes credits. Time the episode — this is the
+			// wire-level twin of the session's ConsumerStall signal and
+			// the credit-stall series /metrics exports.
+			stallStart := time.Now()
+			s.creditStalls.Inc()
+			for avail <= 0 {
+				select {
+				case n := <-credits:
+					avail += n
+				case <-ctx.Done():
+					s.creditStallNS.Add(int64(time.Since(stallStart)))
+					return
+				}
 			}
+			s.creditStallNS.Add(int64(time.Since(stallStart)))
 		}
 		// Drain any further banked credits without blocking.
 		for {
@@ -277,8 +400,10 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 
 		b, err := sess.Next(ctx)
 		if err == io.EOF {
+			outcome = "eof"
 			enc.Reset()
 			if err := encodeSessionStats(&enc, sess.Stats()); err != nil {
+				outcome = "error: " + err.Error()
 				writeError(bw, err)
 				return
 			}
@@ -292,11 +417,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			return
 		}
 		if err != nil {
+			outcome = "error: " + err.Error()
 			writeError(bw, err)
 			return
 		}
 		enc.Reset()
 		if err := b.Encode(&enc); err != nil {
+			outcome = "error: " + err.Error()
 			writeError(bw, err)
 			return
 		}
@@ -306,6 +433,10 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		s.batchesSent.Inc()
+		s.bytesSent.Add(int64(enc.Len()))
+		sent++
+		sentBytes += int64(enc.Len())
 		avail--
 	}
 }
@@ -315,18 +446,21 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 // credit per unit frame — until exhaustion, error, or teardown from
 // either side. The shape mirrors serveSession exactly; only the payload
 // unit differs.
-func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+func (s *Server) serveFileUnits(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
 	if req.Spec == nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: "session handshake has no spec"})
 		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
 		return
 	}
 	window := req.Window
 	if window <= 0 || window > maxWindow {
+		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: fmt.Sprintf("window %d out of range", req.Window)})
 		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
 		return
 	}
 	spec, err := decodeSpec(req.Spec)
 	if err != nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: err.Error()})
 		writeError(bw, err)
 		return
 	}
@@ -336,10 +470,22 @@ func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openReq
 
 	us, err := s.svc.OpenUnits(ctx, spec)
 	if err != nil {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Table: spec.Table, FileUnits: true, Detail: err.Error()})
 		writeError(bw, err)
 		return
 	}
 	defer us.Close()
+
+	id := s.sessionSeq.Add(1)
+	s.sessionsServed.Inc()
+	opened := time.Now()
+	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, FileUnits: true, ShareScans: spec.ShareScans})
+	var sent, sentBytes int64
+	outcome := "teardown"
+	defer func() {
+		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, FileUnits: true, ShareScans: spec.ShareScans,
+			Batches: sent, Bytes: sentBytes, Duration: time.Since(opened), Detail: outcome})
+	}()
 
 	if err := writeFrame(bw, frameOK, nil); err != nil {
 		return
@@ -378,13 +524,19 @@ func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openReq
 	var enc bytes.Buffer
 	avail := int64(window)
 	for {
-		for avail <= 0 {
-			select {
-			case n := <-credits:
-				avail += n
-			case <-ctx.Done():
-				return
+		if avail <= 0 {
+			stallStart := time.Now()
+			s.creditStalls.Inc()
+			for avail <= 0 {
+				select {
+				case n := <-credits:
+					avail += n
+				case <-ctx.Done():
+					s.creditStallNS.Add(int64(time.Since(stallStart)))
+					return
+				}
 			}
+			s.creditStallNS.Add(int64(time.Since(stallStart)))
 		}
 		for {
 			select {
@@ -398,8 +550,10 @@ func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openReq
 
 		u, err := us.NextUnit(ctx)
 		if err == io.EOF {
+			outcome = "eof"
 			enc.Reset()
 			if err := encodeSessionStats(&enc, us.Stats()); err != nil {
+				outcome = "error: " + err.Error()
 				writeError(bw, err)
 				return
 			}
@@ -413,11 +567,13 @@ func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openReq
 			return
 		}
 		if err != nil {
+			outcome = "error: " + err.Error()
 			writeError(bw, err)
 			return
 		}
 		enc.Reset()
 		if err := encodeFileUnit(&enc, u); err != nil {
+			outcome = "error: " + err.Error()
 			writeError(bw, err)
 			return
 		}
@@ -427,6 +583,10 @@ func (s *Server) serveFileUnits(br *bufio.Reader, bw *bufio.Writer, req *openReq
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		s.unitsSent.Inc()
+		s.bytesSent.Add(int64(enc.Len()))
+		sent++
+		sentBytes += int64(enc.Len())
 		avail--
 	}
 }

@@ -765,14 +765,18 @@ func (s *Session) Close() error {
 }
 
 // release gives the session's service slot back exactly once; EOF,
-// reader failure, and Close all funnel through it.
+// reader failure, and Close all funnel through it. The session's final
+// scheduling telemetry is folded into the service-wide stall counters
+// here, so the autoscaling signal stays observable after the sessions
+// that produced it are gone.
 func (s *Session) release() {
 	s.mu.Lock()
 	done := s.done
 	s.done = true
+	errored := s.firstErr != nil
 	s.mu.Unlock()
 	if !done {
-		s.svc.forget(s.id)
+		s.svc.retire(s.id, s.SchedulerStats(), errored)
 	}
 }
 

@@ -125,7 +125,7 @@ func (s *Service) OpenUnits(ctx context.Context, spec Spec) (*UnitSession, error
 		return nil, fmt.Errorf("dpp: service closed")
 	}
 	s.unitSessions[id] = u
-	s.opened++
+	s.opened.Inc()
 	s.mu.Unlock()
 	return u, nil
 }
@@ -386,14 +386,17 @@ func (u *UnitSession) Close() error {
 	return nil
 }
 
-// release gives the session's service slot back exactly once.
+// release gives the session's service slot back exactly once, folding
+// the session's final scheduling telemetry into the service-wide stall
+// counters as batch sessions do.
 func (u *UnitSession) release() {
 	u.mu.Lock()
 	done := u.done
 	u.done = true
+	errored := u.firstErr != nil
 	u.mu.Unlock()
 	if !done {
-		u.svc.forgetUnit(u.id)
+		u.svc.retireUnit(u.id, u.Stats().Scheduler, errored)
 	}
 }
 

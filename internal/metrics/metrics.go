@@ -34,6 +34,28 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Gauge is an instantaneous atomic value — a level, not a count:
+// currently active sessions, open connections, resident cache bytes.
+// Unlike Counter it may move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Timer accumulates elapsed wall-clock durations, used to attribute reader
 // CPU time to fill/convert/process stages (paper Fig 10).
 type Timer struct {

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/dpp"
+	"repro/internal/dpp/dppnet"
+	"repro/internal/storage"
+)
+
+// This file is the wiring layer between the serving stack's stats
+// snapshots and the registry: one Register* call per instrumented
+// component, called once at process startup. Metric names are part of
+// the operational contract and pinned by the golden-format test — add
+// freely, rename deliberately.
+
+// RegisterProcess registers Go runtime series: goroutine count, heap
+// occupancy, GC cycles, and process uptime.
+func RegisterProcess(reg *Registry) {
+	start := time.Now()
+	reg.Gauge("recd_go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Gauge("recd_go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	reg.Counter("recd_go_gc_runs_total", "Completed GC cycles.", nil,
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+	reg.Gauge("recd_process_uptime_seconds", "Seconds since the process registered its metrics.", nil,
+		func() float64 { return time.Since(start).Seconds() })
+}
+
+// RegisterService registers a dpp.Service's session, batch, ScanCache,
+// and autoscaler series. labels distinguishes services sharing a
+// registry (typically {"shard": "<i>"}).
+func RegisterService(reg *Registry, labels Labels, svc *dpp.Service) {
+	reg.Gauge("recd_sessions_active", "Sessions currently open.", labels,
+		func() float64 { return float64(svc.Stats().ActiveSessions) })
+	reg.Counter("recd_sessions_opened_total", "Sessions ever opened.", labels,
+		func() float64 { return float64(svc.Stats().SessionsOpened) })
+	reg.Counter("recd_session_errors_total", "Sessions that ended with a reader or scan error.", labels,
+		func() float64 { return float64(svc.Stats().SessionErrors) })
+	reg.Counter("recd_batches_served_total", "Batches handed out across all sessions.", labels,
+		func() float64 { return float64(svc.Stats().BatchesServed) })
+
+	reg.Counter("recd_scancache_hits_total", "ScanCache gets served from a resident or in-flight entry.", labels,
+		func() float64 { return float64(svc.Stats().Cache.Hits) })
+	reg.Counter("recd_scancache_misses_total", "ScanCache gets that computed.", labels,
+		func() float64 { return float64(svc.Stats().Cache.Misses) })
+	reg.Counter("recd_scancache_evictions_total", "ScanCache entries dropped to respect the byte budget.", labels,
+		func() float64 { return float64(svc.Stats().Cache.Evictions) })
+	reg.Gauge("recd_scancache_entries", "ScanCache resident entries.", labels,
+		func() float64 { return float64(svc.Stats().Cache.Entries) })
+	reg.Gauge("recd_scancache_bytes", "ScanCache resident bytes.", labels,
+		func() float64 { return float64(svc.Stats().Cache.Bytes) })
+
+	reg.Counter("recd_scale_events_total", "AutoScaler pool resizes by direction.",
+		withLabel(labels, "direction", "up"),
+		func() float64 { return float64(svc.Stats().Scheduler.ScaleUps) })
+	reg.Counter("recd_scale_events_total", "AutoScaler pool resizes by direction.",
+		withLabel(labels, "direction", "down"),
+		func() float64 { return float64(svc.Stats().Scheduler.ScaleDowns) })
+	reg.Counter("recd_stall_seconds_total", "Session starvation by kind: worker (merge starved for fill workers) or consumer (output buffer full).",
+		withLabel(labels, "kind", "worker"),
+		func() float64 { return svc.Stats().Scheduler.WorkerStall.Seconds() })
+	reg.Counter("recd_stall_seconds_total", "Session starvation by kind: worker (merge starved for fill workers) or consumer (output buffer full).",
+		withLabel(labels, "kind", "consumer"),
+		func() float64 { return svc.Stats().Scheduler.ConsumerStall.Seconds() })
+}
+
+// RegisterNetServer registers a dppnet.Server's transport series:
+// connections, wire sessions, shipped frames and bytes, and
+// credit-window stalls.
+func RegisterNetServer(reg *Registry, labels Labels, srv *dppnet.Server) {
+	reg.Counter("recd_net_conns_accepted_total", "Accepted TCP connections.", labels,
+		func() float64 { return float64(srv.Stats().ConnsAccepted) })
+	reg.Gauge("recd_net_conns_active", "Connections currently being handled.", labels,
+		func() float64 { return float64(srv.Stats().ConnsActive) })
+	reg.Counter("recd_net_sessions_served_total", "Wire sessions admitted (batch and file-unit).", labels,
+		func() float64 { return float64(srv.Stats().SessionsServed) })
+	reg.Counter("recd_net_batches_sent_total", "Batch frames shipped.", labels,
+		func() float64 { return float64(srv.Stats().BatchesSent) })
+	reg.Counter("recd_net_units_sent_total", "File-unit frames shipped.", labels,
+		func() float64 { return float64(srv.Stats().UnitsSent) })
+	reg.Counter("recd_net_bytes_sent_total", "Payload bytes shipped in batch and unit frames.", labels,
+		func() float64 { return float64(srv.Stats().BytesSent) })
+	reg.Counter("recd_net_credit_stalls_total", "Credit-window exhaustion episodes (consumer owed credits).", labels,
+		func() float64 { return float64(srv.Stats().CreditStalls) })
+	reg.Counter("recd_net_credit_stall_seconds_total", "Time spent blocked on credit-window exhaustion.", labels,
+		func() float64 { return srv.Stats().CreditStallTime.Seconds() })
+}
+
+// RegisterStoreCache registers a storage CachingBackend's hit/miss and
+// occupancy series from a stats snapshot closure.
+func RegisterStoreCache(reg *Registry, labels Labels, stats func() storage.CacheStats) {
+	reg.Counter("recd_storecache_hits_total", "Backend cache lookups served from cache.", labels,
+		func() float64 { return float64(stats().Hits) })
+	reg.Counter("recd_storecache_misses_total", "Backend cache lookups that fetched.", labels,
+		func() float64 { return float64(stats().Misses) })
+	reg.Counter("recd_storecache_evictions_total", "Backend cache blobs dropped to respect the byte budget.", labels,
+		func() float64 { return float64(stats().Evictions) })
+	reg.Gauge("recd_storecache_entries", "Backend cache resident blobs.", labels,
+		func() float64 { return float64(stats().Entries) })
+	reg.Gauge("recd_storecache_bytes", "Backend cache resident bytes.", labels,
+		func() float64 { return float64(stats().Bytes) })
+}
+
+// RegisterAccessLog registers the access log's lifetime event counts.
+func RegisterAccessLog(reg *Registry, log *AccessLog) {
+	for _, kind := range []string{"open", "close", "error"} {
+		k := kind
+		reg.Counter("recd_accesslog_events_total", "Access-log events recorded by kind.",
+			Labels{"kind": k},
+			func() float64 {
+				st := log.Stats()
+				switch k {
+				case "open":
+					return float64(st.Opens)
+				case "close":
+					return float64(st.Closes)
+				default:
+					return float64(st.Errors)
+				}
+			})
+	}
+}
+
+// SessionHook adapts an AccessLog to dppnet's OnSession callback:
+// assign the result to Server.OnSession before Serve.
+func SessionHook(log *AccessLog) func(dppnet.SessionEvent) {
+	return func(ev dppnet.SessionEvent) {
+		log.Record(AccessEvent{
+			Kind:       ev.Kind,
+			ID:         ev.ID,
+			Peer:       ev.Peer,
+			Table:      ev.Table,
+			FileUnits:  ev.FileUnits,
+			ShareScans: ev.ShareScans,
+			Batches:    ev.Batches,
+			Bytes:      ev.Bytes,
+			Duration:   ev.Duration,
+			Detail:     ev.Detail,
+		})
+	}
+}
+
+// withLabel copies base and adds one more label.
+func withLabel(base Labels, k, v string) Labels {
+	out := make(Labels, len(base)+1)
+	for bk, bv := range base {
+		out[bk] = bv
+	}
+	out[k] = v
+	return out
+}

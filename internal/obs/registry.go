@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is one metric sample's label set. Rendered sorted by key, so a
+// given set always prints the same way.
+type Labels map[string]string
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is startup-time wiring and takes
+// a lock; collection happens at scrape time by calling the registered
+// closures, which are expected to read atomic snapshots — a scrape
+// never blocks the serving path.
+//
+// A family (one name, one HELP, one TYPE) may carry many samples: each
+// Counter/Gauge call with the same name appends one more labeled sample
+// source, which is how per-shard series share a family. Kind and help
+// must agree across calls; a mismatch is a wiring bug and panics.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+type family struct {
+	name, help, kind string
+	samples          []sample
+}
+
+type sample struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	fn     func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter registers one sample source under a counter family: fn must
+// be monotone non-decreasing (a total). Labels may be nil.
+func (r *Registry) Counter(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "counter", labels, fn)
+}
+
+// Gauge registers one sample source under a gauge family: fn reports an
+// instantaneous level. Labels may be nil.
+func (r *Registry) Gauge(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, fn)
+}
+
+func (r *Registry) register(name, help, kind string, labels Labels, fn func() float64) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind || f.help != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different kind or help", name))
+	}
+	for _, s := range f.samples {
+		if s.labels == rendered {
+			panic(fmt.Sprintf("obs: duplicate sample %s%s", name, rendered))
+		}
+	}
+	f.samples = append(f.samples, sample{labels: rendered, fn: fn})
+}
+
+// WritePrometheus renders every family in registration order — HELP and
+// TYPE lines, then one line per sample. The output is deterministic for
+// a fixed registry apart from the sample values themselves.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(s.fn(), 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels pre-renders a label set to its `{k="v",...}` text form,
+// keys sorted, values escaped per the exposition format.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validName(k) || k[0] == ':' {
+			panic(fmt.Sprintf("obs: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Go's %q escaping (backslash, quote, \n) coincides with the
+		// exposition format's label-value escaping.
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(v)
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# soak-smoke.sh — short SLO-gated soak of a real two-process run, the CI
+# smoke for the observability subsystem.
+#
+# Usage:
+#   scripts/soak-smoke.sh                 # ~5s soak with CI-safe gates
+#   SOAK_DURATION=30s scripts/soak-smoke.sh
+#
+# What it proves, end to end:
+#   1. recd-serve comes up with -autoscale and an -obs-listen sidecar.
+#   2. recd-soak drives mixed-profile load (shared / pooled / think)
+#      against the live server and its SLO gates pass: p99 batch wait
+#      under SOAK_SLO_P99, aggregate throughput over SOAK_MIN_TPUT,
+#      zero session errors.
+#   3. The sidecar answers /metrics mid-run, and the final scrape shows
+#      nonzero session, cache-hit, scale-event, net-batch, and
+#      access-log series (-check-metrics) — the golden-format test pins
+#      their names, this pins that a real run moves them.
+#   4. SIGTERM shuts the server down gracefully: it drains, prints its
+#      shard stats and the access-log tally, and exits 0.
+#
+# Gates are deliberately loose (CI runners are slow shared machines);
+# tighten locally via the SOAK_* variables.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_DURATION=${SOAK_DURATION:-5s}
+SOAK_SLO_P99=${SOAK_SLO_P99:-2s}
+SOAK_MIN_TPUT=${SOAK_MIN_TPUT:-5}
+SOAK_SERVE_ADDR=${SOAK_SERVE_ADDR:-127.0.0.1:7171}
+SOAK_OBS_ADDR=${SOAK_OBS_ADDR:-127.0.0.1:9171}
+TABLE_FLAGS=(-sessions 60 -batch 64)
+
+bin=$(mktemp -d)
+servelog="$bin/serve.log"
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/recd-serve" ./cmd/recd-serve
+go build -o "$bin/recd-soak" ./cmd/recd-soak
+
+"$bin/recd-serve" -listen "$SOAK_SERVE_ADDR" "${TABLE_FLAGS[@]}" \
+    -autoscale -obs-listen "$SOAK_OBS_ADDR" >"$servelog" 2>&1 &
+serve_pid=$!
+
+# The soak's own -ready-wait handles server startup; run it with every
+# gate armed.
+"$bin/recd-soak" -connect "$SOAK_SERVE_ADDR" "${TABLE_FLAGS[@]}" \
+    -duration "$SOAK_DURATION" -concurrency 6 \
+    -obs-scrape "http://$SOAK_OBS_ADDR" -check-metrics \
+    -slo-p99 "$SOAK_SLO_P99" -min-throughput "$SOAK_MIN_TPUT"
+
+# Graceful shutdown: SIGTERM must produce a clean exit and the
+# shutdown-time access-log tally.
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "soak-smoke: recd-serve exited nonzero after SIGTERM" >&2
+    cat "$servelog" >&2
+    exit 1
+fi
+if ! grep -q "access log: .* opens" "$servelog"; then
+    echo "soak-smoke: shutdown output missing the access-log tally" >&2
+    cat "$servelog" >&2
+    exit 1
+fi
+
+echo "soak-smoke: PASS"
+cat "$servelog"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### Soak smoke"
+        echo ""
+        echo '```'
+        cat "$servelog"
+        echo '```'
+    } >>"$GITHUB_STEP_SUMMARY"
+fi

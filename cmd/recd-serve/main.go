@@ -62,6 +62,8 @@ func main() {
 		maxReaders  = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
 		obsListen   = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
 		accessLogN  = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
+		resumeTTL   = flag.Duration("resume-ttl", 45*time.Second, "how long a dropped resumable session stays parked awaiting reconnect")
+		resumeMax   = flag.Int("resume-sessions", 64, "parked resumable sessions kept per shard; negative disables parking (offset replay still works)")
 	)
 	flag.Parse()
 
@@ -108,6 +110,24 @@ func main() {
 		srv  *dppnet.Server
 		ln   net.Listener
 	}
+	// Served table metadata: the tablez handshake hands a connecting
+	// trainer everything it needs to start cold — the derived spec, the
+	// file plan, the schema facts — with no local table build.
+	meta := &dppnet.TableMeta{
+		Table:      tt.Spec.Table,
+		DenseWidth: tt.Schema.Dense,
+		TrainRows:  tt.TrainRows,
+		S:          tt.S,
+		Spec:       dpp.Spec{Spec: tt.Spec},
+	}
+	for _, hour := range tt.Catalog.Partitions(tt.Spec.Table) {
+		files, err := tt.Catalog.Files(tt.Spec.Table, hour)
+		if err != nil {
+			fatal(err)
+		}
+		meta.Partitions = append(meta.Partitions, dppnet.TablePartition{Hour: hour, Files: files})
+	}
+
 	shards := make([]*shard, 0, len(addrs))
 	for _, addr := range addrs {
 		svc, err := dpp.New(cfg)
@@ -119,7 +139,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		shards = append(shards, &shard{addr: addr, svc: svc, srv: dppnet.NewServer(svc), ln: ln})
+		srv := dppnet.NewServer(svc)
+		srv.Tablez = meta
+		srv.ResumeTTL = *resumeTTL
+		srv.ResumeMax = *resumeMax
+		shards = append(shards, &shard{addr: addr, svc: svc, srv: srv, ln: ln})
 	}
 
 	// Observability sidecar: one private HTTP listener for the whole

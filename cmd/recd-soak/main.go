@@ -67,6 +67,7 @@ func main() {
 		sloP99      = flag.Duration("slo-p99", 0, "fail if p99 batch wait exceeds this; 0 disables the gate")
 		minTput     = flag.Float64("min-throughput", 0, "fail if aggregate batches/sec falls below this; 0 disables the gate")
 		checkSeries = flag.Bool("check-metrics", false, "fail unless the final /metrics scrape shows nonzero session, cache-hit, scale-event, and net-batch series (needs -obs-scrape and a server with -autoscale)")
+		reconnect   = flag.Bool("reconnect", false, "resume sessions over lost connections, so in-flight streams survive a server restart; failures to open a session (a dead serving window) are then reported separately and do not fail the error gate")
 	)
 	flag.Parse()
 
@@ -108,13 +109,18 @@ func main() {
 	// through the rendezvous multiplexer (its sessions are ShareScans by
 	// construction); single-shard soaks exercise the distinct session
 	// modes directly.
+	var resume dppnet.ResumePolicy
+	if *reconnect {
+		resume = dppnet.ResumePolicy{MaxAttempts: 40, BaseDelay: 100 * time.Millisecond}
+	}
 	var fleet *dppshard.Fleet
 	if len(addrs) > 1 {
-		if fleet, err = dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend}); err != nil {
+		if fleet, err = dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend, Resume: resume}); err != nil {
 			fatal(err)
 		}
 	}
 	client := dppnet.NewClient(addrs[0])
+	client.Resume = resume
 	open := func(profile string) (dpp.Stream, error) {
 		spec := dpp.Spec{Spec: tt.Spec, Files: files}
 		switch profile {
@@ -170,7 +176,14 @@ func main() {
 			for time.Now().Before(deadline) {
 				sess, err := open(profile)
 				if err != nil {
-					r.errors++
+					// Under -reconnect an open can land in the dead window of
+					// a restarting server; that is expected churn, not a
+					// stream failure, so it gets its own tally.
+					if *reconnect {
+						r.openFails++
+					} else {
+						r.errors++
+					}
 					time.Sleep(50 * time.Millisecond)
 					continue
 				}
@@ -201,12 +214,13 @@ func main() {
 
 	// Merge and report.
 	var all []time.Duration
-	var totalSessions, totalBatches, totalErrors int64
+	var totalSessions, totalBatches, totalErrors, totalOpenFails int64
 	for i := range results {
 		all = append(all, results[i].lat...)
 		totalSessions += results[i].sessions
 		totalBatches += results[i].batches
 		totalErrors += results[i].errors
+		totalOpenFails += results[i].openFails
 	}
 	if totalBatches == 0 {
 		fatal(fmt.Errorf("no batches streamed (%d errors)", totalErrors))
@@ -215,6 +229,9 @@ func main() {
 	tput := float64(totalBatches) / elapsed.Seconds()
 	fmt.Printf("recd-soak: %d sessions, %d batches, %d errors in %v\n",
 		totalSessions, totalBatches, totalErrors, elapsed.Round(time.Millisecond))
+	if *reconnect {
+		fmt.Printf("recd-soak: %d opens fell in a dead serving window (retried)\n", totalOpenFails)
+	}
 	fmt.Printf("recd-soak: batch wait p50 %v p95 %v p99 %v max %v\n",
 		pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1].Round(10*time.Microsecond))
 	fmt.Printf("recd-soak: throughput %.1f batches/s\n", tput)
@@ -275,10 +292,11 @@ func main() {
 	}
 }
 
-// result is one worker's tally.
+// result is one worker's tally. openFails only accumulates under
+// -reconnect, where a failed open is expected restart churn.
 type result struct {
-	lat                       []time.Duration
-	sessions, batches, errors int64
+	lat                                  []time.Duration
+	sessions, batches, errors, openFails int64
 }
 
 // pct reads an exact percentile (nearest-rank) from sorted samples.

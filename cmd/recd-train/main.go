@@ -13,8 +13,12 @@
 // stream from a cmd/recd-serve instance over the dppnet TCP protocol
 // instead of an in-process dpp.Service, and the scan sharing happens in
 // the server — epoch 2 of this trainer (or another trainer with the same
-// flags) hits a cache it never filled. Both processes must be started
-// with the same -sessions/-batch/-seed so they derive the same table.
+// flags) hits a cache it never filled. The trainer starts cold from the
+// wire: a tablez handshake fetches the served table's metadata (derived
+// spec, per-hour file plan, schema facts), so no local table is built
+// and -sessions/-batch/-seed are ignored in this mode. Connections are
+// resumable — a restarted server picks each stream back up at the exact
+// batch the trainer had consumed (see -reconnect-attempts).
 //
 // -connect also takes a comma-separated shard list (host1:port1,host2:...):
 // each epoch's files are routed to exactly one shard by rendezvous
@@ -54,16 +58,18 @@ import (
 
 func main() {
 	var (
-		epochs   = flag.Int("epochs", 4, "training epochs")
-		sessions = flag.Int("sessions", 200, "training sessions")
-		batch    = flag.Int("batch", 128, "batch size")
-		modeStr  = flag.String("mode", "recd", "execution mode: baseline or recd")
-		optStr   = flag.String("opt", "adagrad", "optimizer: sgd or adagrad")
-		lr       = flag.Float64("lr", 0.05, "learning rate")
-		ckpt     = flag.String("ckpt", "", "checkpoint output path (optional)")
-		seed     = flag.Int64("seed", 11, "random seed")
-		connect  = flag.String("connect", "", "recd-serve address (host:port), or a comma-separated shard list for a sharded fleet; empty runs the service in-process")
-		obsSide  = flag.String("obs-listen", "", "observability sidecar HTTP address for this trainer (/metrics, /debug/pprof, /healthz, /statsz); empty disables")
+		epochs            = flag.Int("epochs", 4, "training epochs")
+		sessions          = flag.Int("sessions", 200, "training sessions")
+		batch             = flag.Int("batch", 128, "batch size")
+		modeStr           = flag.String("mode", "recd", "execution mode: baseline or recd")
+		optStr            = flag.String("opt", "adagrad", "optimizer: sgd or adagrad")
+		lr                = flag.Float64("lr", 0.05, "learning rate")
+		ckpt              = flag.String("ckpt", "", "checkpoint output path (optional)")
+		seed              = flag.Int64("seed", 11, "random seed")
+		connect           = flag.String("connect", "", "recd-serve address (host:port), or a comma-separated shard list for a sharded fleet; empty runs the service in-process")
+		obsSide           = flag.String("obs-listen", "", "observability sidecar HTTP address for this trainer (/metrics, /debug/pprof, /healthz, /statsz); empty disables")
+		reconnectAttempts = flag.Int("reconnect-attempts", 8, "with -connect: resume attempts after a lost connection before the stream fails; 0 disables resume")
+		reconnectBackoff  = flag.Duration("reconnect-backoff", 250*time.Millisecond, "with -connect: base delay between resume attempts (doubles, capped)")
 	)
 	flag.Parse()
 
@@ -86,26 +92,66 @@ func main() {
 		fatal(fmt.Errorf("unknown optimizer %q", *optStr))
 	}
 
-	// Land the dataset. In -connect mode the landing is only the
-	// trainer's local knowledge of the table — schema for the model,
-	// per-hour file lists and the derived spec for its session requests;
-	// the bytes it trains on come from the server, which landed the
-	// identical table from the same flags.
-	storeCache := int64(256 << 20)
-	if *connect != "" {
-		// In connect mode the local store is (at most) read by the fleet
-		// mux re-filling carry-entered files under a misaligned spec;
-		// there is no steady-state local read path worth caching.
-		storeCache = 0
-	}
-	tt, err := core.BuildTrainTable(core.TrainTableConfig{
-		Sessions: *sessions, Batch: *batch, Seed: *seed, StoreCacheBytes: storeCache,
-	})
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	resume := dppnet.ResumePolicy{MaxAttempts: *reconnectAttempts, BaseDelay: *reconnectBackoff}
+
+	// Table knowledge. Local mode lands the dataset; -connect mode starts
+	// cold from the wire — a tablez handshake to the first address hands
+	// over the served table's derived spec, file plan, and schema facts,
+	// so the trainer builds no table at all.
+	var (
+		tt   *core.TrainTable
+		meta *dppnet.TableMeta
+	)
+	if *connect == "" {
+		var err error
+		tt, err = core.BuildTrainTable(core.TrainTableConfig{
+			Sessions: *sessions, Batch: *batch, Seed: *seed, StoreCacheBytes: 256 << 20,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		addrs := splitAddrs(*connect)
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("empty -connect address list %q", *connect))
+		}
+		var err error
+		meta, err = dppnet.NewClient(addrs[0]).Tablez(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("tablez from %s: %w", addrs[0], err))
+		}
 	}
 
-	ctx := context.Background()
+	// The two table sources reduce to one view for the model config and
+	// the per-hour session requests.
+	var (
+		tableSpec          dpp.Spec
+		denseIn, trainRows int
+		meanS              float64
+		hourFiles          func(hour int64) []string
+	)
+	if tt != nil {
+		tableSpec = dpp.Spec{Spec: tt.Spec}
+		denseIn, trainRows, meanS = tt.Schema.Dense, tt.TrainRows, tt.S
+		hourFiles = func(hour int64) []string {
+			files, err := tt.Catalog.Files(tt.Spec.Table, hour)
+			if err != nil {
+				fatal(err)
+			}
+			return files
+		}
+	} else {
+		tableSpec = meta.Spec
+		denseIn, trainRows, meanS = meta.DenseWidth, meta.TrainRows, meta.S
+		hourFiles = func(hour int64) []string {
+			files := meta.Files(hour)
+			if files == nil {
+				fatal(fmt.Errorf("served table %q has no partition for hour %d", meta.Table, hour))
+			}
+			return files
+		}
+	}
 
 	// Trainer-side observability: in-process preprocessing series when
 	// the service runs locally, plus process/runtime series either way.
@@ -116,7 +162,7 @@ func main() {
 	if *obsSide != "" {
 		reg = obs.NewRegistry()
 		obs.RegisterProcess(reg)
-		if tt.Cache != nil {
+		if tt != nil && tt.Cache != nil {
 			obs.RegisterStoreCache(reg, nil, tt.Cache.Stats)
 		}
 	}
@@ -139,11 +185,10 @@ func main() {
 			statsz = func() any { return svc.Stats() }
 		}
 		open = func(hour int64) dpp.Stream {
-			files, err := tt.Catalog.Files("train", hour)
-			if err != nil {
-				fatal(err)
-			}
-			sess, err := svc.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			sp := tableSpec
+			sp.Files = hourFiles(hour)
+			sp.ShareScans = true
+			sess, err := svc.Open(ctx, sp)
 			if err != nil {
 				fatal(err)
 			}
@@ -156,20 +201,20 @@ func main() {
 				*epochs, cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), bs.Hits, bs.Misses)
 		}
 	} else if addrs := splitAddrs(*connect); len(addrs) > 1 {
-		// Sharded fleet: one dppshard session per epoch-hour, with the
-		// local backend available for misaligned carry re-fills.
-		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend})
+		// Sharded fleet: one dppshard session per epoch-hour. No local
+		// backend — the trainer built no table — which is fine for the
+		// served spec (aligned batches never need a local carry re-fill).
+		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Resume: resume})
 		if err != nil {
 			fatal(err)
 		}
 		var reroutes int64
 		shardServed := make(map[string]int)
 		open = func(hour int64) dpp.Stream {
-			files, err := tt.Catalog.Files("train", hour)
-			if err != nil {
-				fatal(err)
-			}
-			sess, err := fleet.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			sp := tableSpec
+			sp.Files = hourFiles(hour)
+			sp.ShareScans = true
+			sess, err := fleet.Open(ctx, sp)
 			if err != nil {
 				fatal(err)
 			}
@@ -202,6 +247,7 @@ func main() {
 		}
 	} else {
 		client := dppnet.NewClient(*connect)
+		client.Resume = resume
 		// Tally the scheduler telemetry each remote session's trailing
 		// stats frame reports: scale events are the server-side
 		// autoscaler at work (ShareScans sessions are exempt, so the
@@ -210,11 +256,10 @@ func main() {
 		var scaleUps, scaleDowns, schedSessions int64
 		var workerStall, consumerStall time.Duration
 		open = func(hour int64) dpp.Stream {
-			files, err := tt.Catalog.Files("train", hour)
-			if err != nil {
-				fatal(err)
-			}
-			rs, err := client.Open(ctx, dpp.Spec{Spec: tt.Spec, Files: files, ShareScans: true})
+			sp := tableSpec
+			sp.Files = hourFiles(hour)
+			sp.ShareScans = true
+			rs, err := client.Open(ctx, sp)
 			if err != nil {
 				fatal(err)
 			}
@@ -283,7 +328,7 @@ func main() {
 
 	model, err := trainer.New(trainer.Config{
 		EmbDim:       16,
-		DenseIn:      tt.Schema.Dense,
+		DenseIn:      denseIn,
 		BottomHidden: []int{32},
 		TopHidden:    []int{64, 32},
 		Features: []trainer.FeatureConfig{
@@ -306,7 +351,7 @@ func main() {
 		where = "remote service at " + *connect
 	}
 	fmt.Printf("training on %d samples (S=%.1f), %d dedup groups, mode=%s opt=%s, %s\n\n",
-		tt.TrainRows, tt.S, len(tt.Spec.DedupSparseFeatures), mode, opt, where)
+		trainRows, meanS, len(tableSpec.DedupSparseFeatures), mode, opt, where)
 
 	for e := 1; e <= *epochs; e++ {
 		start := time.Now()

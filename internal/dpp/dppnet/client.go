@@ -11,6 +11,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dpp"
 	"repro/internal/reader"
@@ -20,18 +22,65 @@ import (
 // to transport failures observed locally).
 var ErrRemote = errors.New("dppnet: remote error")
 
+// errConnLost marks transport-level stream failures — the connection
+// died under the session. These (and only these) are the errors a
+// resume policy reconnects across; corrupt frames and server-reported
+// errors stay terminal.
+var errConnLost = errors.New("dppnet: connection lost")
+
+// ResumePolicy configures transparent reconnect-and-resume for remote
+// sessions: when the connection under a session dies, the client redials
+// with its resume token and consumed offset, verifying the continued
+// stream against the rolling chain hash. The zero value disables
+// reconnect (a dead connection is a terminal session error, the
+// pre-resume behavior).
+type ResumePolicy struct {
+	// MaxAttempts caps consecutive failed redials before the session
+	// gives up; 0 disables reconnect entirely.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (the first is
+	// immediate); it doubles per attempt, capped at MaxDelay. Defaults:
+	// 50ms base, 2s cap.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p ResumePolicy) normalized() ResumePolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
 // Client opens preprocessing sessions on a remote dppnet server. It
 // holds no connection itself — every Open and ServiceStats dials its own
 // TCP connection, mirroring one-connection-per-session on the server.
 type Client struct {
 	addr   string
 	dialer net.Dialer
+
+	// Resume, when MaxAttempts > 0, makes sessions opened by this client
+	// survive connection loss: they handshake as resumable and
+	// transparently redial-and-resume under the policy's capped backoff.
+	// Set before Open.
+	Resume ResumePolicy
+	// Resumable asks the server for a resume token even when automatic
+	// reconnect is disabled — the handoff primitive for external
+	// failover. Sessions under a Resume policy are always resumable.
+	Resumable bool
 }
 
 // NewClient returns a client for the server at addr (host:port). No I/O
 // happens until Open or ServiceStats.
 func NewClient(addr string) *Client {
 	return &Client{addr: addr}
+}
+
+func (c *Client) resumable() bool {
+	return c.Resumable || c.Resume.MaxAttempts > 0
 }
 
 // dial establishes a connection and writes the preamble + handshake.
@@ -59,6 +108,45 @@ func (c *Client) dial(ctx context.Context, req openRequest) (net.Conn, *bufio.Re
 	return conn, bufio.NewReader(conn), nil
 }
 
+// openStream dials and completes a session handshake, returning the
+// connection, its reader, and the ok reply's resume token (empty for
+// non-resumable sessions). Server refusals come back wrapped in
+// ErrRemote.
+func (c *Client) openStream(ctx context.Context, req openRequest) (net.Conn, *bufio.Reader, func(), string, error) {
+	conn, br, err := c.dial(ctx, req)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	// Install the ctx watcher before the handshake read: a server that
+	// accepts but never replies must not be able to wedge the open past
+	// its context.
+	watchStop := closeOnDone(ctx, conn)
+	fail := func(err error) (net.Conn, *bufio.Reader, func(), string, error) {
+		watchStop()
+		conn.Close()
+		return nil, nil, nil, "", err
+	}
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fail(ctx.Err())
+		}
+		return fail(err)
+	}
+	switch typ {
+	case frameOK:
+	case frameError:
+		return fail(fmt.Errorf("%w: %s", ErrRemote, payload))
+	default:
+		return fail(fmt.Errorf("dppnet: unexpected handshake reply %#x", typ))
+	}
+	okr, err := decodeOKReply(payload)
+	if err != nil {
+		return fail(err)
+	}
+	return conn, br, watchStop, okr.Token, nil
+}
+
 // ServiceStats fetches the remote service's aggregate accounting — the
 // wire form of a /statsz probe against dpp.Service.Stats.
 func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
@@ -84,6 +172,35 @@ func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
 		return dpp.Stats{}, fmt.Errorf("%w: %s", ErrRemote, payload)
 	default:
 		return dpp.Stats{}, fmt.Errorf("dppnet: unexpected frame %#x to statsz", typ)
+	}
+}
+
+// Tablez fetches the served table's metadata — schema width, file plan,
+// and derived spec — so a trainer can start cold from the wire with no
+// local table build.
+func (c *Client) Tablez(ctx context.Context) (*TableMeta, error) {
+	conn, br, err := c.dial(ctx, openRequest{Kind: kindTablez})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	stop := closeOnDone(ctx, conn)
+	defer stop()
+
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	switch typ {
+	case frameTablez:
+		return decodeTableMeta(payload)
+	case frameError:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return nil, fmt.Errorf("dppnet: unexpected frame %#x to tablez", typ)
 	}
 }
 
@@ -131,38 +248,18 @@ func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error
 		window = maxWindow
 	}
 
-	conn, br, err := c.dial(ctx, openRequest{Kind: kindSession, Window: window, Spec: ws})
+	conn, br, watchStop, token, err := c.openStream(ctx, openRequest{
+		Kind: kindSession, Window: window, Spec: ws, Resumable: c.resumable(),
+	})
 	if err != nil {
 		return nil, err
-	}
-	// Install the ctx watcher before the handshake read: a server that
-	// accepts but never replies must not be able to wedge Open past its
-	// context.
-	watchStop := closeOnDone(ctx, conn)
-
-	typ, payload, err := readFrame(br, maxFrameBytes)
-	if err != nil {
-		watchStop()
-		conn.Close()
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		return nil, err
-	}
-	switch typ {
-	case frameOK:
-	case frameError:
-		watchStop()
-		conn.Close()
-		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
-	default:
-		watchStop()
-		conn.Close()
-		return nil, fmt.Errorf("dppnet: unexpected handshake reply %#x", typ)
 	}
 
 	rs := &RemoteSession{
-		conn: conn,
+		client: c,
+		ws:     ws,
+		window: window,
+		conn:   conn,
 		// One slot past the credit window: a protocol-conformant server
 		// never has more than `window` undelivered batches buffered here,
 		// so the extra slot guarantees the receiver's single terminal
@@ -172,15 +269,20 @@ func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error
 		recv:      make(chan remoteMsg, window+1),
 		done:      make(chan struct{}),
 		watchStop: watchStop,
+		token:     token,
+		chain:     chainSeed,
 	}
-	go rs.receive(br)
+	go rs.receive(br, rs.recv, watchStop, 0, chainSeed)
 	return rs, nil
 }
 
 // remoteMsg is one received item handed from the connection reader to
-// Next: a decoded batch, or the terminal error (io.EOF for a clean end).
+// Next: a decoded batch with its verified stream index and chain value,
+// or the terminal error (io.EOF for a clean end).
 type remoteMsg struct {
 	batch *reader.Batch
+	index int64
+	chain uint64
 	err   error
 }
 
@@ -188,56 +290,97 @@ type remoteMsg struct {
 // dpp.Stream: Next blocks for the next batch exactly like a local
 // session's, and Close tears the remote session down. Next is
 // single-consumer, as with a local Session.
+//
+// Under a Client.Resume policy the session is not connection-bound: when
+// the transport dies, Next transparently redials with the session's
+// resume token and consumed offset, and the continued stream is verified
+// frame-by-frame against the rolling chain hash — a resumed stream that
+// diverges anywhere from the uninterrupted one fails loudly at the first
+// divergent frame.
 type RemoteSession struct {
-	conn      net.Conn
-	recv      chan remoteMsg
-	done      chan struct{}
-	watchStop func()
+	client *Client
+	ws     *wireSpec
+	window int
+
+	done chan struct{}
 
 	wmu sync.Mutex // serializes credit/close frame writes
 
-	mu      sync.Mutex
-	stats   dpp.SessionStats
-	gotEOF  bool
-	closed  bool
-	termErr error
+	// consumed and chain are the resume cursor: frames [0, consumed)
+	// were returned by Next, and chain is the rolling hash after the
+	// last of them. Single-consumer like Next itself.
+	consumed   int64
+	chain      uint64
+	reconnects atomic.Int64
+
+	mu        sync.Mutex
+	conn      net.Conn
+	recv      chan remoteMsg
+	watchStop func()
+	token     string
+	stats     dpp.SessionStats
+	gotEOF    bool
+	closed    bool
+	termErr   error
 }
 
 var _ dpp.Stream = (*RemoteSession)(nil)
 
-// receive owns the connection's read half: it decodes frames into the
+// Reconnects reports how many times this session resumed over a new
+// connection.
+func (rs *RemoteSession) Reconnects() int64 { return rs.reconnects.Load() }
+
+// receive owns one connection's read half: it decodes frames into the
 // bounded recv channel (never blocking the socket beyond the credit
 // window, which caps in-flight batches below the channel's capacity)
-// and terminates with exactly one terminal message. Terminal sends
-// bail out on rs.done so even a misbehaving server that overfills the
-// window cannot strand the receiver once Close runs.
-func (rs *RemoteSession) receive(br *bufio.Reader) {
-	defer close(rs.recv)
-	defer rs.watchStop() // the stream has ended; release the ctx watcher
+// and terminates with exactly one terminal message. Every batch frame's
+// index must be the next expected and its stamped chain must equal the
+// locally recomputed one — so a buggy or hostile resume can never splice
+// a divergent stream in silently. Terminal sends bail out on rs.done so
+// even a misbehaving server that overfills the window cannot strand the
+// receiver once Close runs.
+func (rs *RemoteSession) receive(br *bufio.Reader, recv chan remoteMsg, stop func(), expect int64, chain uint64) {
+	defer close(recv)
+	defer stop() // this connection's stream has ended; release its watcher
 	terminal := func(err error) {
 		select {
-		case rs.recv <- remoteMsg{err: err}:
+		case recv <- remoteMsg{err: err}:
 		case <-rs.done:
 		}
 	}
 	for {
 		typ, payload, err := readFrame(br, maxFrameBytes)
 		if err != nil {
-			terminal(fmt.Errorf("dppnet: connection lost: %w", err))
+			terminal(fmt.Errorf("%w: %v", errConnLost, err))
 			return
 		}
 		switch typ {
 		case frameBatch:
-			b, err := reader.DecodeBatch(bytes.NewReader(payload))
+			idx, fchain, body, err := decodeBatchFrame(payload)
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt batch frame: %w", err))
+				return
+			}
+			if idx != expect {
+				terminal(fmt.Errorf("dppnet: batch index %d, want %d", idx, expect))
+				return
+			}
+			chain = chainStep(chain, body)
+			if chain != fchain {
+				terminal(fmt.Errorf("dppnet: stream hash mismatch at batch %d", idx))
+				return
+			}
+			b, err := reader.DecodeBatch(bytes.NewReader(body))
 			if err != nil {
 				terminal(fmt.Errorf("dppnet: corrupt batch frame: %w", err))
 				return
 			}
 			select {
-			case rs.recv <- remoteMsg{batch: b}:
+			case recv <- remoteMsg{batch: b, index: idx, chain: chain}:
 			case <-rs.done:
 				return
 			}
+			expect++
 		case frameStats:
 			st, err := decodeSessionStats(bytes.NewReader(payload))
 			if err != nil {
@@ -268,66 +411,170 @@ func (rs *RemoteSession) receive(br *bufio.Reader) {
 // (wrapped in ErrRemote), the connection fails, ctx is cancelled
 // (ctx.Err()), or the session is closed (dpp.ErrClosed) — the same
 // contract as a local Session.Next. Each consumed batch returns one
-// window credit to the server.
+// window credit to the server. Under a resume policy, a failed
+// connection is redialed here instead of surfacing.
 func (rs *RemoteSession) Next(ctx context.Context) (*reader.Batch, error) {
+	for {
+		rs.mu.Lock()
+		if rs.closed {
+			rs.mu.Unlock()
+			return nil, dpp.ErrClosed
+		}
+		if rs.termErr != nil {
+			err := rs.termErr
+			rs.mu.Unlock()
+			return nil, err
+		}
+		recv := rs.recv
+		rs.mu.Unlock()
+
+		select {
+		case m, ok := <-recv:
+			if !ok {
+				// The receiver already delivered its terminal error; this is
+				// a Next after the end. Replay the recorded outcome.
+				rs.mu.Lock()
+				defer rs.mu.Unlock()
+				if rs.closed {
+					return nil, dpp.ErrClosed
+				}
+				if rs.termErr != nil {
+					return nil, rs.termErr
+				}
+				return nil, io.EOF
+			}
+			if m.err != nil {
+				resumeCut := false
+				if errors.Is(m.err, errConnLost) && rs.client != nil && rs.client.Resume.MaxAttempts > 0 {
+					rerr := rs.reconnect(ctx)
+					if rerr == nil {
+						rs.reconnects.Add(1)
+						continue
+					}
+					if rerr != ctx.Err() {
+						m.err = rerr
+					} else {
+						// A reconnect cut short by ctx keeps the transport
+						// loss as the recorded outcome but reports the
+						// cancellation to this caller.
+						resumeCut = true
+					}
+				}
+				rs.mu.Lock()
+				closed := rs.closed
+				if rs.termErr == nil {
+					rs.termErr = m.err
+				}
+				rs.mu.Unlock()
+				if closed && m.err != io.EOF {
+					// Teardown races a connection error; Close semantics win.
+					return nil, dpp.ErrClosed
+				}
+				if resumeCut {
+					return nil, ctx.Err()
+				}
+				return nil, m.err
+			}
+			rs.consumed, rs.chain = m.index+1, m.chain
+			rs.sendCredit()
+			return m.batch, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-rs.done:
+			return nil, dpp.ErrClosed
+		}
+	}
+}
+
+// reconnect redials the session under the client's resume policy: first
+// presenting the resume token (continuing parked server state with no
+// re-decoding), falling back to a token-less offset replay when the
+// server refuses the token, and backing off exponentially between
+// transport failures. A server refusal of the replay itself is terminal.
+func (rs *RemoteSession) reconnect(ctx context.Context) error {
+	pol := rs.client.Resume.normalized()
+	rs.mu.Lock()
+	token := rs.token
+	rs.mu.Unlock()
+	delay := pol.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-rs.done:
+				return dpp.ErrClosed
+			}
+			delay *= 2
+			if delay > pol.MaxDelay {
+				delay = pol.MaxDelay
+			}
+		}
+		err := rs.redial(ctx, token)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrRemote) && token != "" {
+			// The parked state is gone (expired, evicted, or claimed):
+			// fall back to a fresh session replayed to our offset.
+			token = ""
+			if err = rs.redial(ctx, ""); err == nil {
+				return nil
+			}
+		}
+		if errors.Is(err, ErrRemote) || errors.Is(err, dpp.ErrClosed) || ctx.Err() != nil {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("dppnet: resume failed after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
+// redial performs one resume handshake and, on success, installs the new
+// connection and a fresh receiver continuing at the consumed cursor.
+func (rs *RemoteSession) redial(ctx context.Context, token string) error {
+	conn, br, stop, newToken, err := rs.client.openStream(ctx, openRequest{
+		Kind: kindSession, Window: rs.window, Spec: rs.ws,
+		Resumable: true, Offset: rs.consumed, Token: token,
+	})
+	if err != nil {
+		return err
+	}
+	recv := make(chan remoteMsg, rs.window+1)
 	rs.mu.Lock()
 	if rs.closed {
 		rs.mu.Unlock()
-		return nil, dpp.ErrClosed
+		stop()
+		conn.Close()
+		return dpp.ErrClosed
 	}
-	if rs.termErr != nil {
-		err := rs.termErr
-		rs.mu.Unlock()
-		return nil, err
-	}
+	old := rs.conn
+	rs.conn = conn
+	rs.recv = recv
+	rs.watchStop = stop
+	rs.token = newToken
 	rs.mu.Unlock()
-
-	select {
-	case m, ok := <-rs.recv:
-		if !ok {
-			// The receiver already delivered its terminal error; this is
-			// a Next after the end. Replay the recorded outcome.
-			rs.mu.Lock()
-			defer rs.mu.Unlock()
-			if rs.closed {
-				return nil, dpp.ErrClosed
-			}
-			if rs.termErr != nil {
-				return nil, rs.termErr
-			}
-			return nil, io.EOF
-		}
-		if m.err != nil {
-			rs.mu.Lock()
-			closed := rs.closed
-			if rs.termErr == nil {
-				rs.termErr = m.err
-			}
-			rs.mu.Unlock()
-			if closed && m.err != io.EOF {
-				// Teardown races a connection error; Close semantics win.
-				return nil, dpp.ErrClosed
-			}
-			return nil, m.err
-		}
-		rs.sendCredit()
-		return m.batch, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-rs.done:
-		return nil, dpp.ErrClosed
+	if old != nil {
+		old.Close()
 	}
+	go rs.receive(br, recv, stop, rs.consumed, rs.chain)
+	return nil
 }
 
 // sendCredit returns one window credit. A write failure means the
 // connection is already dead; the receiver will surface that as the
 // terminal error, so it is not reported here.
 func (rs *RemoteSession) sendCredit() {
+	rs.mu.Lock()
+	conn := rs.conn
+	rs.mu.Unlock()
 	var payload [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(payload[:], 1)
 	rs.wmu.Lock()
 	defer rs.wmu.Unlock()
-	_ = writeFrame(rs.conn, frameCredit, payload[:n])
+	_ = writeFrame(conn, frameCredit, payload[:n])
 }
 
 // Stats returns the session's final accounting as reported by the
@@ -350,16 +597,19 @@ func (rs *RemoteSession) Close() error {
 		return nil
 	}
 	rs.closed = true
+	conn := rs.conn
+	recv := rs.recv
+	stop := rs.watchStop
 	rs.mu.Unlock()
 	close(rs.done)
-	rs.watchStop()
+	stop()
 	rs.wmu.Lock()
-	_ = writeFrame(rs.conn, frameClose, nil)
+	_ = writeFrame(conn, frameClose, nil)
 	rs.wmu.Unlock()
-	rs.conn.Close()
+	conn.Close()
 	// Drain the receiver so it observes the connection close and exits;
 	// its terminal message is surfaced as ErrClosed by later Nexts.
-	for range rs.recv {
+	for range recv {
 	}
 	return nil
 }

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -112,6 +115,145 @@ func FuzzDecodeServiceStats(f *testing.F) {
 			st.Cache.Entries < 0 || st.Cache.Bytes < 0 ||
 			st.Scheduler.ScaleUps < 0 || st.Scheduler.ScaleDowns < 0 {
 			t.Fatalf("accepted service stats with negative fields: %+v", st)
+		}
+	})
+}
+
+// FuzzDecodeResumeHandshake: the v4 open frame is the resume surface —
+// an attacker-supplied offset or token rides in before any session
+// state exists. decodeOpenRequest on arbitrary bytes either fails
+// cleanly or yields a request within the handshake bounds (offset in
+// [0, maxResumeOffset], token no longer than a minted one can be) whose
+// re-marshalled form decodes back equal.
+func FuzzDecodeResumeHandshake(f *testing.F) {
+	seed := func(req openRequest) []byte {
+		payload, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		return payload
+	}
+	ws, err := encodeSpec(dpp.Spec{Spec: misalignedSpec(), ShareScans: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed(openRequest{Kind: kindSession, Window: 4, Spec: ws}))
+	f.Add(seed(openRequest{
+		Kind: kindSession, Window: 8, Spec: ws, FileUnits: true,
+		Resumable: true, Offset: 1234, Token: "00112233445566778899aabbccddeeff",
+	}))
+	f.Add(seed(openRequest{Kind: kindTablez}))
+	f.Add(seed(openRequest{Kind: kindSession, Window: 4, Spec: ws, Offset: maxResumeOffset}))
+	// Hostile handshakes: negative and overflow offsets, a token past the
+	// mint bound, and plain garbage.
+	f.Add([]byte(`{"kind":"session","offset":-1}`))
+	f.Add([]byte(`{"kind":"session","offset":1099511627777}`))
+	f.Add([]byte(`{"kind":"session","token":"` + strings.Repeat("a", maxResumeTokenLen+1) + `"}`))
+	f.Add([]byte(`{"kind":"session","offset":999999999999999999999999}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeOpenRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Offset < 0 || req.Offset > maxResumeOffset {
+			t.Fatalf("accepted out-of-range offset %d", req.Offset)
+		}
+		if len(req.Token) > maxResumeTokenLen {
+			t.Fatalf("accepted %d-byte token", len(req.Token))
+		}
+		// JSON field matching is case-insensitive, so the accepted set is
+		// not a bijection — but the canonical re-marshalled form must be a
+		// fixed point: decoding it and marshalling again changes nothing.
+		re, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshalling accepted handshake: %v", err)
+		}
+		back, err := decodeOpenRequest(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		re2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshalling round-tripped handshake: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical handshake form is not a fixed point:\n got %s\nwant %s", re2, re)
+		}
+	})
+}
+
+// FuzzDecodeTablez: the tablez frame seeds a trainer's entire view of
+// the table — model sizing, file plans, the spec it opens sessions with
+// — so a malicious server must never panic the client, and negative
+// counts, non-finite S, negative partition hours, and specless payloads
+// are rejected rather than reaching sizing math. Accepted decodes must
+// survive a re-encode/decode round trip.
+func FuzzDecodeTablez(f *testing.F) {
+	env := newTestEnv(f, 10)
+	files, err := env.catalog.AllFiles("tbl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	full, err := encodeTableMeta(&TableMeta{
+		Table: "tbl", DenseWidth: 4, TrainRows: 4096, S: 5.5,
+		Spec:       dpp.Spec{Spec: alignedSpec(), ShareScans: true},
+		Partitions: []TablePartition{{Hour: 0, Files: files}, {Hour: 3600, Files: files[:1]}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	minimal, err := encodeTableMeta(&TableMeta{Spec: dpp.Spec{Spec: alignedSpec()}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(minimal)
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		f.Add(full[:cut])
+	}
+	// Forged metadata a well-behaved server cannot emit.
+	f.Add([]byte(`{"table":"tbl","dense_width":-1,"spec":{}}`))
+	f.Add([]byte(`{"table":"tbl","train_rows":-5,"spec":{}}`))
+	f.Add([]byte(`{"table":"tbl","s":-0.5,"spec":{}}`))
+	f.Add([]byte(`{"table":"tbl","spec":{},"partitions":[{"hour":-1}]}`))
+	f.Add([]byte(`{"table":"tbl"}`)) // no spec
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeTableMeta(data)
+		if err != nil {
+			return
+		}
+		if m.DenseWidth < 0 || m.TrainRows < 0 {
+			t.Fatalf("accepted negative schema facts: %+v", m)
+		}
+		if m.S < 0 || math.IsNaN(m.S) || math.IsInf(m.S, 0) {
+			t.Fatalf("accepted implausible S %v", m.S)
+		}
+		for _, p := range m.Partitions {
+			if p.Hour < 0 {
+				t.Fatalf("accepted negative partition hour %d", p.Hour)
+			}
+		}
+		// As with the handshake fuzzer, JSON's case-insensitive matching
+		// means hostile spellings can decode; the canonical re-encoding
+		// must be a fixed point under decode/encode.
+		re, err := encodeTableMeta(m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted metadata: %v", err)
+		}
+		back, err := decodeTableMeta(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		re2, err := encodeTableMeta(back)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped metadata: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical tablez form is not a fixed point:\n got %s\nwant %s", re2, re)
 		}
 	})
 }

@@ -26,7 +26,21 @@
 // stream and deterministic stats are byte-identical to a local session
 // with the same spec — pinned under -race by TestRemoteSessionMatchesLocal.
 // A server additionally answers "statsz" handshakes with the service's
-// aggregate dpp.Stats (Client.ServiceStats), the wire form of /statsz.
+// aggregate dpp.Stats (Client.ServiceStats), the wire form of /statsz,
+// and "tablez" handshakes with the served table's metadata (schema
+// width, file plan, derived spec) so trainers can start cold from the
+// wire (Client.Tablez).
+//
+// Sessions are resumable objects, not connection-scoped ones: a
+// resumable handshake returns an opaque token in ok, every batch and
+// file-unit frame is stamped with its stream index and a rolling FNV-64a
+// chain hash, and a reconnecting client presents (token, consumed
+// offset) to continue byte-where-it-left-off. The server parks the live
+// session state of a dropped resumable connection in a bounded,
+// TTL-evicted table; when the token has expired it replays the
+// deterministic stream to the offset instead (cheap against a warm
+// ScanCache). The chain hash makes a resumed stream *verified*
+// identical to the uninterrupted one, not just trusted.
 package dppnet
 
 import (
@@ -44,12 +58,15 @@ import (
 // before its handshake frame. Version 2 extended the session-stats frame
 // with the scheduler block (workers, scale events, starvation stalls);
 // version 3 added the file-unit session mode (openRequest.FileUnits and
-// the file-unit frame) that fleet shards are served through. The bump
-// keeps a mixed-version pair from handshaking and then mis-decoding the
+// the file-unit frame) that fleet shards are served through; version 4
+// added session resume (handshake offset/token, the token-bearing ok
+// payload, and the index + rolling-chain-hash stamp on every batch and
+// file-unit frame) plus the tablez metadata conversation. The bump keeps
+// a mixed-version pair from handshaking and then mis-decoding the
 // stream.
 const (
 	protoMagic   = "DPPN"
-	protoVersion = 3
+	protoVersion = 4
 )
 
 // Frame types. Client→server frames are small control messages; all bulk
@@ -81,8 +98,13 @@ const (
 	// file-unit session: subset index, cache-hit flag, schema, complete
 	// batches, and raw tail rows. Fleet shards stream these instead of
 	// batch frames so the client-side merge can cut carry-crossing
-	// batches itself.
+	// batches itself. Since protocol v4 the payload is prefixed with the
+	// stream's rolling chain hash (see encodeUnitFrame).
 	frameFileUnit = byte(0x16)
+	// frameTablez answers a tablez handshake with the JSON TableMeta of
+	// the served table: name, dense width, file plan per partition, and
+	// the derived spec — everything a trainer needs to start cold.
+	frameTablez = byte(0x17)
 )
 
 // maxFrameBytes bounds a batch-bearing (server→client) frame's declared
@@ -106,7 +128,8 @@ const maxWindow = 1 << 10
 // openRequest is the JSON handshake payload.
 type openRequest struct {
 	// Kind selects the conversation: "session" streams batches for Spec;
-	// "statsz" returns the service's aggregate stats and closes.
+	// "statsz" returns the service's aggregate stats and closes;
+	// "tablez" returns the served table's metadata and closes.
 	Kind string `json:"kind"`
 	// Window is the client's receive window in batches — or in file
 	// units when FileUnits is set (session kind).
@@ -117,12 +140,75 @@ type openRequest struct {
 	// (dpp.Service.OpenUnits): whole decoded files in file-list order
 	// instead of a batch stream. The fleet multiplexer's mode.
 	FileUnits bool `json:"file_units,omitempty"`
+	// Resumable asks the server to issue a resume token in ok and to
+	// park this session's live state if the connection drops without a
+	// close frame.
+	Resumable bool `json:"resumable,omitempty"`
+	// Offset is the number of stream frames (batches or file units) the
+	// client has already consumed: the server starts the stream at this
+	// index, either by continuing parked state (Token set) or by
+	// replaying the deterministic prefix.
+	Offset int64 `json:"offset,omitempty"`
+	// Token is the opaque resume token from a previous ok reply;
+	// presenting it claims the parked session it names.
+	Token string `json:"token,omitempty"`
 }
 
 const (
 	kindSession = "session"
 	kindStatsz  = "statsz"
+	kindTablez  = "tablez"
 )
+
+// Bounds on the hostile-input surface of the resume handshake: no real
+// stream reaches 2^40 frames, and tokens the server mints are 32 hex
+// characters — anything larger is forged and is rejected at decode,
+// before any allocation or table lookup scales with it.
+const (
+	maxResumeOffset   = int64(1) << 40
+	maxResumeTokenLen = 64
+)
+
+// decodeOpenRequest parses and validates a handshake payload. All
+// adversarial checks that don't need server state live here — negative
+// or overflowing offsets and oversized tokens fail cleanly — so the
+// whole hostile surface is one fuzzable function
+// (FuzzDecodeResumeHandshake).
+func decodeOpenRequest(payload []byte) (openRequest, error) {
+	var req openRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return openRequest{}, fmt.Errorf("dppnet: handshake: %w", err)
+	}
+	if req.Offset < 0 || req.Offset > maxResumeOffset {
+		return openRequest{}, fmt.Errorf("dppnet: handshake offset %d out of range", req.Offset)
+	}
+	if len(req.Token) > maxResumeTokenLen {
+		return openRequest{}, fmt.Errorf("dppnet: handshake token of %d bytes exceeds limit %d", len(req.Token), maxResumeTokenLen)
+	}
+	return req, nil
+}
+
+// okReply is the JSON payload of a session ok frame. It is empty for
+// non-resumable sessions (and was always empty before protocol v4).
+type okReply struct {
+	// Token names the server-side resumable state for this session;
+	// present only when the handshake asked for a resumable session.
+	Token string `json:"token,omitempty"`
+}
+
+func decodeOKReply(payload []byte) (okReply, error) {
+	var ok okReply
+	if len(payload) == 0 {
+		return ok, nil
+	}
+	if err := json.Unmarshal(payload, &ok); err != nil {
+		return okReply{}, fmt.Errorf("dppnet: ok payload: %w", err)
+	}
+	if len(ok.Token) > maxResumeTokenLen {
+		return okReply{}, fmt.Errorf("dppnet: ok token of %d bytes exceeds limit %d", len(ok.Token), maxResumeTokenLen)
+	}
+	return ok, nil
+}
 
 // writeFrame emits one framed message: type byte, uvarint payload
 // length, payload.
@@ -229,6 +315,87 @@ func decodeSessionStats(r reader.ByteReader) (dpp.SessionStats, error) {
 	st.Scheduler.WorkerStall = time.Duration(workerStall)
 	st.Scheduler.ConsumerStall = time.Duration(consumerStall)
 	return st, nil
+}
+
+// The rolling stream hash is a chained FNV-64a: the chain starts at the
+// FNV offset basis and each frame folds its canonical content bytes into
+// the running value. Server and client compute it independently per
+// frame, and the server stamps its value on the frame — so one 8-byte
+// comparison per frame verifies the whole prefix, and a resumed or
+// failed-over stream that diverges anywhere is caught at the first
+// divergent frame.
+const (
+	chainSeed  = uint64(0xcbf29ce484222325)
+	chainPrime = uint64(0x100000001b3)
+)
+
+// chainStep folds data into the rolling FNV-64a chain value.
+func chainStep(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= chainPrime
+	}
+	return h
+}
+
+// chainUnit folds a file-unit payload (encodeFileUnit wire form) into
+// the chain, skipping the cache-hit byte that follows the leading index
+// uvarint: Hit depends on cache state, not stream content, so a resumed
+// stream's re-decoded units must hash identically to the original's
+// cache hits.
+func chainUnit(h uint64, unit []byte) (uint64, error) {
+	_, n := binary.Uvarint(unit)
+	if n <= 0 || n >= len(unit) {
+		return 0, fmt.Errorf("dppnet: file-unit payload too short to hash")
+	}
+	h = chainStep(h, unit[:n])
+	return chainStep(h, unit[n+1:]), nil
+}
+
+// encodeBatchFrame stamps one batch's wire bytes with its stream index
+// and the rolling chain hash *after* folding this batch:
+// uvarint(index) | 8-byte big-endian chain | batch bytes.
+func encodeBatchFrame(index int64, chain uint64, batch []byte) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+8+len(batch))
+	var tmp [binary.MaxVarintLen64 + 8]byte
+	n := binary.PutUvarint(tmp[:], uint64(index))
+	binary.BigEndian.PutUint64(tmp[n:], chain)
+	buf = append(buf, tmp[:n+8]...)
+	return append(buf, batch...)
+}
+
+// decodeBatchFrame splits a stamped batch frame into index, chain, and
+// the batch wire bytes, bounding the index like the handshake offset.
+func decodeBatchFrame(payload []byte) (int64, uint64, []byte, error) {
+	idx, n := binary.Uvarint(payload)
+	if n <= 0 || idx > uint64(maxResumeOffset) {
+		return 0, 0, nil, fmt.Errorf("dppnet: corrupt batch frame index")
+	}
+	if len(payload) < n+8 {
+		return 0, 0, nil, fmt.Errorf("dppnet: batch frame truncated before chain hash")
+	}
+	chain := binary.BigEndian.Uint64(payload[n : n+8])
+	return int64(idx), chain, payload[n+8:], nil
+}
+
+// encodeUnitFrame prefixes a file-unit payload (which already leads with
+// its own index) with the rolling chain hash after folding this unit:
+// 8-byte big-endian chain | encodeFileUnit bytes.
+func encodeUnitFrame(chain uint64, unit []byte) []byte {
+	buf := make([]byte, 0, 8+len(unit))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], chain)
+	buf = append(buf, tmp[:]...)
+	return append(buf, unit...)
+}
+
+// decodeUnitFrame splits a stamped file-unit frame into chain and the
+// encodeFileUnit payload.
+func decodeUnitFrame(payload []byte) (uint64, []byte, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("dppnet: file-unit frame truncated before chain hash")
+	}
+	return binary.BigEndian.Uint64(payload[:8]), payload[8:], nil
 }
 
 // decodeServiceStats parses a svcstats frame (the JSON dpp.Stats answer

@@ -1,0 +1,312 @@
+package dppnet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dpp"
+)
+
+// Defaults for the resumable-session table; override via Server.ResumeTTL
+// and Server.ResumeMax before Serve.
+const (
+	defaultResumeTTL = 45 * time.Second
+	defaultResumeMax = 64
+)
+
+// wireStream adapts the two session kinds (batch and file-unit) to the
+// unified serving loop: next returns the next frame payload with its
+// stream index and rolling chain hash already stamped, so the loop —
+// and the resume table's retained-frame buffer — handle both kinds
+// identically.
+type wireStream interface {
+	next(ctx context.Context) ([]byte, error)
+	stats() dpp.SessionStats
+	close() error
+	frameType() byte
+}
+
+// batchWire streams reader.Batch frames: uvarint index | chain | batch.
+type batchWire struct {
+	sess  *dpp.Session
+	enc   bytes.Buffer
+	idx   int64
+	chain uint64
+}
+
+func newBatchWire(sess *dpp.Session) *batchWire {
+	return &batchWire{sess: sess, chain: chainSeed}
+}
+
+func (b *batchWire) next(ctx context.Context) ([]byte, error) {
+	bt, err := b.sess.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b.enc.Reset()
+	if err := bt.Encode(&b.enc); err != nil {
+		return nil, err
+	}
+	b.chain = chainStep(b.chain, b.enc.Bytes())
+	payload := encodeBatchFrame(b.idx, b.chain, b.enc.Bytes())
+	b.idx++
+	return payload, nil
+}
+
+func (b *batchWire) stats() dpp.SessionStats { return b.sess.Stats() }
+func (b *batchWire) close() error            { return b.sess.Close() }
+func (b *batchWire) frameType() byte         { return frameBatch }
+
+// unitWire streams dpp.FileUnit frames: chain | encodeFileUnit payload.
+// The chain skips the payload's cache-hit byte (chainUnit), so a
+// replayed unit hashes identically whether it was a hit or a re-decode.
+type unitWire struct {
+	us    *dpp.UnitSession
+	enc   bytes.Buffer
+	chain uint64
+}
+
+func newUnitWire(us *dpp.UnitSession) *unitWire {
+	return &unitWire{us: us, chain: chainSeed}
+}
+
+func (u *unitWire) next(ctx context.Context) ([]byte, error) {
+	un, err := u.us.NextUnit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	u.enc.Reset()
+	if err := encodeFileUnit(&u.enc, un); err != nil {
+		return nil, err
+	}
+	c, err := chainUnit(u.chain, u.enc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	u.chain = c
+	return encodeUnitFrame(c, u.enc.Bytes()), nil
+}
+
+func (u *unitWire) stats() dpp.SessionStats { return u.us.Stats() }
+func (u *unitWire) close() error            { return u.us.Close() }
+func (u *unitWire) frameType() byte         { return frameFileUnit }
+
+// resumeEntry is one parked resumable session: the still-live stream
+// (its context is server-scoped, not connection-scoped), the retained
+// sent-but-unacknowledged frame payloads, and the identity facts a
+// reconnect handshake must match. The retained window is bounded by the
+// credit window — a client can never be owed more unacked frames than
+// the window it granted.
+type resumeEntry struct {
+	token       string
+	fileUnits   bool
+	fingerprint string
+	filesHash   uint64
+	table       string
+	shareScans  bool
+	window      int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	stream wireStream
+
+	// sent is the stream index the next pulled frame gets; acked is the
+	// lowest index the client has not confirmed consuming; retained holds
+	// the frame payloads for [acked, sent).
+	sent, acked int64
+	retained    [][]byte
+
+	expires time.Time
+	inUse   bool
+}
+
+// resumeTable is the server's bounded, TTL-evicted table of parked
+// sessions. The janitor goroutine starts lazily on first park and exits
+// with the server context.
+type resumeTable struct {
+	mu      sync.Mutex
+	entries map[string]*resumeEntry
+	janitor bool
+}
+
+// newResumeToken mints an opaque 32-hex-char session token.
+func newResumeToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// fileListHash summarizes a spec's explicit file plan so a resume
+// handshake naming a different plan is rejected instead of silently
+// merging two different streams.
+func fileListHash(files []string) uint64 {
+	h := chainSeed
+	for _, f := range files {
+		h = chainStep(h, []byte(f))
+		h = chainStep(h, []byte{0})
+	}
+	return h
+}
+
+func (s *Server) resumeTTL() time.Duration {
+	if s.ResumeTTL > 0 {
+		return s.ResumeTTL
+	}
+	return defaultResumeTTL
+}
+
+func (s *Server) resumeMax() int {
+	if s.ResumeMax != 0 {
+		return s.ResumeMax
+	}
+	return defaultResumeMax
+}
+
+// park stores (or re-stores, for a claimed entry) a dropped resumable
+// session's state. It refuses — the caller then closes the stream —
+// when parking is disabled, the server is shutting down, or the table
+// is full of in-use entries.
+func (s *Server) park(e *resumeEntry) bool {
+	if s.resumeMax() < 0 || s.ctx.Err() != nil {
+		return false
+	}
+	var evict *resumeEntry
+	s.resume.mu.Lock()
+	if s.resume.entries == nil {
+		s.resume.entries = make(map[string]*resumeEntry)
+	}
+	if _, ok := s.resume.entries[e.token]; !ok && len(s.resume.entries) >= s.resumeMax() {
+		// Full: evict the entry closest to expiry that nobody is using.
+		for _, cand := range s.resume.entries {
+			if cand.inUse {
+				continue
+			}
+			if evict == nil || cand.expires.Before(evict.expires) {
+				evict = cand
+			}
+		}
+		if evict == nil {
+			s.resume.mu.Unlock()
+			return false
+		}
+		delete(s.resume.entries, evict.token)
+	}
+	e.expires = time.Now().Add(s.resumeTTL())
+	e.inUse = false
+	s.resume.entries[e.token] = e
+	s.startJanitorLocked()
+	s.resume.mu.Unlock()
+	if evict != nil {
+		s.resumeExpired.Inc()
+		evict.cancel()
+		evict.stream.close()
+	}
+	return true
+}
+
+// claimResume hands a parked entry to exactly one reconnecting client
+// after checking everything the handshake asserts: the token is live and
+// unclaimed, the session kind, spec fingerprint, and file plan match,
+// and the offset lies inside the retained window.
+func (s *Server) claimResume(token string, fileUnits bool, fingerprint string, filesHash uint64, offset int64) (*resumeEntry, error) {
+	s.resume.mu.Lock()
+	defer s.resume.mu.Unlock()
+	e := s.resume.entries[token]
+	if e == nil || time.Now().After(e.expires) {
+		return nil, errors.New("dppnet: unknown or expired resume token")
+	}
+	if e.inUse {
+		return nil, errors.New("dppnet: resume token already in use")
+	}
+	if e.fileUnits != fileUnits {
+		return nil, errors.New("dppnet: resume session kind mismatch")
+	}
+	if e.fingerprint != fingerprint {
+		return nil, errors.New("dppnet: resume spec fingerprint mismatch")
+	}
+	if e.filesHash != filesHash {
+		return nil, errors.New("dppnet: resume file plan mismatch")
+	}
+	if offset < e.acked || offset > e.sent {
+		return nil, fmt.Errorf("dppnet: resume offset %d outside retained window [%d,%d]", offset, e.acked, e.sent)
+	}
+	e.inUse = true
+	return e, nil
+}
+
+// dropResume removes a token's entry without closing its stream — the
+// caller owns the stream (it just finished serving it).
+func (s *Server) dropResume(token string) {
+	s.resume.mu.Lock()
+	delete(s.resume.entries, token)
+	s.resume.mu.Unlock()
+}
+
+// startJanitorLocked launches the TTL sweeper once; resume.mu held.
+func (s *Server) startJanitorLocked() {
+	if s.resume.janitor {
+		return
+	}
+	s.resume.janitor = true
+	interval := s.resumeTTL() / 2
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				s.evictExpiredResume()
+			}
+		}
+	}()
+}
+
+// evictExpiredResume closes and forgets every expired, unclaimed entry.
+func (s *Server) evictExpiredResume() {
+	now := time.Now()
+	var dead []*resumeEntry
+	s.resume.mu.Lock()
+	for tok, e := range s.resume.entries {
+		if !e.inUse && now.After(e.expires) {
+			delete(s.resume.entries, tok)
+			dead = append(dead, e)
+		}
+	}
+	s.resume.mu.Unlock()
+	for _, e := range dead {
+		s.resumeExpired.Inc()
+		e.cancel()
+		e.stream.close()
+	}
+}
+
+// drainResume closes every parked session; called from Server.Close
+// after the handlers have drained, so nothing races the table.
+func (s *Server) drainResume() {
+	s.resume.mu.Lock()
+	entries := s.resume.entries
+	s.resume.entries = nil
+	s.resume.mu.Unlock()
+	for _, e := range entries {
+		e.cancel()
+		e.stream.close()
+	}
+}

@@ -34,6 +34,19 @@ type Server struct {
 	// (obs.AccessLog.Record is; anything that can stall must hand off).
 	OnSession func(SessionEvent)
 
+	// Tablez, when non-nil, is the served table's metadata answered to
+	// tablez handshakes — what lets recd-train -connect start cold from
+	// the wire. Set before Serve.
+	Tablez *TableMeta
+
+	// ResumeTTL bounds how long a dropped resumable session's parked
+	// state is kept before eviction (0 means defaultResumeTTL).
+	// ResumeMax bounds the parked-session table (0 means
+	// defaultResumeMax; negative disables parking — resume then always
+	// takes the offset-replay path). Set both before Serve.
+	ResumeTTL time.Duration
+	ResumeMax int
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -41,15 +54,21 @@ type Server struct {
 	// Transport accounting, exported through Stats for the observability
 	// sidecar: internal/metrics atomics, so the serving loop never takes
 	// a lock to count.
-	connsAccepted  metrics.Counter
-	connsActive    metrics.Gauge
-	sessionsServed metrics.Counter
-	batchesSent    metrics.Counter
-	unitsSent      metrics.Counter
-	bytesSent      metrics.Counter
-	creditStalls   metrics.Counter
-	creditStallNS  metrics.Counter
-	sessionSeq     atomic.Int64
+	connsAccepted   metrics.Counter
+	connsActive     metrics.Gauge
+	sessionsServed  metrics.Counter
+	batchesSent     metrics.Counter
+	unitsSent       metrics.Counter
+	bytesSent       metrics.Counter
+	creditStalls    metrics.Counter
+	creditStallNS   metrics.Counter
+	resumedSessions metrics.Counter
+	replayedBatches metrics.Counter
+	parkedSessions  metrics.Counter
+	resumeExpired   metrics.Counter
+	sessionSeq      atomic.Int64
+
+	resume resumeTable
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -80,7 +99,13 @@ type SessionEvent struct {
 	Batches, Bytes int64
 	// Duration is the session's wall-clock lifetime; set on close events.
 	Duration time.Duration
-	// Detail carries the outcome or error text.
+	// Resumed marks a reconnect: this session continued earlier state
+	// (by token) or replayed to an offset, rather than starting fresh.
+	// Offset is the stream index it continued from.
+	Resumed bool
+	Offset  int64
+	// Detail carries the outcome or error text; a resumable session
+	// whose connection dropped closes with Detail "parked".
 	Detail string
 }
 
@@ -100,6 +125,16 @@ type ServerStats struct {
 	// wire-level twin of the sessions' ConsumerStall signal.
 	CreditStalls    int64
 	CreditStallTime time.Duration
+	// ResumedSessions counts handshakes that continued an earlier stream
+	// (token resume or offset replay); ReplayedBatches counts the frames
+	// pulled and discarded to reach a replay offset. ParkedSessions
+	// counts resumable sessions whose state was parked after a dropped
+	// connection; ResumeExpired counts parked entries evicted (TTL or
+	// capacity) before anyone claimed them.
+	ResumedSessions int64
+	ReplayedBatches int64
+	ParkedSessions  int64
+	ResumeExpired   int64
 }
 
 // Stats returns a snapshot of the transport accounting. Lock-free; safe
@@ -114,6 +149,10 @@ func (s *Server) Stats() ServerStats {
 		BytesSent:       s.bytesSent.Value(),
 		CreditStalls:    s.creditStalls.Value(),
 		CreditStallTime: time.Duration(s.creditStallNS.Value()),
+		ResumedSessions: s.resumedSessions.Value(),
+		ReplayedBatches: s.replayedBatches.Value(),
+		ParkedSessions:  s.parkedSessions.Value(),
+		ResumeExpired:   s.resumeExpired.Value(),
 	}
 }
 
@@ -210,6 +249,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// With every handler (and the resume janitor) drained, nothing can
+	// park or claim anymore; close whatever is still parked.
+	s.drainResume()
 	return nil
 }
 
@@ -246,8 +288,8 @@ func (s *Server) handle(conn net.Conn) {
 		writeError(bw, fmt.Errorf("dppnet: expected open frame"))
 		return
 	}
-	var req openRequest
-	if err := json.Unmarshal(payload, &req); err != nil {
+	req, err := decodeOpenRequest(payload)
+	if err != nil {
 		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: "malformed handshake"})
 		writeError(bw, fmt.Errorf("dppnet: malformed handshake: %w", err))
 		return
@@ -256,12 +298,10 @@ func (s *Server) handle(conn net.Conn) {
 	switch req.Kind {
 	case kindStatsz:
 		s.serveStatsz(bw)
+	case kindTablez:
+		s.serveTablez(bw)
 	case kindSession:
-		if req.FileUnits {
-			s.serveFileUnits(peer, br, bw, &req)
-		} else {
-			s.serveSession(peer, br, bw, &req)
-		}
+		s.serveStream(peer, br, bw, &req)
 	default:
 		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: fmt.Sprintf("unknown request kind %q", req.Kind)})
 		writeError(bw, fmt.Errorf("dppnet: unknown request kind %q", req.Kind))
@@ -281,67 +321,214 @@ func (s *Server) serveStatsz(bw *bufio.Writer) {
 	}
 }
 
-// serveSession opens a service session for the handshake's spec and
-// streams it under the credit window until exhaustion, error, or
-// teardown from either side.
-func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+// serveTablez answers the tablez conversation with the served table's
+// metadata, if recd-serve published any.
+func (s *Server) serveTablez(bw *bufio.Writer) {
+	if s.Tablez == nil {
+		writeError(bw, fmt.Errorf("dppnet: no table metadata served here"))
+		return
+	}
+	payload, err := encodeTableMeta(s.Tablez)
+	if err != nil {
+		writeError(bw, err)
+		return
+	}
+	if writeFrame(bw, frameTablez, payload) == nil {
+		bw.Flush()
+	}
+}
+
+// serveStream opens — or resumes — a streamed session for the handshake
+// and runs the credit-window serving loop until exhaustion, error, or
+// teardown from either side. Both session kinds (batch and file-unit)
+// run through here; the wireStream adapter hides the difference.
+//
+// Resume has three entry shapes:
+//   - Token set: claim the parked entry it names and resend the retained
+//     frames from the client's offset — no re-decoding at all.
+//   - Offset without token (or after a token was refused): open a fresh
+//     session and replay the deterministic stream to the offset,
+//     discarding frames (cheap against a warm ScanCache) while the
+//     rolling chain hash catches up.
+//   - Neither: an ordinary fresh session from index 0.
+//
+// A resumable session's stream lives under the *server* context, not the
+// connection's: when the connection dies without a close frame, the loop
+// parks the live stream plus its unacknowledged frames instead of
+// closing it, and a later handshake picks it up byte-where-it-left-off.
+func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+	fail := func(table, detail string, err error) {
+		s.event(SessionEvent{Kind: "error", Peer: peer, Table: table, FileUnits: req.FileUnits, Detail: detail})
+		writeError(bw, err)
+	}
 	if req.Spec == nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: "session handshake has no spec"})
-		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
+		fail("", "session handshake has no spec", fmt.Errorf("dppnet: session handshake has no spec"))
 		return
 	}
 	window := req.Window
 	if window <= 0 || window > maxWindow {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: fmt.Sprintf("window %d out of range", req.Window)})
-		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
+		fail("", fmt.Sprintf("window %d out of range", req.Window), fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
 		return
 	}
 	spec, err := decodeSpec(req.Spec)
 	if err != nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Detail: err.Error()})
-		writeError(bw, err)
+		fail("", err.Error(), err)
 		return
 	}
+	resumable := req.Resumable || req.Token != ""
+	fingerprint := spec.Spec.Fingerprint()
+	filesHash := fileListHash(spec.Files)
 
-	// The session lives under a per-connection context: the client
-	// vanishing, a close frame, or Server.Close all cancel it, so a
-	// remote consumer can never strand a service slot or its reader
-	// goroutines.
-	ctx, cancel := context.WithCancel(s.ctx)
-	defer cancel()
+	var (
+		stream       wireStream
+		streamCtx    context.Context
+		streamCancel context.CancelFunc
+		entry        *resumeEntry // claimed parked state, nil for a fresh open
+		token        string
+		sent, acked  int64 // stream frame indices: produced / client-confirmed
+		base         int64 // index of retained[0]
+		retained     [][]byte
+	)
+	resumed := req.Token != "" || req.Offset > 0
 
-	sess, err := s.svc.Open(ctx, spec)
-	if err != nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Table: spec.Table, Detail: err.Error()})
-		writeError(bw, err)
-		return
+	if req.Token != "" {
+		entry, err = s.claimResume(req.Token, req.FileUnits, fingerprint, filesHash, req.Offset)
+		if err != nil {
+			fail(spec.Table, err.Error(), err)
+			return
+		}
+		stream, streamCtx, streamCancel = entry.stream, entry.ctx, entry.cancel
+		token = entry.token
+		sent = entry.sent
+		// The offset acknowledges everything below it; what remains of the
+		// retained buffer is resent on this connection.
+		retained = entry.retained[req.Offset-entry.acked:]
+		acked, base = req.Offset, req.Offset
+	} else {
+		// The stream's context is the server's for resumable sessions (it
+		// must outlive this connection to be parked) and effectively the
+		// connection's otherwise — either way the exit path below cancels
+		// it unless the stream is parked.
+		streamCtx, streamCancel = context.WithCancel(s.ctx)
+		if req.FileUnits {
+			us, oerr := s.svc.OpenUnits(streamCtx, spec)
+			if oerr != nil {
+				err = oerr
+			} else {
+				stream = newUnitWire(us)
+			}
+		} else {
+			sess, oerr := s.svc.Open(streamCtx, spec)
+			if oerr != nil {
+				err = oerr
+			} else {
+				stream = newBatchWire(sess)
+			}
+		}
+		if err != nil {
+			streamCancel()
+			fail(spec.Table, err.Error(), err)
+			return
+		}
+		if resumable {
+			if token, err = newResumeToken(); err != nil {
+				streamCancel()
+				stream.close()
+				fail(spec.Table, err.Error(), err)
+				return
+			}
+		}
+		// Offset replay: the deterministic stream contract makes the
+		// replayed prefix byte-identical to what the client already
+		// consumed, so discarding it re-synchronizes index and chain.
+		for sent < req.Offset {
+			if _, rerr := stream.next(streamCtx); rerr != nil {
+				if rerr == io.EOF {
+					rerr = fmt.Errorf("dppnet: resume offset %d beyond end of stream at %d", req.Offset, sent)
+				}
+				streamCancel()
+				stream.close()
+				fail(spec.Table, rerr.Error(), rerr)
+				return
+			}
+			sent++
+			s.replayedBatches.Inc()
+		}
+		acked, base = sent, sent
 	}
-	defer sess.Close()
+	if resumed {
+		s.resumedSessions.Inc()
+	}
 
 	id := s.sessionSeq.Add(1)
 	s.sessionsServed.Inc()
 	opened := time.Now()
-	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, ShareScans: spec.ShareScans})
-	var sent, sentBytes int64
-	outcome := "teardown"
-	defer func() {
-		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, ShareScans: spec.ShareScans,
-			Batches: sent, Bytes: sentBytes, Duration: time.Since(opened), Detail: outcome})
-	}()
+	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, FileUnits: req.FileUnits,
+		ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset})
 
-	if err := writeFrame(bw, frameOK, nil); err != nil {
+	var connSent, connBytes int64
+	outcome := "teardown"
+	park := false
+	okSent := false
+	var clientClosed atomic.Bool
+	// Declared before the park/close defer so it runs after it and sees
+	// the final outcome.
+	defer func() {
+		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, FileUnits: req.FileUnits,
+			ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset,
+			Batches: connSent, Bytes: connBytes, Duration: time.Since(opened), Detail: outcome})
+	}()
+	defer func() {
+		if park {
+			e := entry
+			if e == nil {
+				e = &resumeEntry{token: token, fileUnits: req.FileUnits, fingerprint: fingerprint,
+					filesHash: filesHash, table: spec.Table, shareScans: spec.ShareScans, window: window,
+					ctx: streamCtx, cancel: streamCancel, stream: stream}
+			}
+			e.sent, e.acked, e.retained = sent, acked, retained
+			if s.park(e) {
+				s.parkedSessions.Inc()
+				outcome = "parked"
+				return
+			}
+		}
+		if token != "" {
+			s.dropResume(token)
+		}
+		streamCancel()
+		stream.close()
+	}()
+	// canPark: the connection is gone but the stream is healthy, the
+	// client neither closed cleanly nor is the server shutting down, and
+	// the client holds (or was sent) the token it would resume with.
+	canPark := func() bool {
+		return resumable && !clientClosed.Load() && streamCtx.Err() == nil && (entry != nil || okSent)
+	}
+
+	var okPayload []byte
+	if token != "" {
+		okPayload, err = json.Marshal(okReply{Token: token})
+		if err != nil {
+			outcome = "error: " + err.Error()
+			writeError(bw, err)
+			return
+		}
+	}
+	if writeFrame(bw, frameOK, okPayload) != nil || bw.Flush() != nil {
+		park = canPark()
 		return
 	}
-	if err := bw.Flush(); err != nil {
-		return
-	}
+	okSent = true
 
 	// Connection reader: credits and close requests. It owns br from
-	// here on and exits when the connection dies (handle's deferred
-	// Close) or the client half-closes.
+	// here on and exits — cancelling the connection context, never the
+	// stream's — when the connection dies or the client half-closes.
+	connCtx, connCancel := context.WithCancel(streamCtx)
+	defer connCancel()
 	credits := make(chan int64, 1)
 	go func() {
-		defer cancel()
+		defer connCancel()
 		for {
 			typ, payload, err := readFrame(br, maxControlFrameBytes)
 			if err != nil {
@@ -355,10 +542,11 @@ func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, r
 				}
 				select {
 				case credits <- n:
-				case <-ctx.Done():
+				case <-connCtx.Done():
 					return
 				}
 			case frameClose:
+				clientClosed.Store(true)
 				return
 			default:
 				return
@@ -366,22 +554,71 @@ func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, r
 		}
 	}()
 
-	var enc bytes.Buffer
-	avail := int64(window)
+	ftype := stream.frameType()
+	countFrame := func(payload []byte) {
+		if req.FileUnits {
+			s.unitsSent.Inc()
+		} else {
+			s.batchesSent.Inc()
+		}
+		s.bytesSent.Add(int64(len(payload)))
+		connSent++
+		connBytes += int64(len(payload))
+	}
+	// Resend the retained frames a claimed entry still owes the client —
+	// they were produced before the drop, so they don't pull from the
+	// stream and are already within the client's granted window.
+	for _, p := range retained {
+		if writeFrame(bw, ftype, p) != nil {
+			park = canPark()
+			return
+		}
+		countFrame(p)
+	}
+	if len(retained) > 0 {
+		if bw.Flush() != nil {
+			park = canPark()
+			return
+		}
+	}
+
+	// prune drops retained frames the client has confirmed consuming.
+	// Non-resumable sessions retain nothing; the clamp keeps the cursor
+	// arithmetic shared.
+	prune := func() {
+		drop := acked - base
+		if drop <= 0 {
+			return
+		}
+		if n := int64(len(retained)); drop > n {
+			drop = n
+		}
+		retained = retained[drop:]
+		base = acked
+	}
+	bank := func(n int64) {
+		acked += n
+		if acked > sent {
+			// Credits beyond what was sent confirm nothing; a correct
+			// client can't produce them.
+			acked = sent
+		}
+	}
 	for {
-		if avail <= 0 {
+		if sent-acked >= int64(window) {
 			// Credit window exhausted: the serving loop wants to send but
 			// the consumer owes credits. Time the episode — this is the
 			// wire-level twin of the session's ConsumerStall signal and
 			// the credit-stall series /metrics exports.
 			stallStart := time.Now()
 			s.creditStalls.Inc()
-			for avail <= 0 {
+			for sent-acked >= int64(window) {
 				select {
 				case n := <-credits:
-					avail += n
-				case <-ctx.Done():
+					bank(n)
+				case <-connCtx.Done():
 					s.creditStallNS.Add(int64(time.Since(stallStart)))
+					park = canPark()
 					return
 				}
 			}
@@ -391,18 +628,19 @@ func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, r
 		for {
 			select {
 			case n := <-credits:
-				avail += n
+				bank(n)
 				continue
 			default:
 			}
 			break
 		}
+		prune()
 
-		b, err := sess.Next(ctx)
+		payload, err := stream.next(connCtx)
 		if err == io.EOF {
 			outcome = "eof"
-			enc.Reset()
-			if err := encodeSessionStats(&enc, sess.Stats()); err != nil {
+			var enc bytes.Buffer
+			if err := encodeSessionStats(&enc, stream.stats()); err != nil {
 				outcome = "error: " + err.Error()
 				writeError(bw, err)
 				return
@@ -417,177 +655,31 @@ func (s *Server) serveSession(peer string, br *bufio.Reader, bw *bufio.Writer, r
 			return
 		}
 		if err != nil {
+			if connCtx.Err() != nil && streamCtx.Err() == nil {
+				// The connection died (or the client closed) mid-pull; the
+				// stream itself is intact.
+				park = canPark()
+				return
+			}
 			outcome = "error: " + err.Error()
 			writeError(bw, err)
 			return
 		}
-		enc.Reset()
-		if err := b.Encode(&enc); err != nil {
-			outcome = "error: " + err.Error()
-			writeError(bw, err)
-			return
+		werr := writeFrame(bw, ftype, payload)
+		if werr == nil {
+			werr = bw.Flush()
 		}
-		if writeFrame(bw, frameBatch, enc.Bytes()) != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		s.batchesSent.Inc()
-		s.bytesSent.Add(int64(enc.Len()))
 		sent++
-		sentBytes += int64(enc.Len())
-		avail--
-	}
-}
-
-// serveFileUnits opens a file-unit session (a fleet shard's serving
-// loop) and streams whole decoded files under the credit window — one
-// credit per unit frame — until exhaustion, error, or teardown from
-// either side. The shape mirrors serveSession exactly; only the payload
-// unit differs.
-func (s *Server) serveFileUnits(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
-	if req.Spec == nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: "session handshake has no spec"})
-		writeError(bw, fmt.Errorf("dppnet: session handshake has no spec"))
-		return
-	}
-	window := req.Window
-	if window <= 0 || window > maxWindow {
-		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: fmt.Sprintf("window %d out of range", req.Window)})
-		writeError(bw, fmt.Errorf("dppnet: window %d out of range [1,%d]", req.Window, maxWindow))
-		return
-	}
-	spec, err := decodeSpec(req.Spec)
-	if err != nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, FileUnits: true, Detail: err.Error()})
-		writeError(bw, err)
-		return
-	}
-
-	ctx, cancel := context.WithCancel(s.ctx)
-	defer cancel()
-
-	us, err := s.svc.OpenUnits(ctx, spec)
-	if err != nil {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Table: spec.Table, FileUnits: true, Detail: err.Error()})
-		writeError(bw, err)
-		return
-	}
-	defer us.Close()
-
-	id := s.sessionSeq.Add(1)
-	s.sessionsServed.Inc()
-	opened := time.Now()
-	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, FileUnits: true, ShareScans: spec.ShareScans})
-	var sent, sentBytes int64
-	outcome := "teardown"
-	defer func() {
-		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, FileUnits: true, ShareScans: spec.ShareScans,
-			Batches: sent, Bytes: sentBytes, Duration: time.Since(opened), Detail: outcome})
-	}()
-
-	if err := writeFrame(bw, frameOK, nil); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
-		return
-	}
-
-	credits := make(chan int64, 1)
-	go func() {
-		defer cancel()
-		for {
-			typ, payload, err := readFrame(br, maxControlFrameBytes)
-			if err != nil {
-				return
-			}
-			switch typ {
-			case frameCredit:
-				n, err := decodeCredit(payload)
-				if err != nil {
-					return
-				}
-				select {
-				case credits <- n:
-				case <-ctx.Done():
-					return
-				}
-			case frameClose:
-				return
-			default:
-				return
-			}
+		if resumable {
+			// Retain until acked: a reconnect resends these instead of
+			// re-decoding. Bounded by the credit window.
+			retained = append(retained, payload)
 		}
-	}()
-
-	var enc bytes.Buffer
-	avail := int64(window)
-	for {
-		if avail <= 0 {
-			stallStart := time.Now()
-			s.creditStalls.Inc()
-			for avail <= 0 {
-				select {
-				case n := <-credits:
-					avail += n
-				case <-ctx.Done():
-					s.creditStallNS.Add(int64(time.Since(stallStart)))
-					return
-				}
-			}
-			s.creditStallNS.Add(int64(time.Since(stallStart)))
-		}
-		for {
-			select {
-			case n := <-credits:
-				avail += n
-				continue
-			default:
-			}
-			break
-		}
-
-		u, err := us.NextUnit(ctx)
-		if err == io.EOF {
-			outcome = "eof"
-			enc.Reset()
-			if err := encodeSessionStats(&enc, us.Stats()); err != nil {
-				outcome = "error: " + err.Error()
-				writeError(bw, err)
-				return
-			}
-			if writeFrame(bw, frameStats, enc.Bytes()) != nil {
-				return
-			}
-			if writeFrame(bw, frameEOF, nil) != nil {
-				return
-			}
-			bw.Flush()
+		if werr != nil {
+			park = canPark()
 			return
 		}
-		if err != nil {
-			outcome = "error: " + err.Error()
-			writeError(bw, err)
-			return
-		}
-		enc.Reset()
-		if err := encodeFileUnit(&enc, u); err != nil {
-			outcome = "error: " + err.Error()
-			writeError(bw, err)
-			return
-		}
-		if writeFrame(bw, frameFileUnit, enc.Bytes()) != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		s.unitsSent.Inc()
-		s.bytesSent.Add(int64(enc.Len()))
-		sent++
-		sentBytes += int64(enc.Len())
-		avail--
+		countFrame(payload)
 	}
 }
 

@@ -1,0 +1,116 @@
+package dppnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/dpp"
+)
+
+// TableMeta is the served table's metadata — everything a trainer needs
+// to open sessions without building the table locally: the derived spec,
+// the file plan per partition, and the schema facts the model config
+// reads. recd-serve publishes it on Server.Tablez; recd-train -connect
+// fetches it with Client.Tablez and starts cold from the wire.
+type TableMeta struct {
+	// Table is the catalog table name sessions open against.
+	Table string
+	// DenseWidth is the schema's dense feature width (model input size).
+	DenseWidth int
+	// TrainRows is the expected sample count of the training partition.
+	TrainRows int
+	// S is the measured mean samples per user session (the paper's S),
+	// which the derived spec's dedup grouping was chosen from.
+	S float64
+	// Spec is the derived preprocessing spec (transforms, batch size,
+	// dedup groups) the server recommends for this table.
+	Spec dpp.Spec
+	// Partitions lists the table's partitions and their files in catalog
+	// order.
+	Partitions []TablePartition
+}
+
+// TablePartition is one partition's file plan.
+type TablePartition struct {
+	Hour  int64    `json:"hour"`
+	Files []string `json:"files"`
+}
+
+// Files returns the file list of the partition at hour, or nil.
+func (m *TableMeta) Files(hour int64) []string {
+	for _, p := range m.Partitions {
+		if p.Hour == hour {
+			return p.Files
+		}
+	}
+	return nil
+}
+
+// wireTableMeta is the JSON wire form of TableMeta; the spec travels in
+// its wireSpec handshake encoding.
+type wireTableMeta struct {
+	Table      string           `json:"table"`
+	DenseWidth int              `json:"dense_width"`
+	TrainRows  int              `json:"train_rows,omitempty"`
+	S          float64          `json:"s,omitempty"`
+	Spec       *wireSpec        `json:"spec"`
+	Partitions []TablePartition `json:"partitions"`
+}
+
+func encodeTableMeta(m *TableMeta) ([]byte, error) {
+	ws, err := encodeSpec(m.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wireTableMeta{
+		Table:      m.Table,
+		DenseWidth: m.DenseWidth,
+		TrainRows:  m.TrainRows,
+		S:          m.S,
+		Spec:       ws,
+		Partitions: m.Partitions,
+	})
+}
+
+// decodeTableMeta parses a tablez frame with the decodeServiceStats
+// posture: malformed JSON fails, and negative counts — impossible from a
+// well-behaved server, trivially forged otherwise — are rejected before
+// they can reach model sizing or file-plan math.
+func decodeTableMeta(payload []byte) (*TableMeta, error) {
+	var wm wireTableMeta
+	if err := json.Unmarshal(payload, &wm); err != nil {
+		return nil, fmt.Errorf("dppnet: tablez payload: %w", err)
+	}
+	if wm.Spec == nil {
+		return nil, fmt.Errorf("dppnet: tablez payload missing spec")
+	}
+	for name, v := range map[string]int64{
+		"DenseWidth": int64(wm.DenseWidth),
+		"TrainRows":  int64(wm.TrainRows),
+	} {
+		if v < 0 {
+			return nil, fmt.Errorf("dppnet: negative tablez field %s = %d", name, v)
+		}
+	}
+	if wm.S < 0 || math.IsNaN(wm.S) || math.IsInf(wm.S, 0) {
+		return nil, fmt.Errorf("dppnet: implausible tablez S = %v", wm.S)
+	}
+	for _, p := range wm.Partitions {
+		if p.Hour < 0 {
+			return nil, fmt.Errorf("dppnet: negative tablez partition hour %d", p.Hour)
+		}
+	}
+	spec, err := decodeSpec(wm.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return &TableMeta{
+		Table:      wm.Table,
+		DenseWidth: wm.DenseWidth,
+		TrainRows:  wm.TrainRows,
+		S:          wm.S,
+		Spec:       spec,
+		Partitions: wm.Partitions,
+	}, nil
+}

@@ -52,12 +52,20 @@ type Config struct {
 	// as a ShareScans session's misaligned fallback does. Nil is fine for
 	// aligned specs; a misaligned scan without a backend fails cleanly.
 	Backend storage.Backend
+	// Resume, when it names a positive MaxAttempts, lets each shard
+	// stream survive connection loss (or a shard restart) through the
+	// dppnet resume protocol instead of immediately re-routing: a
+	// restarted shard rejoins the stream where it left off. A shard that
+	// stays unreachable past the policy's attempts still re-routes to
+	// the survivors exactly as before.
+	Resume dppnet.ResumePolicy
 }
 
 // Fleet opens multiplexed sessions over a fixed shard set.
 type Fleet struct {
 	addrs   []string
 	backend storage.Backend
+	resume  dppnet.ResumePolicy
 }
 
 // New validates the shard set.
@@ -75,7 +83,7 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		seen[a] = struct{}{}
 	}
-	return &Fleet{addrs: append([]string(nil), cfg.Addrs...), backend: cfg.Backend}, nil
+	return &Fleet{addrs: append([]string(nil), cfg.Addrs...), backend: cfg.Backend, resume: cfg.Resume}, nil
 }
 
 // route picks the shard for one file by rendezvous hashing: the highest
@@ -292,7 +300,9 @@ func (s *Session) openShard(g group) (*dppnet.RemoteUnitSession, error) {
 	}
 	shardSpec := s.spec
 	shardSpec.Files = subset
-	return dppnet.NewClient(g.addr).OpenUnits(s.ctx, shardSpec)
+	cl := dppnet.NewClient(g.addr)
+	cl.Resume = s.fleet.resume
+	return cl.OpenUnits(s.ctx, shardSpec)
 }
 
 // abandonOpen tears down a half-built session whose Open is failing.
@@ -672,6 +682,9 @@ type ShardStat struct {
 	// stream completed and delivered its stats frame).
 	Stats   dpp.SessionStats
 	StatsOK bool
+	// Reconnects counts how many times this stream resumed over a new
+	// connection under the fleet's resume policy (0 without one).
+	Reconnects int64
 }
 
 // ShardStats returns the per-shard-stream accounting plus the count of
@@ -684,12 +697,13 @@ func (s *Session) ShardStats() (stats []ShardStat, reroutes int64) {
 	out := make([]ShardStat, 0, len(s.shards))
 	for _, st := range s.shards {
 		out = append(out, ShardStat{
-			Addr:    st.addr,
-			Files:   len(st.indices),
-			Served:  st.served,
-			Failed:  st.failed,
-			Stats:   st.stats,
-			StatsOK: st.statsOK,
+			Addr:       st.addr,
+			Files:      len(st.indices),
+			Served:     st.served,
+			Failed:     st.failed,
+			Stats:      st.stats,
+			StatsOK:    st.statsOK,
+			Reconnects: st.sess.Reconnects(),
 		})
 	}
 	return out, s.reroutes

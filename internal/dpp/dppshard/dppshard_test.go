@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/dpp"
@@ -480,5 +482,119 @@ func TestFleetMisalignedNeedsBackend(t *testing.T) {
 			}
 			return
 		}
+	}
+}
+
+// TestShardRestartRejoinsViaResume is the restart half of the failover
+// contract (run under -race in CI): every shard server "restarts"
+// mid-stream — killed and brought back on the same address with an
+// empty resume table — and under a Resume policy the mux's wire
+// sessions rejoin via token-less offset replay instead of re-routing
+// files. The merged stream stays byte-identical to the serial
+// reference, reroutes stay at zero, and every seeded schedule tears
+// down leak-free.
+//
+// Window math makes the reconnect assertion deterministic: with
+// Readers=Buffer=1 the merge pulls at most consumed+3 units and each
+// shard server sends at most one unit past its last pull, so at kill
+// point k every server together has sent at most k+6 of the table's
+// files — with k <= files-7, some unit is still unsent and its shard's
+// stream cannot have EOF'd, forcing at least one rejoin.
+func TestShardRestartRejoinsViaResume(t *testing.T) {
+	env := newFleetEnv(t)
+	wantEnc, _ := serialReference(t, env, alignedSpec())
+	if len(wantEnc) < 8 {
+		t.Fatalf("reference stream has only %d batches; the kill window needs len-7 >= 1", len(wantEnc))
+	}
+	const seeds = 8
+	for seed := int64(0); seed < seeds; seed++ {
+		share := seed%2 == 1
+		t.Run(fmt.Sprintf("seed=%d,share=%v", seed, share), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			rng := rand.New(rand.NewSource(4000 + seed))
+			shards := startFleet(t, env, 3)
+			fleet, err := dppshard.New(dppshard.Config{
+				Addrs: addrsOf(shards), Backend: env.store,
+				Resume: dppnet.ResumePolicy{MaxAttempts: 30, BaseDelay: 20 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := fleet.Open(context.Background(), dpp.Spec{
+				Spec: alignedSpec(), Files: env.files, ShareScans: share,
+				Readers: 1, Buffer: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			killAt := 1 + rng.Intn(len(wantEnc)-7)
+			restarted := make([]*dppnet.Server, len(shards))
+			var got [][]byte
+			for {
+				b, err := sess.Next(context.Background())
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("after %d batches: %v", len(got), err)
+				}
+				var buf bytes.Buffer
+				if err := b.Encode(&buf); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, buf.Bytes())
+				if len(got) == killAt {
+					// Same services, same addresses, fresh servers: the
+					// resume tables died with the old processes, so every
+					// token claim fails and the rejoins are pure offset
+					// replays.
+					for i, s := range shards {
+						s.kill()
+						ln := relisten(t, s.addr)
+						restarted[i] = dppnet.NewServer(s.svc)
+						go restarted[i].Serve(ln)
+					}
+				}
+			}
+			mustEqualStreams(t, got, wantEnc)
+			stats, reroutes := sess.ShardStats()
+			if reroutes != 0 {
+				t.Fatalf("fleet re-routed %d times; restarted shards should have been rejoined", reroutes)
+			}
+			var reconnects int64
+			for _, st := range stats {
+				reconnects += st.Reconnects
+			}
+			if reconnects < 1 {
+				t.Fatalf("fleet-wide restart at batch %d/%d produced no reconnects", killAt, len(wantEnc))
+			}
+			sess.Close()
+			for _, srv := range restarted {
+				if err := srv.Close(); err != nil {
+					t.Errorf("restarted server Close: %v", err)
+				}
+			}
+			for _, s := range shards {
+				s.shutdown()
+			}
+			testutil.WaitForGoroutines(t, before)
+		})
+	}
+}
+
+// relisten rebinds addr, retrying briefly while the killed server's
+// listener finishes closing.
+func relisten(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -32,6 +32,10 @@ type AccessEvent struct {
 	Duration time.Duration `json:"duration_ns,omitempty"`
 	// Detail is the outcome or error text.
 	Detail string `json:"detail,omitempty"`
+	// Resumed marks an open that continued an earlier stream; Offset is
+	// the frame index the reconnecting client asked to continue from.
+	Resumed bool  `json:"resumed,omitempty"`
+	Offset  int64 `json:"offset,omitempty"`
 }
 
 // AccessLog is a fixed-capacity, wait-free ring of the newest

@@ -95,6 +95,14 @@ func RegisterNetServer(reg *Registry, labels Labels, srv *dppnet.Server) {
 		func() float64 { return float64(srv.Stats().CreditStalls) })
 	reg.Counter("recd_net_credit_stall_seconds_total", "Time spent blocked on credit-window exhaustion.", labels,
 		func() float64 { return srv.Stats().CreditStallTime.Seconds() })
+	reg.Counter("recd_resumed_sessions_total", "Wire sessions that resumed an earlier stream (by token or offset replay).", labels,
+		func() float64 { return float64(srv.Stats().ResumedSessions) })
+	reg.Counter("recd_replayed_batches_total", "Frames re-pulled and discarded to reach a resume offset (cold replay).", labels,
+		func() float64 { return float64(srv.Stats().ReplayedBatches) })
+	reg.Counter("recd_parked_sessions_total", "Dropped resumable sessions parked for later resume.", labels,
+		func() float64 { return float64(srv.Stats().ParkedSessions) })
+	reg.Counter("recd_resume_expired_total", "Parked sessions evicted by TTL or capacity before resume.", labels,
+		func() float64 { return float64(srv.Stats().ResumeExpired) })
 }
 
 // RegisterStoreCache registers a storage CachingBackend's hit/miss and
@@ -147,6 +155,8 @@ func SessionHook(log *AccessLog) func(dppnet.SessionEvent) {
 			Bytes:      ev.Bytes,
 			Duration:   ev.Duration,
 			Detail:     ev.Detail,
+			Resumed:    ev.Resumed,
+			Offset:     ev.Offset,
 		})
 	}
 }

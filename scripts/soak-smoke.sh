@@ -16,8 +16,13 @@
 #      nonzero session, cache-hit, scale-event, net-batch, and
 #      access-log series (-check-metrics) — the golden-format test pins
 #      their names, this pins that a real run moves them.
-#   4. SIGTERM shuts the server down gracefully: it drains, prints its
-#      shard stats and the access-log tally, and exits 0.
+#   4. A -reconnect soak survives the server being SIGKILLed and
+#      restarted mid-run: every stream resumes against the new process
+#      (offset replay — the old resume table died with it) with zero
+#      stream errors, and the restarted server's
+#      recd_resumed_sessions_total is nonzero.
+#   5. SIGTERM shuts the (restarted) server down gracefully: it drains,
+#      prints its shard stats and the access-log tally, and exits 0.
 #
 # Gates are deliberately loose (CI runners are slow shared machines);
 # tighten locally via the SOAK_* variables.
@@ -25,6 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SOAK_DURATION=${SOAK_DURATION:-5s}
+SOAK_KILL_DURATION=${SOAK_KILL_DURATION:-8s}
 SOAK_SLO_P99=${SOAK_SLO_P99:-2s}
 SOAK_MIN_TPUT=${SOAK_MIN_TPUT:-5}
 SOAK_SERVE_ADDR=${SOAK_SERVE_ADDR:-127.0.0.1:7171}
@@ -48,6 +54,37 @@ serve_pid=$!
     -duration "$SOAK_DURATION" -concurrency 6 \
     -obs-scrape "http://$SOAK_OBS_ADDR" -check-metrics \
     -slo-p99 "$SOAK_SLO_P99" -min-throughput "$SOAK_MIN_TPUT"
+
+# Kill-and-reconnect: a -reconnect soak must ride out the server being
+# SIGKILLed and restarted mid-run. The p99 and scrape gates stay off
+# (the dead window shows up as batch wait, and a mid-run scrape could
+# land on it); the zero-stream-errors gate stays armed — opens that hit
+# the dead window are retried and tallied separately.
+killlog="$bin/soak-kill.log"
+"$bin/recd-soak" -connect "$SOAK_SERVE_ADDR" "${TABLE_FLAGS[@]}" \
+    -duration "$SOAK_KILL_DURATION" -concurrency 4 -reconnect \
+    >"$killlog" 2>&1 &
+soak_pid=$!
+sleep 2
+kill -KILL "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+"$bin/recd-serve" -listen "$SOAK_SERVE_ADDR" "${TABLE_FLAGS[@]}" \
+    -autoscale -obs-listen "$SOAK_OBS_ADDR" >"$servelog" 2>&1 &
+serve_pid=$!
+if ! wait "$soak_pid"; then
+    echo "soak-smoke: reconnect soak did not survive the server restart" >&2
+    cat "$killlog" >&2
+    exit 1
+fi
+cat "$killlog"
+resumed=$(curl -sf "http://$SOAK_OBS_ADDR/metrics" \
+    | awk '$1 ~ /^recd_resumed_sessions_total/ {s+=$2} END {print s+0}')
+if [ "${resumed%%.*}" -lt 1 ]; then
+    echo "soak-smoke: restarted server resumed no sessions (recd_resumed_sessions_total=$resumed)" >&2
+    cat "$servelog" >&2
+    exit 1
+fi
+echo "soak-smoke: restarted server resumed $resumed session(s) across the kill"
 
 # Graceful shutdown: SIGTERM must produce a clean exit and the
 # shutdown-time access-log tally.

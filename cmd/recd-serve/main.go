@@ -38,32 +38,38 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/dpp/front"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7077", "TCP listen address, or a comma-separated list to run one preprocessing shard per address")
-		sessions    = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
-		batch       = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
-		seed        = flag.Int64("seed", 11, "random seed (match recd-train)")
-		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap per shard; 0 is unlimited")
-		scanCacheMB = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB per shard; 0 or negative disables (ShareScans sessions rejected)")
-		rawCacheMB  = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
-		autoscale   = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
-		maxReaders  = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
-		obsListen   = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
-		accessLogN  = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
-		resumeTTL   = flag.Duration("resume-ttl", 45*time.Second, "how long a dropped resumable session stays parked awaiting reconnect")
-		resumeMax   = flag.Int("resume-sessions", 64, "parked resumable sessions kept per shard; negative disables parking (offset replay still works)")
+		listen       = flag.String("listen", "127.0.0.1:7077", "TCP listen address, or a comma-separated list to run one preprocessing shard per address")
+		sessions     = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
+		batch        = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
+		seed         = flag.Int64("seed", 11, "random seed (match recd-train)")
+		maxSessions  = flag.Int("max-sessions", 0, "concurrent session cap per shard; 0 is unlimited")
+		scanCacheMB  = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB per shard; 0 or negative disables (ShareScans sessions rejected)")
+		rawCacheMB   = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
+		autoscale    = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
+		maxReaders   = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
+		obsListen    = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
+		accessLogN   = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
+		resumeTTL    = flag.Duration("resume-ttl", 45*time.Second, "how long a dropped resumable session stays parked awaiting reconnect")
+		resumeMax    = flag.Int("resume-sessions", 64, "parked resumable sessions kept per shard; negative disables parking (offset replay still works)")
+		tenantsFile  = flag.String("tenants", "", "tenant token file enabling the multi-tenant front door (lines: tenant token [weight [max-sessions [max-mb]]]); empty serves a single anonymous tenant")
+		workerBudget = flag.Int("worker-budget", 0, "total reader-worker budget arbitrated across tenants by weighted fair share (needs -autoscale); 0 leaves sessions unarbitrated")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain (SIGTERM or POST /drainz) waits for active streams to hand off before forcing shutdown")
 	)
 	flag.Parse()
 
@@ -98,6 +104,39 @@ func main() {
 	}
 	if *autoscale {
 		cfg.AutoScale = &dpp.AutoScalerConfig{MaxReaders: *maxReaders}
+	}
+
+	// Multi-tenant front door: one Gate shared by every shard server, so
+	// a tenant's session and byte quotas span the whole process, not one
+	// shard. Without -tenants every handshake admits as the anonymous
+	// default tenant and no quota applies.
+	var gate *front.Gate
+	var tenantLimits map[string]front.Limits
+	if *tenantsFile != "" {
+		auth, limits, err := front.LoadTenants(*tenantsFile)
+		if err != nil {
+			fatal(err)
+		}
+		tenantLimits = limits
+		gate = front.NewGate(front.Config{Auth: auth, Limits: limits})
+	}
+
+	// Fair-share worker governor: one arbiter shared by every shard
+	// service, owning the *process-wide* reader-worker budget. Each
+	// session's AutoScaler becomes a bid source — its Resize calls route
+	// through the governor, which water-fills the budget across starved
+	// tenants by weight.
+	var gov *front.Governor
+	if *workerBudget > 0 {
+		if !*autoscale {
+			fatal(fmt.Errorf("-worker-budget needs -autoscale (the autoscalers are the governor's bid sources)"))
+		}
+		weights := make(map[string]int, len(tenantLimits))
+		for t, l := range tenantLimits {
+			weights[t] = l.Weight
+		}
+		gov = front.NewGovernor(front.GovernorConfig{Budget: *workerBudget, Weights: weights})
+		cfg.Arbiter = gov
 	}
 
 	// One service + server per shard address. The services share the
@@ -143,7 +182,38 @@ func main() {
 		srv.Tablez = meta
 		srv.ResumeTTL = *resumeTTL
 		srv.ResumeMax = *resumeMax
+		srv.Gate = gate
 		shards = append(shards, &shard{addr: addr, svc: svc, srv: srv, ln: ln})
+	}
+
+	// Graceful drain, triggered by the first SIGTERM/SIGINT or POST
+	// /drainz: stop admitting, hand in-flight clients their drain notice
+	// (resume token + offset, so they splice onto another server), wait
+	// up to -drain-timeout for the streams to move off, then close.
+	drainOnce := sync.Once{}
+	drain := func() {
+		drainOnce.Do(func() {
+			go func() {
+				fmt.Fprintln(os.Stderr, "recd-serve: draining (new sessions refused; active streams handed off)")
+				for _, sh := range shards {
+					sh.srv.Drain()
+				}
+				deadline := time.Now().Add(*drainTimeout)
+				for time.Now().Before(deadline) {
+					active := int64(0)
+					for _, sh := range shards {
+						active += sh.srv.Stats().ConnsActive
+					}
+					if active == 0 {
+						break
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+				for _, sh := range shards {
+					sh.srv.Close()
+				}
+			}()
+		})
 	}
 
 	// Observability sidecar: one private HTTP listener for the whole
@@ -168,16 +238,33 @@ func main() {
 			obs.RegisterNetServer(reg, labels, sh.srv)
 			sh.srv.OnSession = obs.SessionHook(alog)
 		}
+		if gate != nil {
+			obs.RegisterGate(reg, nil, gate)
+		}
+		if gov != nil {
+			tenants := make([]string, 0, len(tenantLimits))
+			for t := range tenantLimits {
+				tenants = append(tenants, t)
+			}
+			sort.Strings(tenants)
+			obs.RegisterGovernor(reg, nil, gov, tenants)
+		}
 		statsz := func() any {
-			out := make(map[string]any, len(shards))
+			out := make(map[string]any, len(shards)+2)
 			for i, sh := range shards {
 				out[fmt.Sprintf("shard%d", i)] = map[string]any{
 					"addr": sh.addr, "service": sh.svc.Stats(), "net": sh.srv.Stats(),
 				}
 			}
+			if gate != nil {
+				out["gate"] = gate.Stats()
+			}
+			if gov != nil {
+				out["governor"] = gov.Stats()
+			}
 			return out
 		}
-		obsSrv = obs.NewServer(obs.Config{Registry: reg, AccessLog: alog, Statsz: statsz})
+		obsSrv = obs.NewServer(obs.Config{Registry: reg, AccessLog: alog, Statsz: statsz, Drain: drain})
 		obsLn, err := net.Listen("tcp", *obsListen)
 		if err != nil {
 			fatal(err)
@@ -187,11 +274,15 @@ func main() {
 		fmt.Printf("recd-serve: observability sidecar on %s\n", obsLn.Addr())
 	}
 
-	sigs := make(chan os.Signal, 1)
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
 		fmt.Fprintln(os.Stderr, "recd-serve: shutting down")
+		drain()
+		// A second signal skips the drain grace period.
+		<-sigs
+		fmt.Fprintln(os.Stderr, "recd-serve: second signal, forcing shutdown")
 		for _, sh := range shards {
 			sh.srv.Close()
 		}
@@ -232,6 +323,20 @@ func main() {
 	if tt.Cache != nil {
 		bs := tt.Cache.Stats()
 		fmt.Printf("recd-serve: raw-byte tier %d/%d hits/misses\n", bs.Hits, bs.Misses)
+	}
+	if gate != nil {
+		gs := gate.Stats()
+		fmt.Printf("recd-serve: front door rejected %d auth / %d quota / %d draining\n",
+			gs.AuthFailures, gs.QuotaRejects, gs.DrainRejects)
+		for _, ts := range gs.Tenants {
+			fmt.Printf("recd-serve: tenant %s: %d sessions admitted, %.1f MiB streamed\n",
+				ts.Tenant, ts.Admitted, float64(ts.Bytes)/(1<<20))
+		}
+	}
+	for _, sh := range shards {
+		if st := sh.srv.Stats(); st.DrainNotices > 0 {
+			fmt.Printf("recd-serve: shard %s handed %d drain notices\n", sh.addr, st.DrainNotices)
+		}
 	}
 
 	// Graceful sidecar teardown, after the data plane has drained: give

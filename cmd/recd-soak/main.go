@@ -68,6 +68,7 @@ func main() {
 		minTput     = flag.Float64("min-throughput", 0, "fail if aggregate batches/sec falls below this; 0 disables the gate")
 		checkSeries = flag.Bool("check-metrics", false, "fail unless the final /metrics scrape shows nonzero session, cache-hit, scale-event, and net-batch series (needs -obs-scrape and a server with -autoscale)")
 		reconnect   = flag.Bool("reconnect", false, "resume sessions over lost connections, so in-flight streams survive a server restart; failures to open a session (a dead serving window) are then reported separately and do not fail the error gate")
+		authToken   = flag.String("auth-token", "", "tenant token sent in every session handshake (match a line in recd-serve's -tenants file)")
 	)
 	flag.Parse()
 
@@ -115,12 +116,13 @@ func main() {
 	}
 	var fleet *dppshard.Fleet
 	if len(addrs) > 1 {
-		if fleet, err = dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend, Resume: resume}); err != nil {
+		if fleet, err = dppshard.New(dppshard.Config{Addrs: addrs, Backend: tt.Backend, Resume: resume, AuthToken: *authToken}); err != nil {
 			fatal(err)
 		}
 	}
 	client := dppnet.NewClient(addrs[0])
 	client.Resume = resume
+	client.AuthToken = *authToken
 	open := func(profile string) (dpp.Stream, error) {
 		spec := dpp.Spec{Spec: tt.Spec, Files: files}
 		switch profile {
@@ -205,6 +207,17 @@ func main() {
 					}
 				}
 				sess.Close()
+				// Reconnect accounting straight off the session: how the
+				// stream survived — parked-token resume, deterministic
+				// offset replay, or a drain handoff to another shard.
+				switch s := sess.(type) {
+				case *dppnet.RemoteSession:
+					r.tokenResumes += s.TokenResumes()
+					r.replays += s.Replays()
+					r.drainHandoffs += s.DrainHandoffs()
+				case *dppshard.Session:
+					r.drainHandoffs += s.DrainHandoffs()
+				}
 			}
 		}(w)
 	}
@@ -215,12 +228,16 @@ func main() {
 	// Merge and report.
 	var all []time.Duration
 	var totalSessions, totalBatches, totalErrors, totalOpenFails int64
+	var totalTokenResumes, totalReplays, totalDrainHandoffs int64
 	for i := range results {
 		all = append(all, results[i].lat...)
 		totalSessions += results[i].sessions
 		totalBatches += results[i].batches
 		totalErrors += results[i].errors
 		totalOpenFails += results[i].openFails
+		totalTokenResumes += results[i].tokenResumes
+		totalReplays += results[i].replays
+		totalDrainHandoffs += results[i].drainHandoffs
 	}
 	if totalBatches == 0 {
 		fatal(fmt.Errorf("no batches streamed (%d errors)", totalErrors))
@@ -231,6 +248,8 @@ func main() {
 		totalSessions, totalBatches, totalErrors, elapsed.Round(time.Millisecond))
 	if *reconnect {
 		fmt.Printf("recd-soak: %d opens fell in a dead serving window (retried)\n", totalOpenFails)
+		fmt.Printf("recd-soak: client resumes: %d by parked token, %d by offset replay; %d drain handoffs\n",
+			totalTokenResumes, totalReplays, totalDrainHandoffs)
 	}
 	fmt.Printf("recd-soak: batch wait p50 %v p95 %v p99 %v max %v\n",
 		pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1].Round(10*time.Microsecond))
@@ -293,10 +312,14 @@ func main() {
 }
 
 // result is one worker's tally. openFails only accumulates under
-// -reconnect, where a failed open is expected restart churn.
+// -reconnect, where a failed open is expected restart churn; the
+// resume split distinguishes parked-token resumes from deterministic
+// offset replays, and drainHandoffs counts streams handed off to
+// another shard by a draining server.
 type result struct {
 	lat                                  []time.Duration
 	sessions, batches, errors, openFails int64
+	tokenResumes, replays, drainHandoffs int64
 }
 
 // pct reads an exact percentile (nearest-rank) from sorted samples.

@@ -70,6 +70,7 @@ func main() {
 		obsSide           = flag.String("obs-listen", "", "observability sidecar HTTP address for this trainer (/metrics, /debug/pprof, /healthz, /statsz); empty disables")
 		reconnectAttempts = flag.Int("reconnect-attempts", 8, "with -connect: resume attempts after a lost connection before the stream fails; 0 disables resume")
 		reconnectBackoff  = flag.Duration("reconnect-backoff", 250*time.Millisecond, "with -connect: base delay between resume attempts (doubles, capped)")
+		authToken         = flag.String("auth-token", "", "with -connect: tenant token sent in every session handshake (match a line in recd-serve's -tenants file)")
 	)
 	flag.Parse()
 
@@ -204,7 +205,7 @@ func main() {
 		// Sharded fleet: one dppshard session per epoch-hour. No local
 		// backend — the trainer built no table — which is fine for the
 		// served spec (aligned batches never need a local carry re-fill).
-		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Resume: resume})
+		fleet, err := dppshard.New(dppshard.Config{Addrs: addrs, Resume: resume, AuthToken: *authToken})
 		if err != nil {
 			fatal(err)
 		}
@@ -248,6 +249,7 @@ func main() {
 	} else {
 		client := dppnet.NewClient(*connect)
 		client.Resume = resume
+		client.AuthToken = *authToken
 		// Tally the scheduler telemetry each remote session's trailing
 		// stats frame reports: scale events are the server-side
 		// autoscaler at work (ShareScans sessions are exempt, so the

@@ -57,6 +57,14 @@ type Config struct {
 	// within [MinReaders, MaxReaders] from its observed worker/consumer
 	// starvation. Nil keeps every pool at its Spec.Readers size.
 	AutoScale *AutoScalerConfig
+	// Arbiter, when non-nil (and AutoScale is set), turns each
+	// AutoScaler from the final allocator into a bid source: sessions
+	// register with the arbiter under their Spec.Tenant, and every
+	// resize the controller proposes is routed through WorkerArbiter.Bid
+	// so one budget can be fair-shared across all sessions — and, when
+	// the same arbiter is wired into several services, across a whole
+	// process. front.NewGovernor builds the standard implementation.
+	Arbiter WorkerArbiter
 	// Clock stamps the sessions' stall accounting and drives AutoScaler
 	// ticks. Nil uses the wall clock; tests inject a manual-advance clock
 	// for reproducible controller decisions.
@@ -81,7 +89,10 @@ type Service struct {
 	// autoscale, when non-nil, is the defaulted controller config every
 	// queue-backed session gets an AutoScaler from.
 	autoscale *AutoScalerConfig
-	clock     Clock
+	// arbiter, when non-nil, fair-shares a worker budget across the
+	// autoscaled sessions (Config.Arbiter).
+	arbiter WorkerArbiter
+	clock   Clock
 
 	mu       sync.Mutex
 	closed   bool
@@ -146,6 +157,7 @@ func New(cfg Config) (*Service, error) {
 		max:          cfg.MaxSessions,
 		cache:        cache,
 		autoscale:    autoscale,
+		arbiter:      cfg.Arbiter,
 		clock:        clock,
 		sessions:     make(map[int64]*Session),
 		unitSessions: make(map[int64]*UnitSession),

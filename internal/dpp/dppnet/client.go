@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,13 @@ import (
 // ErrRemote wraps failures the server reported over the wire (as opposed
 // to transport failures observed locally).
 var ErrRemote = errors.New("dppnet: remote error")
+
+// ErrDrained reports that the server handed this session a drain notice:
+// it is shutting down gracefully and wants the client to continue the
+// stream elsewhere. A RemoteSession with Client.Failover addresses
+// handles it internally (failing over mid-stream); otherwise it surfaces
+// from Next/NextUnit so the caller can reroute.
+var ErrDrained = errors.New("dppnet: server draining, session handed off")
 
 // errConnLost marks transport-level stream failures — the connection
 // died under the session. These (and only these) are the errors a
@@ -43,7 +51,25 @@ type ResumePolicy struct {
 	// 50ms base, 2s cap.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Jitter randomizes each backoff delay downward by up to this
+	// fraction of its exponential value, de-synchronizing the redial
+	// storm when a server restart drops a whole fleet of sessions at
+	// once (unjittered, every session slept the identical schedule and
+	// the herd re-arrived in lockstep each round). 0 means
+	// DefaultResumeJitter; negative disables jitter (exact exponential
+	// delays, what deterministic tests pin); values above 1 clamp to 1.
+	Jitter float64
+	// Seed seeds the per-session jitter source, for tests that need a
+	// reproducible delay sequence; 0 derives a seed from the clock. Each
+	// session mixes in its own ordinal so sessions sharing a client (and
+	// a seed) still spread apart.
+	Seed int64
 }
+
+// DefaultResumeJitter is the backoff jitter fraction when
+// ResumePolicy.Jitter is zero: each delay lands uniformly in
+// [delay/2, delay].
+const DefaultResumeJitter = 0.5
 
 func (p ResumePolicy) normalized() ResumePolicy {
 	if p.BaseDelay <= 0 {
@@ -52,15 +78,58 @@ func (p ResumePolicy) normalized() ResumePolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 2 * time.Second
 	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = DefaultResumeJitter
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
 	return p
+}
+
+// backoff returns the pause before redial attempt n (n >= 1; attempt 0
+// is immediate): BaseDelay doubled per attempt, capped at MaxDelay, then
+// jittered downward by up to the Jitter fraction. Call on a normalized
+// policy. rng may be nil (no jitter); it is only ever touched from the
+// session's consumer goroutine.
+func (p ResumePolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		d -= time.Duration(p.Jitter * rng.Float64() * float64(d))
+	}
+	return d
+}
+
+// jitterRNG mints the per-session jitter source: the policy seed (or the
+// clock) mixed with the session ordinal k so concurrent sessions spread.
+func jitterRNG(p ResumePolicy, k int64) *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	const mix = int64(-4645906587626371135) // 0x9e3779b97f4a7c15 as int64
+	return rand.New(rand.NewSource(seed ^ k*mix))
 }
 
 // Client opens preprocessing sessions on a remote dppnet server. It
 // holds no connection itself — every Open and ServiceStats dials its own
 // TCP connection, mirroring one-connection-per-session on the server.
 type Client struct {
-	addr   string
-	dialer net.Dialer
+	addr       string
+	dialer     net.Dialer
+	sessionSeq atomic.Int64
 
 	// Resume, when MaxAttempts > 0, makes sessions opened by this client
 	// survive connection loss: they handshake as resumable and
@@ -71,6 +140,17 @@ type Client struct {
 	// reconnect is disabled — the handoff primitive for external
 	// failover. Sessions under a Resume policy are always resumable.
 	Resumable bool
+	// AuthToken is the tenant token presented in every handshake; leave
+	// empty against servers that run without a front door. Set before
+	// Open.
+	AuthToken string
+	// Failover lists alternate server addresses a session may continue
+	// on when its server drains mid-stream. On a drain notice the
+	// session redials the first reachable address (skipping the current
+	// one) and splices the remainder of the stream by deterministic
+	// offset replay — byte-identical, chain-verified. Empty means drain
+	// notices are advisory only. Set before Open.
+	Failover []string
 }
 
 // NewClient returns a client for the server at addr (host:port). No I/O
@@ -83,9 +163,11 @@ func (c *Client) resumable() bool {
 	return c.Resumable || c.Resume.MaxAttempts > 0
 }
 
-// dial establishes a connection and writes the preamble + handshake.
-func (c *Client) dial(ctx context.Context, req openRequest) (net.Conn, *bufio.Reader, error) {
-	conn, err := c.dialer.DialContext(ctx, "tcp", c.addr)
+// dial establishes a connection to addr and writes the preamble +
+// handshake, stamping the client's tenant token into the request.
+func (c *Client) dial(ctx context.Context, addr string, req openRequest) (net.Conn, *bufio.Reader, error) {
+	req.AuthToken = c.AuthToken
+	conn, err := c.dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -112,8 +194,8 @@ func (c *Client) dial(ctx context.Context, req openRequest) (net.Conn, *bufio.Re
 // connection, its reader, and the ok reply's resume token (empty for
 // non-resumable sessions). Server refusals come back wrapped in
 // ErrRemote.
-func (c *Client) openStream(ctx context.Context, req openRequest) (net.Conn, *bufio.Reader, func(), string, error) {
-	conn, br, err := c.dial(ctx, req)
+func (c *Client) openStream(ctx context.Context, addr string, req openRequest) (net.Conn, *bufio.Reader, func(), string, error) {
+	conn, br, err := c.dial(ctx, addr, req)
 	if err != nil {
 		return nil, nil, nil, "", err
 	}
@@ -150,7 +232,7 @@ func (c *Client) openStream(ctx context.Context, req openRequest) (net.Conn, *bu
 // ServiceStats fetches the remote service's aggregate accounting — the
 // wire form of a /statsz probe against dpp.Service.Stats.
 func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
-	conn, br, err := c.dial(ctx, openRequest{Kind: kindStatsz})
+	conn, br, err := c.dial(ctx, c.addr, openRequest{Kind: kindStatsz})
 	if err != nil {
 		return dpp.Stats{}, err
 	}
@@ -179,7 +261,7 @@ func (c *Client) ServiceStats(ctx context.Context) (dpp.Stats, error) {
 // and derived spec — so a trainer can start cold from the wire with no
 // local table build.
 func (c *Client) Tablez(ctx context.Context) (*TableMeta, error) {
-	conn, br, err := c.dial(ctx, openRequest{Kind: kindTablez})
+	conn, br, err := c.dial(ctx, c.addr, openRequest{Kind: kindTablez})
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +330,7 @@ func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error
 		window = maxWindow
 	}
 
-	conn, br, watchStop, token, err := c.openStream(ctx, openRequest{
+	conn, br, watchStop, token, err := c.openStream(ctx, c.addr, openRequest{
 		Kind: kindSession, Window: window, Spec: ws, Resumable: c.resumable(),
 	})
 	if err != nil {
@@ -259,6 +341,8 @@ func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error
 		client: c,
 		ws:     ws,
 		window: window,
+		addr:   c.addr,
+		rng:    jitterRNG(c.Resume.normalized(), c.sessionSeq.Add(1)),
 		conn:   conn,
 		// One slot past the credit window: a protocol-conformant server
 		// never has more than `window` undelivered batches buffered here,
@@ -306,14 +390,22 @@ type RemoteSession struct {
 
 	wmu sync.Mutex // serializes credit/close frame writes
 
+	// rng drives backoff jitter; touched only from the consumer
+	// goroutine (reconnect/failover run under Next).
+	rng *rand.Rand
+
 	// consumed and chain are the resume cursor: frames [0, consumed)
 	// were returned by Next, and chain is the rolling hash after the
 	// last of them. Single-consumer like Next itself.
-	consumed   int64
-	chain      uint64
-	reconnects atomic.Int64
+	consumed      int64
+	chain         uint64
+	reconnects    atomic.Int64
+	tokenResumes  atomic.Int64
+	replays       atomic.Int64
+	drainHandoffs atomic.Int64
 
 	mu        sync.Mutex
+	addr      string // current server; changes on drain failover
 	conn      net.Conn
 	recv      chan remoteMsg
 	watchStop func()
@@ -329,6 +421,15 @@ var _ dpp.Stream = (*RemoteSession)(nil)
 // Reconnects reports how many times this session resumed over a new
 // connection.
 func (rs *RemoteSession) Reconnects() int64 { return rs.reconnects.Load() }
+
+// TokenResumes and Replays split the session's successful continuations
+// by kind: a token resume claimed parked server state (retained frames
+// resent, nothing re-decoded), a replay re-synthesized the consumed
+// prefix on a fresh session. DrainHandoffs counts mid-stream failovers
+// to another address after a drain notice.
+func (rs *RemoteSession) TokenResumes() int64  { return rs.tokenResumes.Load() }
+func (rs *RemoteSession) Replays() int64       { return rs.replays.Load() }
+func (rs *RemoteSession) DrainHandoffs() int64 { return rs.drainHandoffs.Load() }
 
 // receive owns one connection's read half: it decodes frames into the
 // bounded recv channel (never blocking the socket beyond the credit
@@ -396,6 +497,18 @@ func (rs *RemoteSession) receive(br *bufio.Reader, recv chan remoteMsg, stop fun
 			rs.mu.Unlock()
 			terminal(io.EOF)
 			return
+		case frameDrain:
+			if _, err := decodeDrainNotice(payload); err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt drain frame: %w", err))
+				return
+			}
+			if len(rs.client.Failover) == 0 {
+				// Advisory only: with nowhere to go, keep consuming — the
+				// server keeps serving until the operator's deadline.
+				continue
+			}
+			terminal(ErrDrained)
+			return
 		case frameError:
 			terminal(fmt.Errorf("%w: %s", ErrRemote, payload))
 			return
@@ -445,6 +558,22 @@ func (rs *RemoteSession) Next(ctx context.Context) (*reader.Batch, error) {
 			}
 			if m.err != nil {
 				resumeCut := false
+				if errors.Is(m.err, ErrDrained) && rs.client != nil && len(rs.client.Failover) > 0 {
+					ferr := rs.failover(ctx)
+					if ferr == nil {
+						rs.drainHandoffs.Add(1)
+						continue
+					}
+					if errors.Is(ferr, dpp.ErrClosed) {
+						m.err = ferr
+					} else if ctx.Err() != nil && ferr == ctx.Err() {
+						// Failover cut short by ctx: record the drain as the
+						// outcome, report the cancellation to this caller.
+						resumeCut = true
+					}
+					// Otherwise every failover address refused: ErrDrained
+					// stands so the caller knows the stream needs a new home.
+				}
 				if errors.Is(m.err, errConnLost) && rs.client != nil && rs.client.Resume.MaxAttempts > 0 {
 					rerr := rs.reconnect(ctx)
 					if rerr == nil {
@@ -489,30 +618,27 @@ func (rs *RemoteSession) Next(ctx context.Context) (*reader.Batch, error) {
 // reconnect redials the session under the client's resume policy: first
 // presenting the resume token (continuing parked server state with no
 // re-decoding), falling back to a token-less offset replay when the
-// server refuses the token, and backing off exponentially between
-// transport failures. A server refusal of the replay itself is terminal.
+// server refuses the token, and backing off exponentially — with
+// downward jitter, so a fleet of sessions dropped by one restart doesn't
+// re-arrive in lockstep — between transport failures. A server refusal
+// of the replay itself is terminal.
 func (rs *RemoteSession) reconnect(ctx context.Context) error {
 	pol := rs.client.Resume.normalized()
 	rs.mu.Lock()
 	token := rs.token
 	rs.mu.Unlock()
-	delay := pol.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(delay):
+			case <-time.After(pol.backoff(attempt, rs.rng)):
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-rs.done:
 				return dpp.ErrClosed
 			}
-			delay *= 2
-			if delay > pol.MaxDelay {
-				delay = pol.MaxDelay
-			}
 		}
-		err := rs.redial(ctx, token)
+		err := rs.redialTo(ctx, rs.currentAddr(), token)
 		if err == nil {
 			return nil
 		}
@@ -520,7 +646,7 @@ func (rs *RemoteSession) reconnect(ctx context.Context) error {
 			// The parked state is gone (expired, evicted, or claimed):
 			// fall back to a fresh session replayed to our offset.
 			token = ""
-			if err = rs.redial(ctx, ""); err == nil {
+			if err = rs.redialTo(ctx, rs.currentAddr(), ""); err == nil {
 				return nil
 			}
 		}
@@ -532,10 +658,43 @@ func (rs *RemoteSession) reconnect(ctx context.Context) error {
 	return fmt.Errorf("dppnet: resume failed after %d attempts: %w", pol.MaxAttempts, lastErr)
 }
 
-// redial performs one resume handshake and, on success, installs the new
-// connection and a fresh receiver continuing at the consumed cursor.
-func (rs *RemoteSession) redial(ctx context.Context, token string) error {
-	conn, br, stop, newToken, err := rs.client.openStream(ctx, openRequest{
+func (rs *RemoteSession) currentAddr() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.addr
+}
+
+// failover moves the session to another address after a drain notice.
+// The resume token anchors parked state on the *draining* server, so the
+// new server is joined by deterministic offset replay: byte-identical,
+// verified frame-by-frame against the rolling chain hash.
+func (rs *RemoteSession) failover(ctx context.Context) error {
+	cur := rs.currentAddr()
+	var lastErr error
+	for _, addr := range rs.client.Failover {
+		if addr == "" || addr == cur {
+			continue
+		}
+		err := rs.redialTo(ctx, addr, "")
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, dpp.ErrClosed) || ctx.Err() != nil {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dppnet: no failover address beyond draining %s", cur)
+	}
+	return lastErr
+}
+
+// redialTo performs one resume handshake against addr and, on success,
+// installs the new connection and a fresh receiver continuing at the
+// consumed cursor.
+func (rs *RemoteSession) redialTo(ctx context.Context, addr string, token string) error {
+	conn, br, stop, newToken, err := rs.client.openStream(ctx, addr, openRequest{
 		Kind: kindSession, Window: rs.window, Spec: rs.ws,
 		Resumable: true, Offset: rs.consumed, Token: token,
 	})
@@ -555,9 +714,15 @@ func (rs *RemoteSession) redial(ctx context.Context, token string) error {
 	rs.recv = recv
 	rs.watchStop = stop
 	rs.token = newToken
+	rs.addr = addr
 	rs.mu.Unlock()
 	if old != nil {
 		old.Close()
+	}
+	if token != "" {
+		rs.tokenResumes.Add(1)
+	} else if rs.consumed > 0 {
+		rs.replays.Add(1)
 	}
 	go rs.receive(br, recv, stop, rs.consumed, rs.chain)
 	return nil

@@ -184,6 +184,67 @@ func FuzzDecodeResumeHandshake(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAuthHandshake: the v5 open frame carries the tenant token —
+// attacker-controlled bytes that reach the front door's authenticator
+// before any session state exists. decodeOpenRequest on arbitrary bytes
+// either fails cleanly or yields a request whose auth token is within
+// the decode bound (so the authenticator never sees an oversized
+// credential), and the canonical re-marshalled form is a fixed point.
+func FuzzDecodeAuthHandshake(f *testing.F) {
+	seed := func(req openRequest) []byte {
+		payload, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		return payload
+	}
+	ws, err := encodeSpec(dpp.Spec{Spec: alignedSpec()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed(openRequest{Kind: kindSession, Window: 4, Spec: ws, AuthToken: "team-a-secret"}))
+	f.Add(seed(openRequest{
+		Kind: kindSession, Window: 8, Spec: ws, Resumable: true,
+		Offset: 7, Token: "00112233445566778899aabbccddeeff", AuthToken: "team-b-secret",
+	}))
+	f.Add(seed(openRequest{Kind: kindSession, Window: 4, Spec: ws, AuthToken: strings.Repeat("x", maxAuthTokenLen)}))
+	// Hostile handshakes: a token past the decode bound, tokens that are
+	// JSON metacharacters, and spoofing attempts via unknown fields (a
+	// client cannot name its tenant — only present a credential).
+	f.Add([]byte(`{"kind":"session","auth_token":"` + strings.Repeat("a", maxAuthTokenLen+1) + `"}`))
+	f.Add([]byte(`{"kind":"session","auth_token":"\"}{\\"}`))
+	f.Add([]byte(`{"kind":"session","auth_token":"tok","tenant":"admin"}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeOpenRequest(data)
+		if err != nil {
+			return
+		}
+		if len(req.AuthToken) > maxAuthTokenLen {
+			t.Fatalf("accepted %d-byte auth token", len(req.AuthToken))
+		}
+		re, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshalling accepted handshake: %v", err)
+		}
+		back, err := decodeOpenRequest(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if back.AuthToken != req.AuthToken {
+			t.Fatalf("auth token changed across round trip: %q != %q", back.AuthToken, req.AuthToken)
+		}
+		re2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshalling round-tripped handshake: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical handshake form is not a fixed point:\n got %s\nwant %s", re2, re)
+		}
+	})
+}
+
 // FuzzDecodeTablez: the tablez frame seeds a trainer's entire view of
 // the table — model sizing, file plans, the spec it opens sessions with
 // — so a malicious server must never panic the client, and negative

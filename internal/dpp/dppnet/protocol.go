@@ -61,12 +61,16 @@ import (
 // the file-unit frame) that fleet shards are served through; version 4
 // added session resume (handshake offset/token, the token-bearing ok
 // payload, and the index + rolling-chain-hash stamp on every batch and
-// file-unit frame) plus the tablez metadata conversation. The bump keeps
-// a mixed-version pair from handshaking and then mis-decoding the
-// stream.
+// file-unit frame) plus the tablez metadata conversation; version 5
+// added the multi-tenant front door (the handshake's auth_token, judged
+// by the server's front.Gate before any session state exists) and the
+// graceful-drain conversation (the server-pushed drain frame carrying a
+// resume token + offset, which clients use to fail over mid-stream).
+// The bump keeps a mixed-version pair from handshaking and then
+// mis-decoding the stream.
 const (
 	protoMagic   = "DPPN"
-	protoVersion = 4
+	protoVersion = 5
 )
 
 // Frame types. Client→server frames are small control messages; all bulk
@@ -105,6 +109,14 @@ const (
 	// the served table: name, dense width, file plan per partition, and
 	// the derived spec — everything a trainer needs to start cold.
 	frameTablez = byte(0x17)
+	// frameDrain (server→client, advisory) tells a still-active session
+	// that the server is draining: the JSON drainNotice carries the
+	// session's resume token and the server's sent offset so the client
+	// can fail over to another address mid-stream and continue
+	// byte-where-it-left-off. The server keeps serving after sending it;
+	// a client with nowhere to go may simply finish on the draining
+	// server.
+	frameDrain = byte(0x18)
 )
 
 // maxFrameBytes bounds a batch-bearing (server→client) frame's declared
@@ -152,6 +164,13 @@ type openRequest struct {
 	// Token is the opaque resume token from a previous ok reply;
 	// presenting it claims the parked session it names.
 	Token string `json:"token,omitempty"`
+	// AuthToken identifies the tenant to a server running a front door
+	// (recd-serve -tenants): the server's Authenticator maps it to a
+	// tenant name before any session state is allocated. Servers without
+	// a front door ignore it; servers with one refuse handshakes whose
+	// token matches no tenant. The tenant itself never travels on the
+	// wire — it is derived server-side, so a client cannot claim one.
+	AuthToken string `json:"auth_token,omitempty"`
 }
 
 const (
@@ -169,6 +188,11 @@ const (
 	maxResumeTokenLen = 64
 )
 
+// maxAuthTokenLen bounds the handshake's tenant token: real deployments
+// use short static tokens, so anything larger is hostile and is
+// rejected at decode, before the authenticator sees it.
+const maxAuthTokenLen = 256
+
 // decodeOpenRequest parses and validates a handshake payload. All
 // adversarial checks that don't need server state live here — negative
 // or overflowing offsets and oversized tokens fail cleanly — so the
@@ -184,6 +208,9 @@ func decodeOpenRequest(payload []byte) (openRequest, error) {
 	}
 	if len(req.Token) > maxResumeTokenLen {
 		return openRequest{}, fmt.Errorf("dppnet: handshake token of %d bytes exceeds limit %d", len(req.Token), maxResumeTokenLen)
+	}
+	if len(req.AuthToken) > maxAuthTokenLen {
+		return openRequest{}, fmt.Errorf("dppnet: handshake auth token of %d bytes exceeds limit %d", len(req.AuthToken), maxAuthTokenLen)
 	}
 	return req, nil
 }
@@ -208,6 +235,34 @@ func decodeOKReply(payload []byte) (okReply, error) {
 		return okReply{}, fmt.Errorf("dppnet: ok token of %d bytes exceeds limit %d", len(ok.Token), maxResumeTokenLen)
 	}
 	return ok, nil
+}
+
+// drainNotice is the JSON payload of a drain frame: the handoff ticket
+// a draining server pushes to each still-active session. Token is the
+// session's resume token (empty for a non-resumable session, which can
+// still fail over by deterministic offset replay); Offset is how many
+// stream frames the server has sent — advisory, since the client's own
+// consumed count is what a handoff handshake presents.
+type drainNotice struct {
+	Token  string `json:"token,omitempty"`
+	Offset int64  `json:"offset"`
+}
+
+// decodeDrainNotice parses a drain frame with the handshake's bounds:
+// a forged notice cannot smuggle an oversized token or offset into the
+// client's reconnect path.
+func decodeDrainNotice(payload []byte) (drainNotice, error) {
+	var dn drainNotice
+	if err := json.Unmarshal(payload, &dn); err != nil {
+		return drainNotice{}, fmt.Errorf("dppnet: drain notice: %w", err)
+	}
+	if dn.Offset < 0 || dn.Offset > maxResumeOffset {
+		return drainNotice{}, fmt.Errorf("dppnet: drain notice offset %d out of range", dn.Offset)
+	}
+	if len(dn.Token) > maxResumeTokenLen {
+		return drainNotice{}, fmt.Errorf("dppnet: drain notice token of %d bytes exceeds limit %d", len(dn.Token), maxResumeTokenLen)
+	}
+	return dn, nil
 }
 
 // writeFrame emits one framed message: type byte, uvarint payload

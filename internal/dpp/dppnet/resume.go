@@ -111,6 +111,11 @@ type resumeEntry struct {
 	table       string
 	shareScans  bool
 	window      int
+	// tenant scopes the entry to the tenant that opened the session: a
+	// resume handshake must authenticate as the same tenant, so one
+	// tenant's leaked token cannot splice another tenant's client into
+	// its stream.
+	tenant string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -123,7 +128,12 @@ type resumeEntry struct {
 	retained    [][]byte
 
 	expires time.Time
-	inUse   bool
+	// seq is the entry's park order (monotonic per server): capacity
+	// eviction breaks expires ties on it, so the evicted entry is
+	// deterministic even when many entries are parked within one clock
+	// tick.
+	seq   int64
+	inUse bool
 }
 
 // resumeTable is the server's bounded, TTL-evicted table of parked
@@ -133,6 +143,18 @@ type resumeTable struct {
 	mu      sync.Mutex
 	entries map[string]*resumeEntry
 	janitor bool
+	// parkSeq numbers parks; resumeEntry.seq is drawn from it under mu.
+	parkSeq int64
+}
+
+// now reads the resume table's clock: the resumeClock seam when a test
+// installed one (to park entries at a frozen instant), the wall clock
+// otherwise.
+func (s *Server) now() time.Time {
+	if s.resumeClock != nil {
+		return s.resumeClock()
+	}
+	return time.Now()
 }
 
 // newResumeToken mints an opaque 32-hex-char session token.
@@ -175,7 +197,11 @@ func (s *Server) resumeMax() int {
 // when parking is disabled, the server is shutting down, or the table
 // is full of in-use entries.
 func (s *Server) park(e *resumeEntry) bool {
-	if s.resumeMax() < 0 || s.ctx.Err() != nil {
+	// A draining server refuses to park: parked state anchors a future
+	// reconnect *here*, and drain mode's whole point is sending clients
+	// elsewhere. The dropped session's client replays by offset against
+	// its failover address instead.
+	if s.resumeMax() < 0 || s.ctx.Err() != nil || s.draining.Load() {
 		return false
 	}
 	var evict *resumeEntry
@@ -184,12 +210,18 @@ func (s *Server) park(e *resumeEntry) bool {
 		s.resume.entries = make(map[string]*resumeEntry)
 	}
 	if _, ok := s.resume.entries[e.token]; !ok && len(s.resume.entries) >= s.resumeMax() {
-		// Full: evict the entry closest to expiry that nobody is using.
+		// Full: evict the entry closest to expiry that nobody is using,
+		// breaking expires ties on park order. Without the seq tiebreak
+		// the choice fell to map iteration order, so N entries parked in
+		// the same clock tick (coarse-resolution clocks make that easy)
+		// could evict a *younger* entry than the one a reconnecting
+		// client still had a live claim window on.
 		for _, cand := range s.resume.entries {
 			if cand.inUse {
 				continue
 			}
-			if evict == nil || cand.expires.Before(evict.expires) {
+			if evict == nil || cand.expires.Before(evict.expires) ||
+				(cand.expires.Equal(evict.expires) && cand.seq < evict.seq) {
 				evict = cand
 			}
 		}
@@ -199,7 +231,9 @@ func (s *Server) park(e *resumeEntry) bool {
 		}
 		delete(s.resume.entries, evict.token)
 	}
-	e.expires = time.Now().Add(s.resumeTTL())
+	s.resume.parkSeq++
+	e.seq = s.resume.parkSeq
+	e.expires = s.now().Add(s.resumeTTL())
 	e.inUse = false
 	s.resume.entries[e.token] = e
 	s.startJanitorLocked()
@@ -214,13 +248,19 @@ func (s *Server) park(e *resumeEntry) bool {
 
 // claimResume hands a parked entry to exactly one reconnecting client
 // after checking everything the handshake asserts: the token is live and
-// unclaimed, the session kind, spec fingerprint, and file plan match,
-// and the offset lies inside the retained window.
-func (s *Server) claimResume(token string, fileUnits bool, fingerprint string, filesHash uint64, offset int64) (*resumeEntry, error) {
+// unclaimed, the tenant that authenticated matches the tenant that
+// parked, the session kind, spec fingerprint, and file plan match, and
+// the offset lies inside the retained window.
+func (s *Server) claimResume(token, tenant string, fileUnits bool, fingerprint string, filesHash uint64, offset int64) (*resumeEntry, error) {
 	s.resume.mu.Lock()
 	defer s.resume.mu.Unlock()
 	e := s.resume.entries[token]
-	if e == nil || time.Now().After(e.expires) {
+	if e == nil || s.now().After(e.expires) {
+		return nil, errors.New("dppnet: unknown or expired resume token")
+	}
+	if e.tenant != tenant {
+		// Deliberately the same shape as a dead token: a cross-tenant
+		// probe learns nothing about whether the token exists.
 		return nil, errors.New("dppnet: unknown or expired resume token")
 	}
 	if e.inUse {
@@ -281,7 +321,7 @@ func (s *Server) startJanitorLocked() {
 
 // evictExpiredResume closes and forgets every expired, unclaimed entry.
 func (s *Server) evictExpiredResume() {
-	now := time.Now()
+	now := s.now()
 	var dead []*resumeEntry
 	s.resume.mu.Lock()
 	for tok, e := range s.resume.entries {

@@ -444,8 +444,11 @@ func TestResumeTTLExpiryFallsBackToReplay(t *testing.T) {
 	if st.ReplayedBatches < 3 {
 		t.Fatalf("server stats %+v: want >= 3 replayed batches (offset-replay fallback)", st)
 	}
-	if st.ResumedSessions < 1 {
-		t.Fatalf("server stats %+v: the replay handshake counts as a resume", st)
+	if st.ReplayedSessions < 1 {
+		t.Fatalf("server stats %+v: the fallback handshake counts as an offset replay", st)
+	}
+	if st.ResumedSessions != 0 {
+		t.Fatalf("server stats %+v: no token claim succeeded, so the token-resume counter must stay zero", st)
 	}
 	p.Close()
 	h.shutdown(t)
@@ -483,7 +486,7 @@ func TestResumeFingerprintMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, _, _, err = client.openStream(context.Background(), openRequest{
+	_, _, _, _, err = client.openStream(context.Background(), client.addr, openRequest{
 		Kind: kindSession, Window: 4, Spec: ws,
 		Resumable: true, Offset: 1, Token: token,
 	})
@@ -529,11 +532,11 @@ func TestResumeTokenSingleClaim(t *testing.T) {
 		Kind: kindSession, Window: 4, Spec: ws,
 		Resumable: true, Offset: 0, Token: token,
 	}
-	conn1, _, stop1, _, err := client.openStream(context.Background(), req)
+	conn1, _, stop1, _, err := client.openStream(context.Background(), client.addr, req)
 	if err != nil {
 		t.Fatalf("first token claim: %v", err)
 	}
-	_, _, _, _, err = client.openStream(context.Background(), req)
+	_, _, _, _, err = client.openStream(context.Background(), client.addr, req)
 	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "already in use") {
 		t.Fatalf("second claim of a held token = %v, want ErrRemote already-in-use", err)
 	}
@@ -558,7 +561,7 @@ func TestResumeOffsetBeyondEOFRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, _, _, _, err = client.openStream(context.Background(), openRequest{
+	_, _, _, _, err = client.openStream(context.Background(), client.addr, openRequest{
 		Kind: kindSession, Window: 4, Spec: ws, Resumable: true, Offset: 1 << 30,
 	})
 	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "beyond end of stream") {

@@ -15,8 +15,14 @@ import (
 	"time"
 
 	"repro/internal/dpp"
+	"repro/internal/dpp/front"
 	"repro/internal/metrics"
 )
+
+// errDraining refuses a session handshake while the server drains. The
+// text deliberately contains "draining": fleet clients (dppshard) match
+// it to route new opens around a draining shard instead of failing.
+var errDraining = errors.New("dppnet: server draining")
 
 // Server fronts one dpp.Service on a TCP listener: every accepted
 // connection is one handshake — a streamed session or a statsz probe.
@@ -47,26 +53,50 @@ type Server struct {
 	ResumeTTL time.Duration
 	ResumeMax int
 
+	// Gate, when non-nil, is the multi-tenant front door every session
+	// handshake passes through: the handshake's auth_token is
+	// authenticated and the tenant's quotas charged *before* any session
+	// state is allocated, and the session's tenant threads into its
+	// spec, resume entry, access-log events, and metrics. Several
+	// servers (recd-serve's shards) may share one Gate so quotas span
+	// the process. statsz and tablez probes stay unauthenticated — they
+	// are read-only operational metadata, the /healthz of the wire. Set
+	// before Serve.
+	Gate *front.Gate
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// Drain mode: draining flips once, drainCh closes to wake stalled
+	// serving loops so they push the drain notice promptly.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
+
+	// resumeClock, when non-nil, replaces the wall clock for resume
+	// expiry (park/claim/janitor) — the test seam that makes same-tick
+	// parking reproducible. Set before Serve.
+	resumeClock func() time.Time
+
 	// Transport accounting, exported through Stats for the observability
 	// sidecar: internal/metrics atomics, so the serving loop never takes
 	// a lock to count.
-	connsAccepted   metrics.Counter
-	connsActive     metrics.Gauge
-	sessionsServed  metrics.Counter
-	batchesSent     metrics.Counter
-	unitsSent       metrics.Counter
-	bytesSent       metrics.Counter
-	creditStalls    metrics.Counter
-	creditStallNS   metrics.Counter
-	resumedSessions metrics.Counter
-	replayedBatches metrics.Counter
-	parkedSessions  metrics.Counter
-	resumeExpired   metrics.Counter
-	sessionSeq      atomic.Int64
+	connsAccepted    metrics.Counter
+	connsActive      metrics.Gauge
+	sessionsServed   metrics.Counter
+	batchesSent      metrics.Counter
+	unitsSent        metrics.Counter
+	bytesSent        metrics.Counter
+	creditStalls     metrics.Counter
+	creditStallNS    metrics.Counter
+	resumedSessions  metrics.Counter
+	replayedSessions metrics.Counter
+	replayedBatches  metrics.Counter
+	parkedSessions   metrics.Counter
+	resumeExpired    metrics.Counter
+	drainNotices     metrics.Counter
+	sessionSeq       atomic.Int64
 
 	resume resumeTable
 
@@ -104,6 +134,9 @@ type SessionEvent struct {
 	// Offset is the stream index it continued from.
 	Resumed bool
 	Offset  int64
+	// Tenant is the authenticated tenant the session (or failed
+	// handshake) belongs to; empty when the server runs without a Gate.
+	Tenant string
 	// Detail carries the outcome or error text; a resumable session
 	// whose connection dropped closes with Detail "parked".
 	Detail string
@@ -126,33 +159,46 @@ type ServerStats struct {
 	CreditStalls    int64
 	CreditStallTime time.Duration
 	// ResumedSessions counts handshakes that continued an earlier stream
-	// (token resume or offset replay); ReplayedBatches counts the frames
-	// pulled and discarded to reach a replay offset. ParkedSessions
-	// counts resumable sessions whose state was parked after a dropped
-	// connection; ResumeExpired counts parked entries evicted (TTL or
-	// capacity) before anyone claimed them.
-	ResumedSessions int64
-	ReplayedBatches int64
-	ParkedSessions  int64
-	ResumeExpired   int64
+	// by claiming its parked token — retained frames resent, nothing
+	// re-decoded. ReplayedSessions counts handshakes that continued by
+	// deterministic offset replay instead (no parked state; the prefix
+	// was re-pulled and discarded). The two are deliberately distinct:
+	// a fleet that "recovers" only ever via replay is burning decode
+	// work the resume path exists to avoid. ReplayedBatches counts the
+	// frames pulled and discarded to reach replay offsets.
+	// ParkedSessions counts resumable sessions whose state was parked
+	// after a dropped connection; ResumeExpired counts parked entries
+	// evicted (TTL or capacity) before anyone claimed them.
+	ResumedSessions  int64
+	ReplayedSessions int64
+	ReplayedBatches  int64
+	ParkedSessions   int64
+	ResumeExpired    int64
+	// DrainNotices counts drain frames handed to in-flight clients;
+	// Draining reports whether the server has entered drain mode.
+	DrainNotices int64
+	Draining     bool
 }
 
 // Stats returns a snapshot of the transport accounting. Lock-free; safe
 // to poll at any frequency.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		ConnsAccepted:   s.connsAccepted.Value(),
-		ConnsActive:     s.connsActive.Value(),
-		SessionsServed:  s.sessionsServed.Value(),
-		BatchesSent:     s.batchesSent.Value(),
-		UnitsSent:       s.unitsSent.Value(),
-		BytesSent:       s.bytesSent.Value(),
-		CreditStalls:    s.creditStalls.Value(),
-		CreditStallTime: time.Duration(s.creditStallNS.Value()),
-		ResumedSessions: s.resumedSessions.Value(),
-		ReplayedBatches: s.replayedBatches.Value(),
-		ParkedSessions:  s.parkedSessions.Value(),
-		ResumeExpired:   s.resumeExpired.Value(),
+		ConnsAccepted:    s.connsAccepted.Value(),
+		ConnsActive:      s.connsActive.Value(),
+		SessionsServed:   s.sessionsServed.Value(),
+		BatchesSent:      s.batchesSent.Value(),
+		UnitsSent:        s.unitsSent.Value(),
+		BytesSent:        s.bytesSent.Value(),
+		CreditStalls:     s.creditStalls.Value(),
+		CreditStallTime:  time.Duration(s.creditStallNS.Value()),
+		ResumedSessions:  s.resumedSessions.Value(),
+		ReplayedSessions: s.replayedSessions.Value(),
+		ReplayedBatches:  s.replayedBatches.Value(),
+		ParkedSessions:   s.parkedSessions.Value(),
+		ResumeExpired:    s.resumeExpired.Value(),
+		DrainNotices:     s.drainNotices.Value(),
+		Draining:         s.draining.Load(),
 	}
 }
 
@@ -166,8 +212,29 @@ func (s *Server) event(ev SessionEvent) {
 // NewServer wraps a service; call Serve to start accepting.
 func NewServer(svc *dpp.Service) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{svc: svc, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	return &Server{svc: svc, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{})}
 }
+
+// Drain puts the server in drain mode: new session handshakes and resume
+// claims are refused (with an error fleet clients route around), parking
+// stops, and every in-flight session is handed one drain frame carrying
+// its resume token and current offset so the client can fail over to
+// another address mid-stream. Serving continues — Drain never cuts a
+// stream; the operator calls Close once ConnsActive reaches zero (or a
+// deadline passes). Idempotent and safe from any goroutine.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		if s.Gate != nil {
+			s.Gate.Drain()
+		}
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Serve accepts connections on ln until Close (which returns nil) or a
 // listener failure (which returns the error). Each connection is handled
@@ -357,9 +424,32 @@ func (s *Server) serveTablez(bw *bufio.Writer) {
 // parks the live stream plus its unacknowledged frames instead of
 // closing it, and a later handshake picks it up byte-where-it-left-off.
 func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, req *openRequest) {
+	tenant := ""
 	fail := func(table, detail string, err error) {
-		s.event(SessionEvent{Kind: "error", Peer: peer, Table: table, FileUnits: req.FileUnits, Detail: detail})
+		s.event(SessionEvent{Kind: "error", Peer: peer, Table: table, FileUnits: req.FileUnits,
+			Tenant: tenant, Detail: detail})
 		writeError(bw, err)
+	}
+	// Admission runs before anything else — before the spec is even
+	// decoded — so an unauthenticated or over-quota open is judged
+	// against zero allocated session state. The lease holds the tenant's
+	// concurrency slot for this connection's lifetime and meters streamed
+	// bytes against its budget; a parked session keeps only its byte
+	// charge (the slot frees with the connection, and the resume
+	// handshake re-admits because the client resends its auth token).
+	var lease *front.Lease
+	if s.Gate != nil {
+		var aerr error
+		lease, aerr = s.Gate.Admit(req.AuthToken)
+		if aerr != nil {
+			fail("", "admission: "+aerr.Error(), aerr)
+			return
+		}
+		tenant = lease.Tenant
+		defer lease.Release()
+	} else if s.draining.Load() {
+		fail("", errDraining.Error(), errDraining)
+		return
 	}
 	if req.Spec == nil {
 		fail("", "session handshake has no spec", fmt.Errorf("dppnet: session handshake has no spec"))
@@ -375,6 +465,9 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 		fail("", err.Error(), err)
 		return
 	}
+	// The tenant is a serving-side fact: it comes from the authenticated
+	// lease, never from the wire spec.
+	spec.Tenant = tenant
 	resumable := req.Resumable || req.Token != ""
 	fingerprint := spec.Spec.Fingerprint()
 	filesHash := fileListHash(spec.Files)
@@ -392,7 +485,7 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 	resumed := req.Token != "" || req.Offset > 0
 
 	if req.Token != "" {
-		entry, err = s.claimResume(req.Token, req.FileUnits, fingerprint, filesHash, req.Offset)
+		entry, err = s.claimResume(req.Token, tenant, req.FileUnits, fingerprint, filesHash, req.Offset)
 		if err != nil {
 			fail(spec.Table, err.Error(), err)
 			return
@@ -456,15 +549,21 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 		}
 		acked, base = sent, sent
 	}
-	if resumed {
+	// The two continuation paths count separately: a token resume resent
+	// retained frames without re-decoding anything, an offset replay
+	// re-pulled the prefix. Conflating them hid replay-only "recoveries"
+	// behind the resume counter (the soak gate watched the wrong number).
+	if req.Token != "" {
 		s.resumedSessions.Inc()
+	} else if resumed {
+		s.replayedSessions.Inc()
 	}
 
 	id := s.sessionSeq.Add(1)
 	s.sessionsServed.Inc()
 	opened := time.Now()
 	s.event(SessionEvent{Kind: "open", ID: id, Peer: peer, Table: spec.Table, FileUnits: req.FileUnits,
-		ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset})
+		ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset, Tenant: tenant})
 
 	var connSent, connBytes int64
 	outcome := "teardown"
@@ -475,7 +574,7 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 	// the final outcome.
 	defer func() {
 		s.event(SessionEvent{Kind: "close", ID: id, Peer: peer, Table: spec.Table, FileUnits: req.FileUnits,
-			ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset,
+			ShareScans: spec.ShareScans, Resumed: resumed, Offset: req.Offset, Tenant: tenant,
 			Batches: connSent, Bytes: connBytes, Duration: time.Since(opened), Detail: outcome})
 	}()
 	defer func() {
@@ -484,7 +583,7 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 			if e == nil {
 				e = &resumeEntry{token: token, fileUnits: req.FileUnits, fingerprint: fingerprint,
 					filesHash: filesHash, table: spec.Table, shareScans: spec.ShareScans, window: window,
-					ctx: streamCtx, cancel: streamCancel, stream: stream}
+					tenant: tenant, ctx: streamCtx, cancel: streamCancel, stream: stream}
 			}
 			e.sent, e.acked, e.retained = sent, acked, retained
 			if s.park(e) {
@@ -562,8 +661,37 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 			s.batchesSent.Inc()
 		}
 		s.bytesSent.Add(int64(len(payload)))
+		if lease != nil {
+			lease.AddBytes(int64(len(payload)))
+		}
 		connSent++
 		connBytes += int64(len(payload))
+	}
+	// Drain notice: once the server enters drain mode, each in-flight
+	// session is told exactly once — a drain frame carrying the resume
+	// token (empty for non-resumable sessions, which can still replay by
+	// offset) and the stream index reached, so the client can splice the
+	// rest of the stream from another address. The notice is advisory:
+	// serving continues here until the client acts or the operator
+	// closes. drainWatch arms the credit-stall select so a stalled
+	// session learns about the drain promptly instead of at next send.
+	drainNotified := false
+	drainWatch := s.drainCh
+	notifyDrain := func() bool {
+		if drainNotified || !s.draining.Load() {
+			return true
+		}
+		drainNotified = true
+		drainWatch = nil
+		payload, merr := json.Marshal(drainNotice{Token: token, Offset: sent})
+		if merr != nil {
+			return true // keep serving; the notice is best-effort
+		}
+		if writeFrame(bw, frameDrain, payload) != nil || bw.Flush() != nil {
+			return false
+		}
+		s.drainNotices.Inc()
+		return true
 	}
 	// Resend the retained frames a claimed entry still owes the client —
 	// they were produced before the drop, so they don't pull from the
@@ -605,6 +733,10 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 		}
 	}
 	for {
+		if !notifyDrain() {
+			park = canPark()
+			return
+		}
 		if sent-acked >= int64(window) {
 			// Credit window exhausted: the serving loop wants to send but
 			// the consumer owes credits. Time the episode — this is the
@@ -616,6 +748,15 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 				select {
 				case n := <-credits:
 					bank(n)
+				case <-drainWatch:
+					// Drain began while credit-stalled: push the notice now
+					// so the stalled client can fail over instead of sitting
+					// on an exhausted window against a dying server.
+					if !notifyDrain() {
+						s.creditStallNS.Add(int64(time.Since(stallStart)))
+						park = canPark()
+						return
+					}
 				case <-connCtx.Done():
 					s.creditStallNS.Add(int64(time.Since(stallStart)))
 					park = canPark()

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -52,7 +53,7 @@ func (c *Client) OpenUnits(ctx context.Context, spec dpp.Spec) (*RemoteUnitSessi
 		window = maxWindow
 	}
 
-	conn, br, watchStop, token, err := c.openStream(ctx, openRequest{
+	conn, br, watchStop, token, err := c.openStream(ctx, c.addr, openRequest{
 		Kind: kindSession, Window: window, Spec: ws, FileUnits: true, Resumable: c.resumable(),
 	})
 	if err != nil {
@@ -63,6 +64,7 @@ func (c *Client) OpenUnits(ctx context.Context, spec dpp.Spec) (*RemoteUnitSessi
 		client: c,
 		ws:     ws,
 		window: window,
+		rng:    jitterRNG(c.Resume.normalized(), c.sessionSeq.Add(1)),
 		conn:   conn,
 		files:  spec.Files,
 		// One slot past the credit window, for the same reason as a batch
@@ -98,6 +100,10 @@ type RemoteUnitSession struct {
 	done chan struct{}
 
 	wmu sync.Mutex // serializes credit/close frame writes
+
+	// rng drives backoff jitter; touched only from the consumer
+	// goroutine (reconnect runs under NextUnit).
+	rng *rand.Rand
 
 	// consumed and chain are the resume cursor: units [0, consumed) were
 	// returned by NextUnit; chain is the rolling hash after the last.
@@ -187,6 +193,17 @@ func (rus *RemoteUnitSession) receive(br *bufio.Reader, recv chan remoteUnitMsg,
 			rus.gotEOF = true
 			rus.mu.Unlock()
 			terminal(io.EOF)
+			return
+		case frameDrain:
+			if _, err := decodeDrainNotice(payload); err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt drain frame: %w", err))
+				return
+			}
+			// Unit sessions always surface the drain: the fleet
+			// multiplexer (dppshard) owns failover — it reroutes the
+			// shard's unconsumed files to other shards, so nothing already
+			// served is ever refetched.
+			terminal(ErrDrained)
 			return
 		case frameError:
 			terminal(fmt.Errorf("%w: %s", ErrRemote, payload))
@@ -280,20 +297,15 @@ func (rus *RemoteUnitSession) reconnect(ctx context.Context) error {
 	rus.mu.Lock()
 	token := rus.token
 	rus.mu.Unlock()
-	delay := pol.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(delay):
+			case <-time.After(pol.backoff(attempt, rus.rng)):
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-rus.done:
 				return dpp.ErrClosed
-			}
-			delay *= 2
-			if delay > pol.MaxDelay {
-				delay = pol.MaxDelay
 			}
 		}
 		err := rus.redial(ctx, token)
@@ -317,7 +329,7 @@ func (rus *RemoteUnitSession) reconnect(ctx context.Context) error {
 // redial performs one resume handshake and, on success, installs the new
 // connection and a fresh receiver continuing at the consumed cursor.
 func (rus *RemoteUnitSession) redial(ctx context.Context, token string) error {
-	conn, br, stop, newToken, err := rus.client.openStream(ctx, openRequest{
+	conn, br, stop, newToken, err := rus.client.openStream(ctx, rus.client.addr, openRequest{
 		Kind: kindSession, Window: rus.window, Spec: rus.ws, FileUnits: true,
 		Resumable: true, Offset: rus.consumed, Token: token,
 	})

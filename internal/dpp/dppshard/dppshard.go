@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,13 +60,17 @@ type Config struct {
 	// stays unreachable past the policy's attempts still re-routes to
 	// the survivors exactly as before.
 	Resume dppnet.ResumePolicy
+	// AuthToken is the tenant token presented to every shard; leave
+	// empty against fleets that run without a front door.
+	AuthToken string
 }
 
 // Fleet opens multiplexed sessions over a fixed shard set.
 type Fleet struct {
-	addrs   []string
-	backend storage.Backend
-	resume  dppnet.ResumePolicy
+	addrs     []string
+	backend   storage.Backend
+	resume    dppnet.ResumePolicy
+	authToken string
 }
 
 // New validates the shard set.
@@ -83,7 +88,16 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		seen[a] = struct{}{}
 	}
-	return &Fleet{addrs: append([]string(nil), cfg.Addrs...), backend: cfg.Backend, resume: cfg.Resume}, nil
+	return &Fleet{addrs: append([]string(nil), cfg.Addrs...), backend: cfg.Backend,
+		resume: cfg.Resume, authToken: cfg.AuthToken}, nil
+}
+
+// isDrainingRefusal recognizes a server-side open refusal caused by
+// drain mode. It is deliberately a substring match on the remote error:
+// the refusing server may be behind a front door (front.ErrDraining) or
+// bare (dppnet's own refusal), and both spell "draining".
+func isDrainingRefusal(err error) bool {
+	return errors.Is(err, dppnet.ErrRemote) && strings.Contains(err.Error(), "draining")
 }
 
 // route picks the shard for one file by rendezvous hashing: the highest
@@ -143,6 +157,7 @@ type shardState struct {
 	// Written by the owning pump under the session's pmu.
 	served  int // units delivered into the merge
 	failed  bool
+	drained bool             // the shard drained; its remainder was handed off
 	stats   dpp.SessionStats // the shard's trailing stats frame
 	statsOK bool
 }
@@ -186,11 +201,12 @@ type Session struct {
 	// pmu guards the shard set and teardown flag; wg.Add for re-route
 	// pumps happens under pmu with a stopped check, so a racing teardown
 	// can never Wait past an Add.
-	pmu      sync.Mutex
-	dead     map[string]bool
-	shards   []*shardState
-	stopped  bool
-	reroutes int64 // shard deaths survived mid-stream
+	pmu           sync.Mutex
+	dead          map[string]bool
+	shards        []*shardState
+	stopped       bool
+	reroutes      int64 // shard deaths survived mid-stream
+	drainHandoffs int64 // shard drains handed off mid-stream
 
 	mu                 sync.Mutex
 	muxStats           reader.Stats
@@ -256,11 +272,12 @@ func (f *Fleet) Open(ctx context.Context, spec dpp.Spec) (*Session, error) {
 		queue = queue[1:]
 		rus, err := s.openShard(g)
 		if err != nil {
-			if errors.Is(err, dppnet.ErrRemote) || sctx.Err() != nil {
+			if (errors.Is(err, dppnet.ErrRemote) && !isDrainingRefusal(err)) || sctx.Err() != nil {
 				s.abandonOpen()
 				return nil, err
 			}
-			// Transport failure: the shard is dead to this session; its
+			// Transport failure — or a shard refusing opens because it is
+			// draining: either way the shard is dead to this session; its
 			// files re-route over the survivors.
 			s.dead[g.addr] = true
 			alive := s.aliveLocked()
@@ -302,6 +319,7 @@ func (s *Session) openShard(g group) (*dppnet.RemoteUnitSession, error) {
 	shardSpec.Files = subset
 	cl := dppnet.NewClient(g.addr)
 	cl.Resume = s.fleet.resume
+	cl.AuthToken = s.fleet.authToken
 	return cl.OpenUnits(s.ctx, shardSpec)
 }
 
@@ -349,6 +367,15 @@ func (s *Session) runPump(st *shardState) {
 			if err == io.EOF {
 				err = fmt.Errorf("dppshard: shard %s ended after %d of %d units", st.addr, pos, len(st.indices))
 			}
+			if errors.Is(err, dppnet.ErrDrained) {
+				// Graceful drain handoff: only the shard's *unconsumed*
+				// files move — everything already merged stays merged, so
+				// no already-served file is ever refetched or re-decoded.
+				s.pmu.Lock()
+				st.drained = true
+				s.drainHandoffs++
+				s.pmu.Unlock()
+			}
 			s.rerouteShard(st, pos, err)
 			return
 		}
@@ -379,8 +406,12 @@ func (s *Session) rerouteShard(st *shardState, pos int, cause error) {
 	remaining := st.indices[pos:]
 	s.pmu.Lock()
 	s.dead[st.addr] = true
-	st.failed = true
-	s.reroutes++
+	if !st.drained {
+		// A drain handoff is planned movement, not a shard death; it
+		// counts under drainHandoffs (already charged) instead.
+		st.failed = true
+		s.reroutes++
+	}
 	alive := s.aliveLocked()
 	stopped := s.stopped
 	s.pmu.Unlock()
@@ -400,7 +431,7 @@ func (s *Session) rerouteShard(st *shardState, pos int, cause error) {
 			if s.ctx.Err() != nil {
 				return
 			}
-			if errors.Is(err, dppnet.ErrRemote) {
+			if errors.Is(err, dppnet.ErrRemote) && !isDrainingRefusal(err) {
 				// The survivor is up but refused the session (e.g. its
 				// admission cap): not a routing problem, a terminal one.
 				s.merge.Deposit(g.indices[0], shardUnit{err: fmt.Errorf("dppshard: re-route to %s failed: %w", g.addr, err)})
@@ -676,8 +707,11 @@ type ShardStat struct {
 	// Files is the number of files routed to this stream; Served is how
 	// many it delivered into the merge.
 	Files, Served int
-	// Failed marks a stream whose shard died mid-stream.
-	Failed bool
+	// Failed marks a stream whose shard died mid-stream. Drained marks a
+	// stream whose shard drained gracefully — its unconsumed files were
+	// handed off to survivors without a byte lost.
+	Failed  bool
+	Drained bool
 	// Stats is the shard's trailing accounting; valid when StatsOK (the
 	// stream completed and delivered its stats frame).
 	Stats   dpp.SessionStats
@@ -701,10 +735,20 @@ func (s *Session) ShardStats() (stats []ShardStat, reroutes int64) {
 			Files:      len(st.indices),
 			Served:     st.served,
 			Failed:     st.failed,
+			Drained:    st.drained,
 			Stats:      st.stats,
 			StatsOK:    st.statsOK,
 			Reconnects: st.sess.Reconnects(),
 		})
 	}
 	return out, s.reroutes
+}
+
+// DrainHandoffs reports how many shard streams this session moved off a
+// draining server mid-stream — the soak harness's evidence that a
+// SIGTERM'd shard handed its work over instead of erroring.
+func (s *Session) DrainHandoffs() int64 {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.drainHandoffs
 }

@@ -1,0 +1,158 @@
+// Package front is the service's multi-tenant front door: everything
+// that must happen to an `open` handshake before any session state is
+// allocated. It decides three things, in order —
+//
+//  1. Who is this? An Authenticator maps the handshake's tenant token
+//     to a tenant name (StaticTokens is the file-backed implementation
+//     recd-serve -tenants uses). No token matches no tenant: the
+//     connection is refused before a spec is even decoded into a
+//     session.
+//  2. May they open? The Gate enforces per-tenant Limits — concurrent
+//     sessions and cumulative streamed bytes — and refuses admission
+//     outright while the service drains. Every admitted session holds
+//     a Lease; releasing it frees the concurrency slot, so a parked
+//     resumable session does not pin quota while its client is gone.
+//  3. How many workers do they get? The Governor owns one service-wide
+//     worker budget and splits it between tenants by weighted max-min
+//     fair share. Each session's AutoScaler keeps running exactly as
+//     before, but its Resize calls become *bids*: the governor grants
+//     what the budget and the tenant's weight allow and actuates
+//     Session.Resize itself.
+//
+// The package sits above dpp (it arbitrates dpp sessions via the
+// dpp.WorkerArbiter interface) and below dppnet (the server calls
+// Gate.Admit during the handshake); it imports dpp only, so the
+// dependency order stays reader → dpp → front → dppnet.
+package front
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DefaultTenant is the tenant every session is accounted to when the
+// gate runs without an Authenticator (single-tenant deployments keep
+// working with no token anywhere).
+const DefaultTenant = "default"
+
+// Typed refusal reasons. They cross the wire as error-frame text, so
+// clients match them by message; in-process callers use errors.Is.
+var (
+	// ErrUnauthorized: the handshake token matched no tenant.
+	ErrUnauthorized = errors.New("front: unauthorized")
+	// ErrOverQuota: the tenant is at a configured limit.
+	ErrOverQuota = errors.New("front: over quota")
+	// ErrDraining: the service is draining and admits no new sessions.
+	// The text deliberately contains "draining" — fleet clients route
+	// around a draining shard by matching it (see dppshard).
+	ErrDraining = errors.New("front: service draining")
+)
+
+// Authenticator maps a handshake tenant token to a tenant name. An
+// implementation must be safe for concurrent use; Authenticate is on
+// the handshake path of every connection.
+type Authenticator interface {
+	Authenticate(token string) (tenant string, err error)
+}
+
+// StaticTokens is the file-backed Authenticator: a fixed token→tenant
+// table. The zero value rejects everything.
+type StaticTokens map[string]string
+
+// Authenticate implements Authenticator.
+func (s StaticTokens) Authenticate(token string) (string, error) {
+	if tenant, ok := s[token]; ok && token != "" {
+		return tenant, nil
+	}
+	return "", fmt.Errorf("%w: unknown tenant token", ErrUnauthorized)
+}
+
+// Limits is one tenant's front-door configuration. Zero fields mean
+// unlimited (and weight 1), so a tenants file can list only tokens.
+type Limits struct {
+	// Weight is the tenant's fair-share weight in the governor's
+	// worker arbitration; 0 means 1.
+	Weight int
+	// MaxSessions caps the tenant's concurrent admitted sessions;
+	// 0 is unlimited.
+	MaxSessions int
+	// MaxBytes caps the tenant's cumulative streamed bytes (a lifetime
+	// budget, the paper's per-job byte accounting); 0 is unlimited.
+	MaxBytes int64
+}
+
+// ParseTenants reads a tenants file: one tenant per line,
+//
+//	tenant token [weight [max-sessions [max-mb]]]
+//
+// separated by whitespace, with '#' starting a comment. It returns the
+// token table and the per-tenant limits. A tenant may appear on several
+// lines (several tokens); its limits come from the first line that
+// spells them out.
+func ParseTenants(r io.Reader) (StaticTokens, map[string]Limits, error) {
+	tokens := StaticTokens{}
+	limits := map[string]Limits{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 5 {
+			return nil, nil, fmt.Errorf("front: tenants line %d: want `tenant token [weight [max-sessions [max-mb]]]`, got %d fields", line, len(fields))
+		}
+		tenant, token := fields[0], fields[1]
+		if prev, dup := tokens[token]; dup {
+			return nil, nil, fmt.Errorf("front: tenants line %d: token already assigned to tenant %q", line, prev)
+		}
+		tokens[token] = tenant
+		lim := limits[tenant]
+		for i, set := range []func(int64){
+			func(v int64) { lim.Weight = int(v) },
+			func(v int64) { lim.MaxSessions = int(v) },
+			func(v int64) { lim.MaxBytes = v << 20 },
+		} {
+			if len(fields) <= 2+i {
+				break
+			}
+			v, err := strconv.ParseInt(fields[2+i], 10, 64)
+			if err != nil || v < 0 {
+				return nil, nil, fmt.Errorf("front: tenants line %d: field %d: %q is not a non-negative integer", line, 3+i, fields[2+i])
+			}
+			set(v)
+		}
+		limits[tenant] = lim
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(tokens) == 0 {
+		return nil, nil, errors.New("front: tenants file defines no tokens")
+	}
+	return tokens, limits, nil
+}
+
+// LoadTenants is ParseTenants over a file path (the -tenants flag).
+func LoadTenants(path string) (StaticTokens, map[string]Limits, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	tokens, limits, err := ParseTenants(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tokens, limits, nil
+}

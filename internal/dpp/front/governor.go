@@ -1,0 +1,254 @@
+package front
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dpp"
+)
+
+// GovernorConfig wires a Governor.
+type GovernorConfig struct {
+	// Budget is the total worker count the governor may hand out across
+	// every arbitrated session in the process.
+	Budget int
+	// Weights are per-tenant fair-share weights; absent or non-positive
+	// entries count as 1.
+	Weights map[string]int
+}
+
+// Governor owns a service-wide worker budget and implements
+// dpp.WorkerArbiter: each session's AutoScaler keeps observing its own
+// starvation and proposing a size, but the proposal is a bid, not an
+// allocation. On every bid (and every session arrival or departure) the
+// governor re-runs one deterministic weighted max-min fair share over
+// all live sessions and actuates Session.Resize on whichever sessions
+// changed.
+//
+// The split is computed by water-filling: every session first gets one
+// worker (a pool cannot run below one), then the remaining budget goes
+// one worker at a time to the *most starved tenant* — the one with the
+// smallest allocated/weight ratio that still has a session wanting more
+// — and, within that tenant, to the session with the largest unmet bid.
+// All ties break on fixed orderings (tenant name, then registration
+// sequence), so a given set of bids always yields the same split: two
+// tenants with weights 1:2 both saturating their bids converge to a
+// 1:2 worker split within ±1 regardless of arrival or bid order.
+type Governor struct {
+	budget  int
+	weights map[string]int
+
+	mu         sync.Mutex
+	seq        int64
+	members    map[dpp.ScaleTarget]*member
+	rebalances int64
+}
+
+type member struct {
+	tenant  string
+	target  dpp.ScaleTarget
+	seq     int64
+	want    int
+	granted int
+}
+
+// NewGovernor builds a Governor. A non-positive budget disables
+// arbitration (every bid passes straight through to Resize).
+func NewGovernor(cfg GovernorConfig) *Governor {
+	return &Governor{
+		budget:  cfg.Budget,
+		weights: cfg.Weights,
+		members: make(map[dpp.ScaleTarget]*member),
+	}
+}
+
+// Budget returns the configured worker budget.
+func (g *Governor) Budget() int { return g.budget }
+
+func (g *Governor) weight(tenant string) int {
+	if w := g.weights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Register enrolls a session under its tenant and immediately
+// rebalances, clamping the newcomer (and everyone else) into the
+// budget. Implements dpp.WorkerArbiter.
+func (g *Governor) Register(tenant string, t dpp.ScaleTarget) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[t]; ok {
+		return
+	}
+	g.seq++
+	want := t.SchedulerStats().Workers
+	if want < 1 {
+		want = 1
+	}
+	g.members[t] = &member{tenant: tenant, target: t, seq: g.seq, want: want, granted: want}
+	g.rebalanceLocked()
+}
+
+// Unregister drops a departed session and redistributes its workers.
+// Implements dpp.WorkerArbiter.
+func (g *Governor) Unregister(t dpp.ScaleTarget) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[t]; !ok {
+		return
+	}
+	delete(g.members, t)
+	g.rebalanceLocked()
+}
+
+// Bid records that t's controller wants n workers, rebalances, and
+// returns the count actually granted to t. Implements
+// dpp.WorkerArbiter.
+func (g *Governor) Bid(tenant string, t dpp.ScaleTarget, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	m := g.members[t]
+	if m == nil {
+		// Not arbitrated (registered elsewhere or already departed):
+		// pass the bid through as a plain resize.
+		g.mu.Unlock()
+		return t.Resize(n)
+	}
+	m.want = n
+	g.rebalanceLocked()
+	granted := m.granted
+	g.mu.Unlock()
+	return granted
+}
+
+// rebalanceLocked recomputes the fair split and actuates every changed
+// member. Holding g.mu across the Resize calls is safe: Session.Resize
+// takes only the session's own pool lock and never calls back into the
+// governor (the autoscaler's bids come through Bid, on its own
+// goroutine, and queue behind the mutex).
+func (g *Governor) rebalanceLocked() {
+	if len(g.members) == 0 {
+		return
+	}
+	g.rebalances++
+	if g.budget <= 0 {
+		// Arbitration disabled: grant every bid as-is.
+		for _, m := range g.members {
+			if m.granted != m.want {
+				m.granted = m.want
+				m.target.Resize(m.granted)
+			}
+		}
+		return
+	}
+
+	// Fixed orderings for determinism: members by (tenant, seq), and a
+	// per-tenant allocation tally for the starvation ratio.
+	order := make([]*member, 0, len(g.members))
+	for _, m := range g.members {
+		order = append(order, m)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].tenant != order[j].tenant {
+			return order[i].tenant < order[j].tenant
+		}
+		return order[i].seq < order[j].seq
+	})
+	grants := make(map[*member]int, len(order))
+	alloc := make(map[string]int)
+	spent := 0
+	for _, m := range order {
+		grants[m] = 1 // floor: a pool cannot go below one worker
+		alloc[m.tenant]++
+		spent++
+	}
+	for spent < g.budget {
+		// Most starved tenant with unmet demand: smallest alloc/weight,
+		// compared exactly as alloc_i*weight_j < alloc_j*weight_i.
+		var pick *member
+		var pickTenant string
+		for _, m := range order {
+			if grants[m] >= m.want {
+				continue
+			}
+			t := m.tenant
+			if pick == nil ||
+				alloc[t]*g.weight(pickTenant) < alloc[pickTenant]*g.weight(t) {
+				pick, pickTenant = m, t
+				continue
+			}
+			if t == pickTenant && m.want-grants[m] > pick.want-grants[pick] {
+				// Within the chosen tenant, the deepest unmet bid first
+				// (order already breaks remaining ties by seq).
+				pick = m
+			}
+		}
+		if pick == nil {
+			break // every bid is met; leave the rest of the budget idle
+		}
+		grants[pick]++
+		alloc[pickTenant]++
+		spent++
+	}
+	for _, m := range order {
+		if n := grants[m]; n != m.granted {
+			m.granted = n
+			m.target.Resize(n)
+		}
+	}
+}
+
+// TenantGrant is one tenant's live share of the budget.
+type TenantGrant struct {
+	Tenant   string
+	Sessions int
+	Want     int // summed live bids
+	Granted  int // summed grants
+}
+
+// GovernorStats snapshots the governor.
+type GovernorStats struct {
+	Budget     int
+	Rebalances int64
+	Tenants    []TenantGrant // sorted by tenant name
+}
+
+// Stats snapshots the governor's per-tenant grants.
+func (g *Governor) Stats() GovernorStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	byTenant := make(map[string]*TenantGrant)
+	for _, m := range g.members {
+		tg := byTenant[m.tenant]
+		if tg == nil {
+			tg = &TenantGrant{Tenant: m.tenant}
+			byTenant[m.tenant] = tg
+		}
+		tg.Sessions++
+		tg.Want += m.want
+		tg.Granted += m.granted
+	}
+	st := GovernorStats{Budget: g.budget, Rebalances: g.rebalances}
+	for _, tg := range byTenant {
+		st.Tenants = append(st.Tenants, *tg)
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}
+
+// Granted returns one tenant's currently granted worker total (for
+// per-tenant metric series).
+func (g *Governor) Granted(tenant string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := 0
+	for _, m := range g.members {
+		if m.tenant == tenant {
+			total += m.granted
+		}
+	}
+	return total
+}

@@ -35,6 +35,14 @@ type Spec struct {
 	// Files optionally fixes the scan set explicitly — a partition's
 	// files, a sampled subset — bypassing catalog resolution of Table.
 	Files []string
+	// Tenant is the authenticated tenant the session is accounted to.
+	// It is assigned by the serving side (dppnet derives it from the
+	// handshake's tenant token after front-door admission — it is never
+	// taken from a client's wire spec) and threads through worker
+	// arbitration (Config.Arbiter) and access-log/metric labels. Empty
+	// means the single-tenant default. Not part of the spec fingerprint:
+	// tenancy changes accounting, never bytes.
+	Tenant string
 	// ShareScans opts the session into the service's cross-session
 	// ScanCache: decoded, deduped, preprocessed batches are memoized per
 	// (file, spec fingerprint), so concurrent or successive sessions with
@@ -125,6 +133,9 @@ type Session struct {
 	// newSession, read-only afterwards (late worker spawns derive their
 	// readers and the queue window from it).
 	spec Spec
+	// arbitrated records that the session registered with the service's
+	// WorkerArbiter and must unregister on release.
+	arbitrated bool
 
 	// out is the session's single bounded output buffer; the assembler
 	// (or the shared scan loop) feeds it, Next drains it. Closed once the
@@ -226,10 +237,23 @@ func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []
 	go s.runAssembler(asm)
 
 	if svc.autoscale != nil {
-		as, err := NewAutoScaler(s, *svc.autoscale)
+		// With an arbiter, the controller's Resize calls become bids:
+		// the session registers under its tenant, and the arbiter owns
+		// actuation (it may resize this session immediately to fit the
+		// budget). Observation still reads this session's own stats.
+		var target ScaleTarget = s
+		if svc.arbiter != nil {
+			svc.arbiter.Register(spec.Tenant, s)
+			s.arbitrated = true
+			target = &arbitratedTarget{arb: svc.arbiter, tenant: spec.Tenant, sess: s}
+		}
+		as, err := NewAutoScaler(target, *svc.autoscale)
 		if err != nil {
 			cancel()
 			s.queue.Abort()
+			if s.arbitrated {
+				svc.arbiter.Unregister(s)
+			}
 			return nil, err
 		}
 		s.wg.Add(1)
@@ -776,6 +800,11 @@ func (s *Session) release() {
 	errored := s.firstErr != nil
 	s.mu.Unlock()
 	if !done {
+		if s.arbitrated {
+			// Leave arbitration before retiring so the departed pool's
+			// workers are redistributed to still-running sessions.
+			s.svc.arbiter.Unregister(s)
+		}
 		s.svc.retire(s.id, s.SchedulerStats(), errored)
 	}
 }

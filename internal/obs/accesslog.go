@@ -36,6 +36,9 @@ type AccessEvent struct {
 	// the frame index the reconnecting client asked to continue from.
 	Resumed bool  `json:"resumed,omitempty"`
 	Offset  int64 `json:"offset,omitempty"`
+	// Tenant is the authenticated tenant behind the event; empty when
+	// the server runs without a front door.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AccessLog is a fixed-capacity, wait-free ring of the newest

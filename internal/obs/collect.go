@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/dpp/front"
 	"repro/internal/storage"
 )
 
@@ -95,14 +96,67 @@ func RegisterNetServer(reg *Registry, labels Labels, srv *dppnet.Server) {
 		func() float64 { return float64(srv.Stats().CreditStalls) })
 	reg.Counter("recd_net_credit_stall_seconds_total", "Time spent blocked on credit-window exhaustion.", labels,
 		func() float64 { return srv.Stats().CreditStallTime.Seconds() })
-	reg.Counter("recd_resumed_sessions_total", "Wire sessions that resumed an earlier stream (by token or offset replay).", labels,
+	reg.Counter("recd_resumed_sessions_total", "Wire sessions that resumed by claiming a parked token (retained frames resent, nothing re-decoded).", labels,
 		func() float64 { return float64(srv.Stats().ResumedSessions) })
+	reg.Counter("recd_replayed_sessions_total", "Wire sessions that continued by deterministic offset replay (no parked state).", labels,
+		func() float64 { return float64(srv.Stats().ReplayedSessions) })
 	reg.Counter("recd_replayed_batches_total", "Frames re-pulled and discarded to reach a resume offset (cold replay).", labels,
 		func() float64 { return float64(srv.Stats().ReplayedBatches) })
 	reg.Counter("recd_parked_sessions_total", "Dropped resumable sessions parked for later resume.", labels,
 		func() float64 { return float64(srv.Stats().ParkedSessions) })
 	reg.Counter("recd_resume_expired_total", "Parked sessions evicted by TTL or capacity before resume.", labels,
 		func() float64 { return float64(srv.Stats().ResumeExpired) })
+	reg.Counter("recd_drain_notices_total", "Drain frames handed to in-flight sessions during graceful drain.", labels,
+		func() float64 { return float64(srv.Stats().DrainNotices) })
+	reg.Gauge("recd_net_draining", "1 while the server is in drain mode.", labels,
+		func() float64 {
+			if srv.Stats().Draining {
+				return 1
+			}
+			return 0
+		})
+}
+
+// RegisterGate registers a front.Gate's multi-tenant admission series:
+// per-tenant session/byte usage for every tenant the gate knows at
+// registration (tenant sets are static, from the -tenants file), plus
+// the gate-wide rejection counters.
+func RegisterGate(reg *Registry, labels Labels, g *front.Gate) {
+	for _, tenant := range g.KnownTenants() {
+		t := tenant
+		tl := withLabel(labels, "tenant", t)
+		reg.Gauge("recd_tenant_sessions_active", "Sessions currently admitted per tenant.", tl,
+			func() float64 { return float64(g.TenantStats(t).Active) })
+		reg.Counter("recd_tenant_sessions_admitted_total", "Sessions ever admitted per tenant.", tl,
+			func() float64 { return float64(g.TenantStats(t).Admitted) })
+		reg.Counter("recd_tenant_bytes_total", "Payload bytes streamed per tenant.", tl,
+			func() float64 { return float64(g.TenantStats(t).Bytes) })
+	}
+	reg.Counter("recd_gate_rejects_total", "Handshakes refused at the front door, by reason.",
+		withLabel(labels, "reason", "auth"),
+		func() float64 { return float64(g.Stats().AuthFailures) })
+	reg.Counter("recd_gate_rejects_total", "Handshakes refused at the front door, by reason.",
+		withLabel(labels, "reason", "quota"),
+		func() float64 { return float64(g.Stats().QuotaRejects) })
+	reg.Counter("recd_gate_rejects_total", "Handshakes refused at the front door, by reason.",
+		withLabel(labels, "reason", "draining"),
+		func() float64 { return float64(g.Stats().DrainRejects) })
+}
+
+// RegisterGovernor registers the fair-share worker governor's series:
+// the total budget, rebalance count, and per-tenant granted workers for
+// every tenant with a configured weight.
+func RegisterGovernor(reg *Registry, labels Labels, gov *front.Governor, tenants []string) {
+	reg.Gauge("recd_governor_worker_budget", "Total reader-worker budget arbitrated across tenants.", labels,
+		func() float64 { return float64(gov.Budget()) })
+	reg.Counter("recd_governor_rebalances_total", "Fair-share rebalance passes.", labels,
+		func() float64 { return float64(gov.Stats().Rebalances) })
+	for _, tenant := range tenants {
+		t := tenant
+		reg.Gauge("recd_governor_granted_workers", "Reader workers currently granted per tenant.",
+			withLabel(labels, "tenant", t),
+			func() float64 { return float64(gov.Granted(t)) })
+	}
 }
 
 // RegisterStoreCache registers a storage CachingBackend's hit/miss and
@@ -157,6 +211,7 @@ func SessionHook(log *AccessLog) func(dppnet.SessionEvent) {
 			Detail:     ev.Detail,
 			Resumed:    ev.Resumed,
 			Offset:     ev.Offset,
+			Tenant:     ev.Tenant,
 		})
 	}
 }

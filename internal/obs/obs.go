@@ -48,6 +48,10 @@ type Config struct {
 	// JSON-encoded — the process's free-form stats document (the HTTP
 	// form of dppnet's statsz handshake).
 	Statsz func() any
+	// Drain, when non-nil, enables POST /drainz: the operator's HTTP
+	// lever for graceful drain, equivalent to SIGTERM. The callback must
+	// be idempotent (dppnet.Server.Drain is).
+	Drain func()
 }
 
 // Server is the observability sidecar: one private HTTP listener serving
@@ -73,6 +77,9 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	if cfg.AccessLog != nil {
 		mux.HandleFunc("/accesslog", s.handleAccessLog)
+	}
+	if cfg.Drain != nil {
+		mux.HandleFunc("/drainz", s.handleDrainz)
 	}
 	// pprof on the explicit mux, not http.DefaultServeMux: the sidecar
 	// must work without global handler registration leaking into other
@@ -147,6 +154,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	if err := enc.Encode(doc); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handleDrainz triggers graceful drain. POST-only: drain is a state
+// change, and a stray GET from a dashboard must not drain a server.
+func (s *Server) handleDrainz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.cfg.Drain()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"draining"}`)
 }
 
 // handleAccessLog dumps the ring oldest-first as a JSON array; ?n=K

@@ -17,6 +17,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
+	"repro/internal/dpp/front"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/lakefs"
@@ -61,17 +62,29 @@ func testSpec() dpp.Spec {
 }
 
 // buildFullRegistry wires every Register* helper the way a serving
-// process does, over real (idle) components.
+// process does, over real (idle) components — including a two-tenant
+// front door, so the golden pins the per-tenant series shape.
 func buildFullRegistry(t testing.TB) (*Registry, *AccessLog) {
 	t.Helper()
 	svc := newTestService(t, dpp.Config{})
 	netSrv := dppnet.NewServer(svc)
 	t.Cleanup(func() { netSrv.Close() })
 	alog := NewAccessLog(16)
+	limits := map[string]front.Limits{
+		"team-a": {Weight: 1, MaxSessions: 4},
+		"team-b": {Weight: 2},
+	}
+	gate := front.NewGate(front.Config{
+		Auth:   front.StaticTokens{"tok-a": "team-a", "tok-b": "team-b"},
+		Limits: limits,
+	})
+	gov := front.NewGovernor(front.GovernorConfig{Budget: 8, Weights: map[string]int{"team-a": 1, "team-b": 2}})
 	reg := NewRegistry()
 	RegisterProcess(reg)
 	RegisterService(reg, Labels{"shard": "0"}, svc)
 	RegisterNetServer(reg, Labels{"shard": "0"}, netSrv)
+	RegisterGate(reg, nil, gate)
+	RegisterGovernor(reg, nil, gov, []string{"team-a", "team-b"})
 	RegisterStoreCache(reg, Labels{"shard": "0"}, func() storage.CacheStats { return storage.CacheStats{} })
 	RegisterAccessLog(reg, alog)
 	return reg, alog
@@ -95,18 +108,24 @@ func normalizeValues(text string) string {
 // TestMetricsGoldenFormat pins the Prometheus exposition shape for a
 // fully wired single-shard process against testdata/metrics.golden.
 // Renaming or dropping a series is a breaking change to dashboards and
-// the soak gate — update the golden deliberately.
+// the soak gate — update the golden deliberately by re-running with
+// UPDATE_METRICS_GOLDEN=1 and reviewing the diff.
 func TestMetricsGoldenFormat(t *testing.T) {
-	golden, err := os.ReadFile("testdata/metrics.golden")
-	if err != nil {
-		t.Fatal(err)
-	}
 	reg, _ := buildFullRegistry(t)
 	var b strings.Builder
 	if err := reg.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
 	got := normalizeValues(b.String())
+	if os.Getenv("UPDATE_METRICS_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/metrics.golden", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile("testdata/metrics.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != string(golden) {
 		t.Errorf("metrics format drifted from testdata/metrics.golden.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
 	}

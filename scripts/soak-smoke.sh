@@ -17,12 +17,19 @@
 #      access-log series (-check-metrics) — the golden-format test pins
 #      their names, this pins that a real run moves them.
 #   4. A -reconnect soak survives the server being SIGKILLed and
-#      restarted mid-run: every stream resumes against the new process
-#      (offset replay — the old resume table died with it) with zero
-#      stream errors, and the restarted server's
-#      recd_resumed_sessions_total is nonzero.
+#      restarted mid-run: every stream continues against the new process
+#      by deterministic offset replay (the old resume table died with
+#      it) with zero stream errors, and the restarted server's
+#      recd_replayed_sessions_total is nonzero — the replay counter,
+#      not recd_resumed_sessions_total, which only counts parked-token
+#      resumes the restarted process cannot serve.
 #   5. SIGTERM shuts the (restarted) server down gracefully: it drains,
 #      prints its shard stats and the access-log tally, and exits 0.
+#   6. Drain handoff: with a two-shard fleet under -reconnect load,
+#      SIGTERM on one shard mid-stream hands its active clients a drain
+#      notice; they fail over to the surviving shard with zero stream
+#      errors, the soak reports nonzero drain handoffs, and the drained
+#      server exits 0.
 #
 # Gates are deliberately loose (CI runners are slow shared machines);
 # tighten locally via the SOAK_* variables.
@@ -34,12 +41,19 @@ SOAK_KILL_DURATION=${SOAK_KILL_DURATION:-8s}
 SOAK_SLO_P99=${SOAK_SLO_P99:-2s}
 SOAK_MIN_TPUT=${SOAK_MIN_TPUT:-5}
 SOAK_SERVE_ADDR=${SOAK_SERVE_ADDR:-127.0.0.1:7171}
+SOAK_SERVE2_ADDR=${SOAK_SERVE2_ADDR:-127.0.0.1:7172}
 SOAK_OBS_ADDR=${SOAK_OBS_ADDR:-127.0.0.1:9171}
+SOAK_OBS2_ADDR=${SOAK_OBS2_ADDR:-127.0.0.1:9172}
 TABLE_FLAGS=(-sessions 60 -batch 64)
+# The default table is one 724-row DWRF file (RowsPerFile 4096), which
+# rendezvous routing places wholly on one shard — draining the other
+# would touch nothing. The drain phase lands ~35k rows (~9 files) so
+# both shards deterministically own part of every session's file plan.
+DRAIN_TABLE_FLAGS=(-sessions 2500 -batch 64)
 
 bin=$(mktemp -d)
 servelog="$bin/serve.log"
-trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+trap 'kill "${serve_pid:-}" "${serve2_pid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
 
 go build -o "$bin/recd-serve" ./cmd/recd-serve
 go build -o "$bin/recd-soak" ./cmd/recd-soak
@@ -77,14 +91,14 @@ if ! wait "$soak_pid"; then
     exit 1
 fi
 cat "$killlog"
-resumed=$(curl -sf "http://$SOAK_OBS_ADDR/metrics" \
-    | awk '$1 ~ /^recd_resumed_sessions_total/ {s+=$2} END {print s+0}')
-if [ "${resumed%%.*}" -lt 1 ]; then
-    echo "soak-smoke: restarted server resumed no sessions (recd_resumed_sessions_total=$resumed)" >&2
+replayed=$(curl -sf "http://$SOAK_OBS_ADDR/metrics" \
+    | awk '$1 ~ /^recd_replayed_sessions_total/ {s+=$2} END {print s+0}')
+if [ "${replayed%%.*}" -lt 1 ]; then
+    echo "soak-smoke: restarted server replayed no sessions (recd_replayed_sessions_total=$replayed)" >&2
     cat "$servelog" >&2
     exit 1
 fi
-echo "soak-smoke: restarted server resumed $resumed session(s) across the kill"
+echo "soak-smoke: restarted server offset-replayed $replayed session(s) across the kill"
 
 # Graceful shutdown: SIGTERM must produce a clean exit and the
 # shutdown-time access-log tally.
@@ -99,6 +113,59 @@ if ! grep -q "access log: .* opens" "$servelog"; then
     cat "$servelog" >&2
     exit 1
 fi
+
+# Drain handoff: a two-shard fleet under -reconnect load, SIGTERM on
+# shard 2 mid-run. Its in-flight streams get a drain notice and fail
+# over to the surviving shard — the soak must finish with zero stream
+# errors and report nonzero drain handoffs, and the drained server
+# must exit 0.
+"$bin/recd-serve" -listen "$SOAK_SERVE_ADDR" "${DRAIN_TABLE_FLAGS[@]}" \
+    -autoscale -obs-listen "$SOAK_OBS_ADDR" >"$servelog" 2>&1 &
+serve_pid=$!
+serve2log="$bin/serve2.log"
+"$bin/recd-serve" -listen "$SOAK_SERVE2_ADDR" "${DRAIN_TABLE_FLAGS[@]}" \
+    -autoscale -obs-listen "$SOAK_OBS2_ADDR" >"$serve2log" 2>&1 &
+serve2_pid=$!
+drainlog="$bin/soak-drain.log"
+"$bin/recd-soak" -connect "$SOAK_SERVE_ADDR,$SOAK_SERVE2_ADDR" "${DRAIN_TABLE_FLAGS[@]}" \
+    -duration "$SOAK_KILL_DURATION" -concurrency 4 -reconnect \
+    >"$drainlog" 2>&1 &
+soak_pid=$!
+# SIGTERM only once the victim shard is mid-session: a fixed sleep can
+# land during the table build on a slow runner and drain an idle shard.
+active=0
+for _ in $(seq 120); do
+    active=$(curl -sf "http://$SOAK_OBS2_ADDR/metrics" 2>/dev/null \
+        | awk '$1 ~ /^recd_sessions_active/ {s+=$2} END {print s+0}' || true)
+    [ "${active:-0}" -ge 1 ] && break
+    sleep 0.25
+done
+if [ "${active:-0}" -lt 1 ]; then
+    echo "soak-smoke: victim shard never reported an active session" >&2
+    cat "$serve2log" >&2
+    exit 1
+fi
+kill -TERM "$serve2_pid"
+if ! wait "$soak_pid"; then
+    echo "soak-smoke: fleet soak did not survive the shard drain" >&2
+    cat "$drainlog" >&2
+    exit 1
+fi
+cat "$drainlog"
+if ! wait "$serve2_pid"; then
+    echo "soak-smoke: drained shard exited nonzero" >&2
+    cat "$serve2log" >&2
+    exit 1
+fi
+handoffs=$(awk '/drain handoffs/ {print $(NF-2)+0; exit}' "$drainlog")
+if [ "${handoffs:-0}" -lt 1 ]; then
+    echo "soak-smoke: shard drain produced no handoffs (got ${handoffs:-0})" >&2
+    cat "$serve2log" >&2
+    exit 1
+fi
+echo "soak-smoke: $handoffs stream(s) handed off across the shard drain"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
 
 echo "soak-smoke: PASS"
 cat "$servelog"

@@ -23,6 +23,14 @@
 // for preprocessing. For a real multi-host fleet, start one recd-serve
 // per host instead; the trainer cannot tell the difference.
 //
+// With -follow the server also hosts the online-ingestion path: a
+// landing writer keeps appending freshly generated hour partitions to
+// the served table (sealed DWRF files, atomically published), so a
+// trainer running `recd-train -connect ... -follow` tails a genuinely
+// growing table. -flush-interval paces the landings and bounds the
+// writer's seal latency; -retain-hours chases the tail with retention,
+// dropping the oldest partitions and invalidating both cache tiers.
+//
 // With -autoscale the service also closes the paper's reader-scaling
 // loop: each session's worker pool is resized between 1 and
 // -max-readers-per-session from its observed starvation — a trainer that
@@ -42,34 +50,40 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
 	"repro/internal/dpp/front"
+	"repro/internal/dpp/landing"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		listen       = flag.String("listen", "127.0.0.1:7077", "TCP listen address, or a comma-separated list to run one preprocessing shard per address")
-		sessions     = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
-		batch        = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
-		seed         = flag.Int64("seed", 11, "random seed (match recd-train)")
-		maxSessions  = flag.Int("max-sessions", 0, "concurrent session cap per shard; 0 is unlimited")
-		scanCacheMB  = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB per shard; 0 or negative disables (ShareScans sessions rejected)")
-		rawCacheMB   = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
-		autoscale    = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
-		maxReaders   = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
-		obsListen    = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
-		accessLogN   = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
-		resumeTTL    = flag.Duration("resume-ttl", 45*time.Second, "how long a dropped resumable session stays parked awaiting reconnect")
-		resumeMax    = flag.Int("resume-sessions", 64, "parked resumable sessions kept per shard; negative disables parking (offset replay still works)")
-		tenantsFile  = flag.String("tenants", "", "tenant token file enabling the multi-tenant front door (lines: tenant token [weight [max-sessions [max-mb]]]); empty serves a single anonymous tenant")
-		workerBudget = flag.Int("worker-budget", 0, "total reader-worker budget arbitrated across tenants by weighted fair share (needs -autoscale); 0 leaves sessions unarbitrated")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain (SIGTERM or POST /drainz) waits for active streams to hand off before forcing shutdown")
+		listen        = flag.String("listen", "127.0.0.1:7077", "TCP listen address, or a comma-separated list to run one preprocessing shard per address")
+		sessions      = flag.Int("sessions", 200, "training sessions in the landed table (match recd-train)")
+		batch         = flag.Int("batch", 128, "batch size the derived spec uses (match recd-train)")
+		seed          = flag.Int64("seed", 11, "random seed (match recd-train)")
+		maxSessions   = flag.Int("max-sessions", 0, "concurrent session cap per shard; 0 is unlimited")
+		scanCacheMB   = flag.Int64("scan-cache-mb", 256, "decoded-batch ScanCache budget in MiB per shard; 0 or negative disables (ShareScans sessions rejected)")
+		rawCacheMB    = flag.Int64("store-cache-mb", 256, "raw-byte CachingBackend budget in MiB; 0 disables")
+		autoscale     = flag.Bool("autoscale", false, "autoscale each session's reader-worker pool from its observed credit/worker starvation")
+		maxReaders    = flag.Int("max-readers-per-session", dpp.DefaultMaxReaders, "autoscaler upper bound on a session's worker pool (with -autoscale)")
+		obsListen     = flag.String("obs-listen", "", "observability sidecar HTTP address (/metrics, /debug/pprof, /healthz, /statsz, /accesslog); empty disables")
+		accessLogN    = flag.Int("access-log-events", 4096, "access-log ring capacity (with -obs-listen)")
+		resumeTTL     = flag.Duration("resume-ttl", 45*time.Second, "how long a dropped resumable session stays parked awaiting reconnect")
+		resumeMax     = flag.Int("resume-sessions", 64, "parked resumable sessions kept per shard; negative disables parking (offset replay still works)")
+		tenantsFile   = flag.String("tenants", "", "tenant token file enabling the multi-tenant front door (lines: tenant token [weight [max-sessions [max-mb]]]); empty serves a single anonymous tenant")
+		workerBudget  = flag.Int("worker-budget", 0, "total reader-worker budget arbitrated across tenants by weighted fair share (needs -autoscale); 0 leaves sessions unarbitrated")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain (SIGTERM or POST /drainz) waits for active streams to hand off before forcing shutdown")
+		follow        = flag.Bool("follow", false, "host a live landing writer: keep appending freshly generated hour partitions to the served table, so tailing (Follow) sessions see it grow")
+		flushInterval = flag.Duration("flush-interval", 500*time.Millisecond, "with -follow: the landing cadence, and the writer's latency-bound seal interval")
+		retainHours   = flag.Int("retain-hours", 0, "with -follow: keep only the newest N hour partitions, dropping older ones and invalidating both cache tiers; 0 keeps everything (a drop under a lagging tailer fails that session's reads — keep N above the consumer's lag)")
 	)
 	flag.Parse()
 
@@ -186,6 +200,82 @@ func main() {
 		shards = append(shards, &shard{addr: addr, svc: svc, srv: srv, ln: ln})
 	}
 
+	// Live landing writer: one goroutine growing the served table an hour
+	// partition per -flush-interval, generated deterministically from the
+	// table seed, joined and clustered inside the writer. Every shard
+	// shares the catalog, so each shard's Follow sessions observe the
+	// same landings; -retain-hours chases the tail with retention drops,
+	// which invalidate both cache tiers (never serving stale bytes).
+	var (
+		lander       *landing.Writer
+		landerStop   chan struct{}
+		landerDone   chan struct{}
+		droppedHours atomic.Int64
+	)
+	if *follow {
+		if *flushInterval <= 0 {
+			fatal(fmt.Errorf("-follow needs a positive -flush-interval"))
+		}
+		w, err := landing.NewWriter(landing.Config{
+			Store: tt.Store, Catalog: tt.Catalog, Table: tt.Spec.Table,
+			Schema: tt.Schema, FlushRows: 4096, FlushInterval: *flushInterval,
+			Cluster: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lander = w
+		landerStop, landerDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(landerDone)
+			hour := int64(0)
+			for _, h := range tt.Catalog.Partitions(tt.Spec.Table) {
+				if h >= hour {
+					hour = h + 1
+				}
+			}
+			n := *sessions / 4
+			if n == 0 {
+				n = 1
+			}
+			for {
+				select {
+				case <-landerStop:
+					if err := w.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "recd-serve: landing writer close:", err)
+					}
+					return
+				case <-time.After(*flushInterval):
+				}
+				samples := datagen.NewGenerator(tt.Schema, datagen.GeneratorConfig{
+					Sessions: n, MeanSamplesPerSession: 14, Seed: *seed + 2000 + hour,
+					LabelSignal: 2.0, CTR: 0.2,
+				}).GeneratePartition()
+				if err := w.Append(hour, samples...); err != nil {
+					fmt.Fprintln(os.Stderr, "recd-serve: landing writer:", err)
+					return
+				}
+				if *retainHours > 0 {
+					dropped, err := tt.Catalog.EnforceRetention(tt.Store, tt.Spec.Table, *retainHours)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "recd-serve: retention:", err)
+						return
+					}
+					droppedHours.Add(int64(len(dropped)))
+				}
+				hour++
+			}
+		}()
+	}
+	var landerOnce sync.Once
+	stopLander := func() {
+		if lander == nil {
+			return
+		}
+		landerOnce.Do(func() { close(landerStop) })
+		<-landerDone
+	}
+
 	// Graceful drain, triggered by the first SIGTERM/SIGINT or POST
 	// /drainz: stop admitting, hand in-flight clients their drain notice
 	// (resume token + offset, so they splice onto another server), wait
@@ -195,6 +285,7 @@ func main() {
 		drainOnce.Do(func() {
 			go func() {
 				fmt.Fprintln(os.Stderr, "recd-serve: draining (new sessions refused; active streams handed off)")
+				stopLander()
 				for _, sh := range shards {
 					sh.srv.Drain()
 				}
@@ -231,6 +322,9 @@ func main() {
 		obs.RegisterAccessLog(reg, alog)
 		if tt.Cache != nil {
 			obs.RegisterStoreCache(reg, nil, tt.Cache.Stats)
+		}
+		if lander != nil {
+			obs.RegisterLanding(reg, nil, lander.Stats)
 		}
 		for i, sh := range shards {
 			labels := obs.Labels{"shard": strconv.Itoa(i)}
@@ -310,8 +404,17 @@ func main() {
 		}
 	}
 
+	stopLander()
+	if lander != nil {
+		st := lander.Stats()
+		fmt.Printf("recd-serve: landing writer sealed %d files / %d rows (%d timed flushes); retention dropped %d hour(s)\n",
+			st.FilesLanded, st.RowsLanded, st.TimedFlushes, droppedHours.Load())
+	}
 	for _, sh := range shards {
 		st := sh.svc.Stats()
+		if fs := st.Follow; fs.ExtendedFiles > 0 {
+			fmt.Printf("recd-serve: shard %s extended %d files into follow sessions\n", sh.addr, fs.ExtendedFiles)
+		}
 		fmt.Printf("recd-serve: shard %s served %d sessions, %d batches; scan cache %d/%d hits/misses (%d entries, %.1f MiB)\n",
 			sh.addr, st.SessionsOpened, st.BatchesServed, st.Cache.Hits, st.Cache.Misses,
 			st.Cache.Entries, float64(st.Cache.Bytes)/(1<<20))

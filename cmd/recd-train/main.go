@@ -27,6 +27,16 @@
 // the sum of the shards' and a shard dying mid-epoch only re-routes its
 // own remaining files.
 //
+// With -follow the trainer tails a live, growing table instead of
+// re-reading hour 0: one Follow session blocks at end-of-catalog,
+// observes newly landed files, and delivers them in landed order, and
+// each -epochs "window" trains on the next table's-worth of live
+// batches. Locally the trainer hosts its own landing writer
+// (-flush-interval, -retain-hours); with -connect it tails a recd-serve
+// running -follow, the server announcing each landing mid-stream over
+// the protocol's extend frames. Follow streams neither resume nor fail
+// over — a tail has no frozen plan to replay against.
+//
 // Usage:
 //
 //	recd-train -epochs 4 -mode recd -opt adagrad -ckpt /tmp/model.ckpt
@@ -45,12 +55,15 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
 	"repro/internal/dpp/dppshard"
+	"repro/internal/dpp/landing"
 	"repro/internal/obs"
 	"repro/internal/reader"
 	"repro/internal/trainer"
@@ -71,6 +84,9 @@ func main() {
 		reconnectAttempts = flag.Int("reconnect-attempts", 8, "with -connect: resume attempts after a lost connection before the stream fails; 0 disables resume")
 		reconnectBackoff  = flag.Duration("reconnect-backoff", 250*time.Millisecond, "with -connect: base delay between resume attempts (doubles, capped)")
 		authToken         = flag.String("auth-token", "", "with -connect: tenant token sent in every session handshake (match a line in recd-serve's -tenants file)")
+		follow            = flag.Bool("follow", false, "windowed-epoch mode over the live tail: one Follow session replaces the per-epoch hour-0 reruns, each -epochs window training on the next table's-worth of freshly landed batches (locally the trainer hosts its own landing writer; with -connect point at a recd-serve running -follow)")
+		flushInterval     = flag.Duration("flush-interval", 500*time.Millisecond, "with -follow and no -connect: the local landing cadence and the writer's latency-bound seal interval")
+		retainHours       = flag.Int("retain-hours", 0, "with -follow and no -connect: keep only the newest N hour partitions; 0 keeps everything (retention that outruns the tailing consumer — or drops eval hour 1 — fails those reads)")
 	)
 	flag.Parse()
 
@@ -173,6 +189,7 @@ func main() {
 	// so the training loop below does not care which side of the TCP
 	// boundary preprocessing runs on.
 	var open func(hour int64) dpp.Stream
+	var openFollow func() dpp.Stream
 	var printSharing func()
 	var noteStream func(dpp.Stream)
 	if *connect == "" {
@@ -189,6 +206,15 @@ func main() {
 			sp := tableSpec
 			sp.Files = hourFiles(hour)
 			sp.ShareScans = true
+			sess, err := svc.Open(ctx, sp)
+			if err != nil {
+				fatal(err)
+			}
+			return sess
+		}
+		openFollow = func() dpp.Stream {
+			sp := tableSpec
+			sp.Follow = true
 			sess, err := svc.Open(ctx, sp)
 			if err != nil {
 				fatal(err)
@@ -267,6 +293,19 @@ func main() {
 			}
 			return rs
 		}
+		openFollow = func() dpp.Stream {
+			// Follow streams neither resume nor fail over — a fresh client
+			// without the resume policy, or the open is refused.
+			fc := dppnet.NewClient(*connect)
+			fc.AuthToken = *authToken
+			sp := tableSpec
+			sp.Follow = true
+			rs, err := fc.Open(ctx, sp)
+			if err != nil {
+				fatal(err)
+			}
+			return rs
+		}
 		noteStream = func(sess dpp.Stream) {
 			rs, ok := sess.(*dppnet.RemoteSession)
 			if !ok {
@@ -294,6 +333,68 @@ func main() {
 					workerStall.Round(time.Millisecond), consumerStall.Round(time.Millisecond))
 			}
 		}
+	}
+
+	if *follow && openFollow == nil {
+		fatal(fmt.Errorf("-follow does not compose with a sharded -connect fleet; point at a single recd-serve running -follow"))
+	}
+
+	// Local follow mode hosts its own landing writer: a goroutine growing
+	// the table one generated hour partition per -flush-interval, exactly
+	// what `recd-serve -follow` runs server-side.
+	var stopLander = func() {}
+	if *follow && tt != nil {
+		if *flushInterval <= 0 {
+			fatal(fmt.Errorf("-follow needs a positive -flush-interval"))
+		}
+		w, err := landing.NewWriter(landing.Config{
+			Store: tt.Store, Catalog: tt.Catalog, Table: tt.Spec.Table,
+			Schema: tt.Schema, FlushRows: 4096, FlushInterval: *flushInterval,
+			Cluster: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		landerStop, landerDone := make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(landerDone)
+			hour := int64(2) // hours 0 and 1 are the landed train/eval partitions
+			n := *sessions / 4
+			if n == 0 {
+				n = 1
+			}
+			for {
+				select {
+				case <-landerStop:
+					if err := w.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "recd-train: landing writer close:", err)
+					}
+					return
+				case <-time.After(*flushInterval):
+				}
+				samples := datagen.NewGenerator(tt.Schema, datagen.GeneratorConfig{
+					Sessions: n, MeanSamplesPerSession: 14, Seed: *seed + 2000 + hour,
+					LabelSignal: 2.0, CTR: 0.2,
+				}).GeneratePartition()
+				if err := w.Append(hour, samples...); err != nil {
+					fmt.Fprintln(os.Stderr, "recd-train: landing writer:", err)
+					return
+				}
+				if *retainHours > 0 {
+					if _, err := tt.Catalog.EnforceRetention(tt.Store, tt.Spec.Table, *retainHours); err != nil {
+						fmt.Fprintln(os.Stderr, "recd-train: retention:", err)
+						return
+					}
+				}
+				hour++
+			}
+		}()
+		var once sync.Once
+		stopLander = func() {
+			once.Do(func() { close(landerStop) })
+			<-landerDone
+		}
+		defer stopLander()
 	}
 
 	var obsSrv *obs.Server
@@ -355,23 +456,78 @@ func main() {
 	fmt.Printf("training on %d samples (S=%.1f), %d dedup groups, mode=%s opt=%s, %s\n\n",
 		trainRows, meanS, len(tableSpec.DedupSparseFeatures), mode, opt, where)
 
-	for e := 1; e <= *epochs; e++ {
-		start := time.Now()
-		var lastLoss float64
-		trainBatches := readHour(0) // epoch 1 decodes; later epochs hit the scan cache
-		for _, b := range trainBatches {
-			loss, _, err := model.TrainStep(b, mode)
+	if *follow {
+		// Windowed epochs over the live tail: one Follow session supplies
+		// every window; each window trains on the next table's-worth of
+		// batches the tail delivers (blocking while the writer lands more),
+		// then evaluates on the held-out hour as usual. When the windows
+		// are done, EndFollow drains the tail's remainder to a clean EOF.
+		winBatches := trainRows / *batch
+		if winBatches == 0 {
+			winBatches = 1
+		}
+		sess := openFollow()
+		for e := 1; e <= *epochs; e++ {
+			start := time.Now()
+			var lastLoss float64
+			for i := 0; i < winBatches; i++ {
+				b, err := sess.Next(ctx)
+				if err != nil {
+					fatal(err) // the tail never EOFs before EndFollow
+				}
+				loss, _, err := model.TrainStep(b, mode)
+				if err != nil {
+					fatal(err)
+				}
+				lastLoss = loss
+			}
+			m, err := model.Evaluate(readHour(1), mode)
 			if err != nil {
 				fatal(err)
 			}
-			lastLoss = loss
+			fmt.Printf("window %d: train loss %.4f over %d live batches | eval logloss %.4f auc %.4f calib %.2f (%v)\n",
+				e, lastLoss, winBatches, m.LogLoss, m.AUC, m.Calibration, time.Since(start).Round(time.Millisecond))
 		}
-		m, err := model.Evaluate(readHour(1), mode)
-		if err != nil {
-			fatal(err)
+		stopLander()
+		sess.(interface{ EndFollow() }).EndFollow()
+		tail := 0
+		for {
+			b, err := sess.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if _, _, err := model.TrainStep(b, mode); err != nil {
+				fatal(err)
+			}
+			tail++
 		}
-		fmt.Printf("epoch %d: train loss %.4f | eval logloss %.4f auc %.4f calib %.2f (%v)\n",
-			e, lastLoss, m.LogLoss, m.AUC, m.Calibration, time.Since(start).Round(time.Millisecond))
+		if noteStream != nil {
+			noteStream(sess)
+		}
+		sess.Close()
+		fmt.Printf("\nfollow tail ended: %d remainder batches trained after EndFollow\n", tail)
+	} else {
+		for e := 1; e <= *epochs; e++ {
+			start := time.Now()
+			var lastLoss float64
+			trainBatches := readHour(0) // epoch 1 decodes; later epochs hit the scan cache
+			for _, b := range trainBatches {
+				loss, _, err := model.TrainStep(b, mode)
+				if err != nil {
+					fatal(err)
+				}
+				lastLoss = loss
+			}
+			m, err := model.Evaluate(readHour(1), mode)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("epoch %d: train loss %.4f | eval logloss %.4f auc %.4f calib %.2f (%v)\n",
+				e, lastLoss, m.LogLoss, m.AUC, m.Calibration, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	printSharing()

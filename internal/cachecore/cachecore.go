@@ -56,6 +56,7 @@ type Cache[K comparable, V any] struct {
 	// under mu (the eviction logic reads them there), but loaded
 	// lock-free by Stats.
 	hits, misses, evictions atomic.Int64
+	invalidations           atomic.Int64
 	bytes, resident         atomic.Int64
 }
 
@@ -65,6 +66,12 @@ type entry[K comparable, V any] struct {
 	el   *list.Element // nil while in flight or after eviction
 	cost int64
 	hits int64
+
+	// doomed marks an in-flight entry invalidated mid-compute: its
+	// completion serves the value to the callers already waiting but must
+	// not retain it — retaining would resurrect data the source deleted,
+	// and the map may already hold a fresh entry under the same key.
+	doomed bool
 
 	ready chan struct{} // closed when val/err are set
 	val   V
@@ -144,17 +151,25 @@ func (c *Cache[K, V]) Get(ctx context.Context, key K, compute func(context.Conte
 
 		c.mu.Lock()
 		if e.err != nil {
-			delete(c.entries, key)
+			// A doomed entry was already unmapped by Remove, and the map may
+			// hold a successor under the same key — only delete our own.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
 			c.mu.Unlock()
 			close(e.ready)
 			var zero V
 			return zero, false, e.err
 		}
 		e.cost = c.cost(e.val)
-		if e.cost > c.max {
+		if e.cost > c.max || e.doomed {
 			// Unretainable: serve the value (waiters included) but drop the
-			// entry rather than evicting everything else to make room.
-			delete(c.entries, key)
+			// entry rather than evicting everything else to make room — or,
+			// for a doomed entry, rather than caching data its source
+			// invalidated mid-compute.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
 		} else {
 			e.el = c.lru.PushFront(e)
 			c.bytes.Add(e.cost)
@@ -195,6 +210,53 @@ func (c *Cache[K, V]) Contains(key K) bool {
 	return ok && e.el != nil
 }
 
+// Remove invalidates the entry for key, reporting whether one existed.
+// A resident entry is dropped immediately (its bytes leave the budget);
+// an in-flight entry is unmapped and doomed — the compute in progress
+// still serves its waiters, but its result is not retained, and a Get
+// arriving after Remove returns recomputes from the source. Removal is
+// how a catalog's retention path keeps the cache honest: once the
+// backing file is deleted, the next lookup must miss.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(key)
+}
+
+// RemoveIf invalidates every entry whose key satisfies pred, returning
+// how many were dropped. Used for file-scoped invalidation where one
+// file fans out to several cache keys (per-fingerprint scan entries).
+func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.entries {
+		if pred(key) && c.removeLocked(key) {
+			n++
+		}
+	}
+	return n
+}
+
+// removeLocked implements Remove. Callers hold c.mu.
+func (c *Cache[K, V]) removeLocked(key K) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	delete(c.entries, key)
+	if e.el != nil {
+		c.lru.Remove(e.el)
+		e.el = nil
+		c.bytes.Add(-e.cost)
+		c.resident.Add(-1)
+	} else {
+		e.doomed = true
+	}
+	c.invalidations.Add(1)
+	return true
+}
+
 // touch marks a resident entry most-recently-used. Callers hold c.mu.
 func (c *Cache[K, V]) touch(e *entry[K, V]) {
 	if e.el != nil {
@@ -227,6 +289,9 @@ type Stats struct {
 	Hits, Misses int64
 	// Evictions counts entries dropped to respect the byte budget.
 	Evictions int64
+	// Invalidations counts entries dropped by Remove/RemoveIf (cache
+	// coherence with the source, not budget pressure).
+	Invalidations int64
 	// Entries and Bytes describe current occupancy (complete resident
 	// entries).
 	Entries int
@@ -240,11 +305,12 @@ type Stats struct {
 // as a whole is not a single linearization point.
 func (c *Cache[K, V]) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   int(c.resident.Load()),
-		Bytes:     c.bytes.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       int(c.resident.Load()),
+		Bytes:         c.bytes.Load(),
 	}
 }
 

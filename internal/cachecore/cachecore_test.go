@@ -196,3 +196,101 @@ func TestPeekAccounting(t *testing.T) {
 		t.Fatalf("stats %+v, want 1 hit 4 misses", st)
 	}
 }
+
+// TestRemoveResident: invalidating a resident entry frees its bytes,
+// counts an invalidation, and forces the next Get to recompute.
+func TestRemoveResident(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 1 << 20})
+	mustGet(t, c, "a", "vvvv")
+	mustGet(t, c, "b", "vvvv")
+	if !c.Remove("a") {
+		t.Fatal("Remove of resident entry reported false")
+	}
+	if c.Remove("a") {
+		t.Fatal("second Remove of the same key reported true")
+	}
+	if c.Contains("a") || !c.Contains("b") {
+		t.Fatal("Remove dropped the wrong entry")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 4 || st.Invalidations != 1 {
+		t.Fatalf("stats %+v, want 1 entry, 4 bytes, 1 invalidation", st)
+	}
+	if hit := mustGet(t, c, "a", "wwww"); hit {
+		t.Fatal("Get after Remove hit stale state")
+	}
+}
+
+// TestRemoveInFlight pins the doomed-entry semantics: removing a key
+// whose compute is still running serves the in-flight waiters their
+// value but never retains it — and leaks no bytes or ghost LRU nodes.
+func TestRemoveInFlight(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 1 << 20})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan string, 1)
+	go func() {
+		v, _, err := c.Get(context.Background(), "k", func(context.Context) (string, error) {
+			close(started)
+			<-release
+			return "stale", nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+	<-started
+	if !c.Remove("k") {
+		t.Fatal("Remove of in-flight entry reported false")
+	}
+	close(release)
+	if v := <-done; v != "stale" {
+		t.Fatalf("in-flight caller got %q, want its computed value", v)
+	}
+	if c.Contains("k") {
+		t.Fatal("doomed entry was retained after its compute finished")
+	}
+	// A successor Get recomputes and is retained normally — the doomed
+	// predecessor's completion must not delete the successor's entry.
+	startedTwo := make(chan struct{})
+	releaseTwo := make(chan struct{})
+	doneTwo := make(chan struct{})
+	go func() {
+		defer close(doneTwo)
+		c.Get(context.Background(), "k", func(context.Context) (string, error) {
+			close(startedTwo)
+			<-releaseTwo
+			return "new!", nil
+		})
+	}()
+	<-startedTwo
+	close(releaseTwo)
+	<-doneTwo
+	if !c.Contains("k") {
+		t.Fatal("successor entry was not retained")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 4 || st.Invalidations != 1 {
+		t.Fatalf("stats %+v, want exactly the successor's 4 bytes resident", st)
+	}
+}
+
+// TestRemoveIf: predicate invalidation drops exactly the matching keys
+// and reports how many it removed.
+func TestRemoveIf(t *testing.T) {
+	c := newStringCache(cachecore.Config{MaxBytes: 1 << 20})
+	for _, k := range []string{"tbl/f1", "tbl/f2", "other/f1"} {
+		mustGet(t, c, k, "vvvv")
+	}
+	n := c.RemoveIf(func(k string) bool { return len(k) >= 4 && k[:4] == "tbl/" })
+	if n != 2 {
+		t.Fatalf("RemoveIf removed %d entries, want 2", n)
+	}
+	if c.Contains("tbl/f1") || c.Contains("tbl/f2") || !c.Contains("other/f1") {
+		t.Fatal("RemoveIf dropped the wrong keys")
+	}
+	if st := c.Stats(); st.Invalidations != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 2 invalidations, 1 entry", st)
+	}
+}

@@ -86,6 +86,11 @@ type Service struct {
 	// cache memoizes file scans across ShareScans sessions; nil when
 	// disabled by Config.ScanCacheBytes < 0.
 	cache *ScanCache
+	// rawCache is the backend's raw-blob tier when the backend is a
+	// storage.CachingBackend, else nil. Held so the decoded tier can
+	// demote a file's raw bytes once its scan is resident — one file,
+	// one tier (the double-caching fix).
+	rawCache *storage.CachingBackend
 	// autoscale, when non-nil, is the defaulted controller config every
 	// queue-backed session gets an AutoScaler from.
 	autoscale *AutoScalerConfig
@@ -117,6 +122,7 @@ type Service struct {
 	sessionErrors   metrics.Counter
 	workerStallNS   metrics.Counter
 	consumerStallNS metrics.Counter
+	followExtended  metrics.Counter
 }
 
 // New validates the config and builds an empty service.
@@ -151,7 +157,7 @@ func New(cfg Config) (*Service, error) {
 		}
 		autoscale = &ac
 	}
-	return &Service{
+	svc := &Service{
 		backend:      cfg.Backend,
 		catalog:      cfg.Catalog,
 		max:          cfg.MaxSessions,
@@ -161,7 +167,45 @@ func New(cfg Config) (*Service, error) {
 		clock:        clock,
 		sessions:     make(map[int64]*Session),
 		unitSessions: make(map[int64]*UnitSession),
-	}, nil
+	}
+	if cb, ok := cfg.Backend.(*storage.CachingBackend); ok {
+		svc.rawCache = cb
+	}
+
+	// Cache coherence with retention: when the catalog announces dropped
+	// files, evict them from the decoded tier and — if the backend is the
+	// caching tier — from the raw-blob tier too. Without this, a warm
+	// service keeps serving decoded batches for data retention already
+	// destroyed (the stale-cache-after-retention bug).
+	if notifier, ok := cfg.Catalog.(storage.InvalidationNotifier); ok {
+		scans := svc.cache
+		blobs := svc.rawCache
+		if scans != nil || blobs != nil {
+			notifier.OnInvalidate(func(paths []string) {
+				if scans != nil {
+					scans.InvalidateFiles(paths)
+				}
+				if blobs != nil {
+					blobs.InvalidateFiles(paths)
+				}
+			})
+		}
+	}
+	return svc, nil
+}
+
+// demoteRaw releases file's raw bytes from the caching backend once its
+// decoded scan is resident in the ScanCache: the decoded form is the one
+// sessions reuse, and holding both would charge the same file to two
+// byte budgets. A scan that was computed but not retained (oversized,
+// doomed) keeps its raw bytes cached — the next decode still wants them.
+func (s *Service) demoteRaw(file, fingerprint string) {
+	if s.rawCache == nil || s.cache == nil {
+		return
+	}
+	if s.cache.Contains(file, fingerprint) {
+		s.rawCache.Demote(file)
+	}
 }
 
 // ScanCache returns the service's cross-session scan cache, or nil when
@@ -187,6 +231,22 @@ type Stats struct {
 	// the service-level view of autoscaling activity (sessions resized
 	// directly via Session.Resize count too).
 	Scheduler ServiceSchedulerStats
+	// Follow is the live-tail activity: open Follow sessions, their
+	// observed-but-unmerged backlog, and the files extended into their
+	// plans since the service started.
+	Follow FollowStats
+}
+
+// FollowStats is the service-wide view of live tailing.
+type FollowStats struct {
+	// Sessions counts currently open Follow sessions.
+	Sessions int
+	// LagFiles sums, over open Follow sessions, files observed from the
+	// catalog but not yet merged into the session's stream.
+	LagFiles int
+	// ExtendedFiles counts files extended into Follow scan plans since
+	// the service started (monotone).
+	ExtendedFiles int64
 }
 
 // ServiceSchedulerStats is the service-wide scaling activity.
@@ -229,10 +289,15 @@ func (s *Service) Stats() Stats {
 		WorkerStall:   time.Duration(s.workerStallNS.Value()),
 		ConsumerStall: time.Duration(s.consumerStallNS.Value()),
 	}
+	follow := FollowStats{ExtendedFiles: s.followExtended.Value()}
 	for _, sess := range live {
 		st := sess.SchedulerStats()
 		sched.WorkerStall += st.WorkerStall
 		sched.ConsumerStall += st.ConsumerStall
+		if sess.Following() {
+			follow.Sessions++
+			follow.LagFiles += sess.FollowLag()
+		}
 	}
 	for _, u := range liveUnits {
 		st := u.Stats().Scheduler
@@ -247,6 +312,7 @@ func (s *Service) Stats() Stats {
 		SessionErrors:  s.sessionErrors.Value(),
 		Cache:          cache,
 		Scheduler:      sched,
+		Follow:         follow,
 	}
 }
 
@@ -262,7 +328,31 @@ func (s *Service) Open(ctx context.Context, spec Spec) (*Session, error) {
 	}
 
 	files := spec.Files
-	if files == nil {
+	var tail *tailState
+	if spec.Follow {
+		// A Follow session plans over the publish-order snapshot (landed
+		// order, robust to retention shifting the hour-ordered view) and
+		// remembers the generation and last publish sequence it saw; the
+		// tailer resumes from exactly there. Generation is read before the
+		// snapshot so a landing racing Open is observed by the snapshot or
+		// by the first WaitChange — never missed.
+		tc, ok := s.catalog.(storage.TailingCatalog)
+		if !ok {
+			return nil, fmt.Errorf("dpp: spec requests Follow but the service catalog cannot tail")
+		}
+		gen := tc.Generation()
+		pubs, err := tc.PublishedFiles(spec.Table, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = make([]string, len(pubs))
+		var cursor uint64
+		for i, p := range pubs {
+			files[i] = p.Path
+			cursor = p.Seq
+		}
+		tail = &tailState{catalog: tc, gen: gen, cursor: cursor}
+	} else if files == nil {
 		if s.catalog == nil {
 			return nil, fmt.Errorf("dpp: service has no catalog and spec %q names no files", spec.Table)
 		}
@@ -291,7 +381,7 @@ func (s *Service) Open(ctx context.Context, spec Spec) (*Session, error) {
 	id := s.nextID
 	s.mu.Unlock()
 
-	sess, err := newSession(ctx, s, id, spec, files)
+	sess, err := newSession(ctx, s, id, spec, files, tail)
 	s.mu.Lock()
 	s.reserved--
 	if err != nil {
@@ -337,6 +427,9 @@ func (s *Service) Close() error {
 }
 
 func (s *Service) noteBatch() { s.batchesServed.Inc() }
+
+// noteExtend counts files extended into Follow sessions' scan plans.
+func (s *Service) noteExtend(n int) { s.followExtended.Add(int64(n)) }
 
 func (s *Service) noteScale(up bool) {
 	if up {

@@ -314,6 +314,14 @@ func closeOnDone(ctx context.Context, conn net.Conn) (stop func()) {
 // max(1,Readers) × buffer depth. A stalled consumer therefore stalls
 // the server-side readers at the same bound a local session would.
 func (c *Client) Open(ctx context.Context, spec dpp.Spec) (*RemoteSession, error) {
+	// A Follow session has no frozen file list to hash and no
+	// predetermined length, so resume and drain failover — both built on
+	// replaying a fixed deterministic stream — cannot apply. Refuse the
+	// combination here, before any dial, rather than letting the server
+	// reject it (which it also does).
+	if spec.Follow && (c.resumable() || len(c.Failover) > 0) {
+		return nil, fmt.Errorf("dppnet: follow sessions are incompatible with resume and failover; use a client without them")
+	}
 	ws, err := encodeSpec(spec)
 	if err != nil {
 		return nil, err
@@ -403,6 +411,8 @@ type RemoteSession struct {
 	tokenResumes  atomic.Int64
 	replays       atomic.Int64
 	drainHandoffs atomic.Int64
+	extendCount   atomic.Int64
+	extendFiles   atomic.Int64
 
 	mu        sync.Mutex
 	addr      string // current server; changes on drain failover
@@ -430,6 +440,30 @@ func (rs *RemoteSession) Reconnects() int64 { return rs.reconnects.Load() }
 func (rs *RemoteSession) TokenResumes() int64  { return rs.tokenResumes.Load() }
 func (rs *RemoteSession) Replays() int64       { return rs.replays.Load() }
 func (rs *RemoteSession) DrainHandoffs() int64 { return rs.drainHandoffs.Load() }
+
+// ExtendNotices and ExtendedFiles report the live-tail telemetry of a
+// Follow session: how many extend frames the server pushed and the total
+// files they announced. Both stay zero for non-follow sessions.
+func (rs *RemoteSession) ExtendNotices() int64 { return rs.extendCount.Load() }
+func (rs *RemoteSession) ExtendedFiles() int64 { return rs.extendFiles.Load() }
+
+// EndFollow asks the server to end a Follow session's tail: the server
+// stops observing the catalog, the stream drains the files already
+// announced, and Next runs to a normal io.EOF with final stats — the
+// wire twin of dpp.Session.EndFollow. Best-effort and idempotent; a
+// no-op on non-follow sessions and dead connections.
+func (rs *RemoteSession) EndFollow() {
+	rs.mu.Lock()
+	conn := rs.conn
+	closed := rs.closed
+	rs.mu.Unlock()
+	if closed || conn == nil {
+		return
+	}
+	rs.wmu.Lock()
+	defer rs.wmu.Unlock()
+	_ = writeFrame(conn, frameEndFollow, nil)
+}
 
 // receive owns one connection's read half: it decodes frames into the
 // bounded recv channel (never blocking the socket beyond the credit
@@ -509,6 +543,14 @@ func (rs *RemoteSession) receive(br *bufio.Reader, recv chan remoteMsg, stop fun
 			}
 			terminal(ErrDrained)
 			return
+		case frameExtend:
+			en, err := decodeExtend(payload)
+			if err != nil {
+				terminal(fmt.Errorf("dppnet: corrupt extend frame: %w", err))
+				return
+			}
+			rs.extendCount.Add(1)
+			rs.extendFiles.Add(int64(len(en.Files)))
 		case frameError:
 			terminal(fmt.Errorf("%w: %s", ErrRemote, payload))
 			return

@@ -319,6 +319,68 @@ func FuzzDecodeTablez(f *testing.F) {
 	})
 }
 
+// FuzzDecodeExtend: the v6 extend frame is server-controlled bytes a
+// tailing client decodes mid-stream, so a malicious or corrupt server
+// must never panic it, and empty or oversized file lists are rejected
+// before the client's bookkeeping scales with them. Accepted decodes
+// stay within the wire bounds and their canonical re-marshalled form is
+// a fixed point under decode/marshal (JSON field matching is
+// case-insensitive, so full bijectivity is not available).
+func FuzzDecodeExtend(f *testing.F) {
+	seed := func(en extendNotice) []byte {
+		payload, err := json.Marshal(en)
+		if err != nil {
+			panic(err)
+		}
+		return payload
+	}
+	full := seed(extendNotice{Generation: 17, Files: []string{
+		"tbl/hour=3600/landed-000004.dwrf", "tbl/hour=3600/landed-000005.dwrf",
+	}})
+	f.Add(full)
+	f.Add(seed(extendNotice{Files: []string{"tbl/hour=0/landed-000000.dwrf"}}))
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		f.Add(full[:cut])
+	}
+	// Forged notices a well-behaved server cannot emit: no files, an
+	// empty path, a path past the bound, and plain garbage.
+	f.Add([]byte(`{"generation":3,"files":[]}`))
+	f.Add([]byte(`{"files":[""]}`))
+	f.Add([]byte(`{"files":["` + strings.Repeat("p", maxExtendPathLen+1) + `"]}`))
+	f.Add([]byte(`{"files":null}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		en, err := decodeExtend(data)
+		if err != nil {
+			return
+		}
+		if len(en.Files) == 0 || len(en.Files) > maxExtendFiles {
+			t.Fatalf("accepted notice with %d files", len(en.Files))
+		}
+		for _, fp := range en.Files {
+			if fp == "" || len(fp) > maxExtendPathLen {
+				t.Fatalf("accepted out-of-bounds path of %d bytes", len(fp))
+			}
+		}
+		re, err := json.Marshal(en)
+		if err != nil {
+			t.Fatalf("re-marshalling accepted notice: %v", err)
+		}
+		back, err := decodeExtend(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		re2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshalling round-tripped notice: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical extend form is not a fixed point:\n got %s\nwant %s", re2, re)
+		}
+	})
+}
+
 func fileUnitSeed(u *dpp.FileUnit) []byte {
 	var buf bytes.Buffer
 	if err := encodeFileUnit(&buf, u); err != nil {

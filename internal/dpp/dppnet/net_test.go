@@ -25,6 +25,7 @@ import (
 type testEnv struct {
 	store   *lakefs.Store
 	catalog *lakefs.Catalog
+	schema  *datagen.Schema
 	samples []datagen.Sample
 }
 
@@ -43,7 +44,7 @@ func newTestEnv(t testing.TB, sessions int) *testEnv {
 		dwrf.TableOptions{RowsPerFile: 256, Writer: dwrf.WriterOptions{StripeRows: 128}}); err != nil {
 		t.Fatal(err)
 	}
-	return &testEnv{store: store, catalog: catalog, samples: samples}
+	return &testEnv{store: store, catalog: catalog, schema: schema, samples: samples}
 }
 
 func alignedSpec() reader.Spec {

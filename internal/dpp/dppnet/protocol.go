@@ -65,12 +65,15 @@ import (
 // added the multi-tenant front door (the handshake's auth_token, judged
 // by the server's front.Gate before any session state exists) and the
 // graceful-drain conversation (the server-pushed drain frame carrying a
-// resume token + offset, which clients use to fail over mid-stream).
-// The bump keeps a mixed-version pair from handshaking and then
-// mis-decoding the stream.
+// resume token + offset, which clients use to fail over mid-stream);
+// version 6 added live tailing (the handshake spec's follow flag, the
+// server-pushed extend frame announcing files landed mid-stream, and
+// the client's end-follow frame that ends the tail and lets the stream
+// drain to a normal EOF). The bump keeps a mixed-version pair from
+// handshaking and then mis-decoding the stream.
 const (
 	protoMagic   = "DPPN"
-	protoVersion = 5
+	protoVersion = 6
 )
 
 // Frame types. Client→server frames are small control messages; all bulk
@@ -117,6 +120,20 @@ const (
 	// a client with nowhere to go may simply finish on the draining
 	// server.
 	frameDrain = byte(0x18)
+	// frameExtend (server→client, advisory) announces that a Follow
+	// session's scan plan grew mid-stream: the JSON extendNotice names
+	// the newly landed files in landed order. Batches for them follow on
+	// the same stream with no further marking; the frame is what tells a
+	// tailing client its stream is live rather than about to EOF, and
+	// which files the upcoming bytes come from. Like drain and stats
+	// frames it rides outside the rolling chain hash — the chain pins
+	// batch bytes, not control chatter.
+	frameExtend = byte(0x19)
+	// frameEndFollow (client→server, empty payload) ends a Follow
+	// session's tail: the server stops observing the catalog, drains the
+	// already-announced files, and finishes the stream with the usual
+	// stats + eof frames.
+	frameEndFollow = byte(0x1a)
 )
 
 // maxFrameBytes bounds a batch-bearing (server→client) frame's declared
@@ -263,6 +280,48 @@ func decodeDrainNotice(payload []byte) (drainNotice, error) {
 		return drainNotice{}, fmt.Errorf("dppnet: drain notice token of %d bytes exceeds limit %d", len(dn.Token), maxResumeTokenLen)
 	}
 	return dn, nil
+}
+
+// extendNotice is the JSON payload of an extend frame: the files a
+// Follow session's tailer observed landing, in landed order, plus the
+// catalog generation they were observed at (advisory — lag telemetry,
+// not a cursor the client must track).
+type extendNotice struct {
+	Generation uint64   `json:"generation,omitempty"`
+	Files      []string `json:"files"`
+}
+
+// Bounds on the extend frame's hostile surface: one notice carries one
+// observation's worth of landings, so anything past these caps is a
+// forged frame, rejected before the client's bookkeeping scales with it.
+const (
+	maxExtendFiles   = 1 << 16
+	maxExtendPathLen = 4096
+)
+
+// decodeExtend parses an extend frame. A malicious or corrupt server
+// must never panic the client, and empty or oversized file lists are
+// rejected rather than recorded (FuzzDecodeExtend pins this).
+func decodeExtend(payload []byte) (extendNotice, error) {
+	var en extendNotice
+	if err := json.Unmarshal(payload, &en); err != nil {
+		return extendNotice{}, fmt.Errorf("dppnet: extend notice: %w", err)
+	}
+	if len(en.Files) == 0 {
+		return extendNotice{}, fmt.Errorf("dppnet: extend notice without files")
+	}
+	if len(en.Files) > maxExtendFiles {
+		return extendNotice{}, fmt.Errorf("dppnet: extend notice with %d files exceeds limit %d", len(en.Files), maxExtendFiles)
+	}
+	for _, f := range en.Files {
+		if f == "" {
+			return extendNotice{}, fmt.Errorf("dppnet: extend notice with empty file path")
+		}
+		if len(f) > maxExtendPathLen {
+			return extendNotice{}, fmt.Errorf("dppnet: extend notice path of %d bytes exceeds limit %d", len(f), maxExtendPathLen)
+		}
+	}
+	return en, nil
 }
 
 // writeFrame emits one framed message: type byte, uvarint payload

@@ -469,6 +469,16 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 	// lease, never from the wire spec.
 	spec.Tenant = tenant
 	resumable := req.Resumable || req.Token != ""
+	// A Follow session's length is decided by the landing writer, not the
+	// plan, so neither the file-unit merge (which needs the full plan up
+	// front) nor resume (whose identity check hashes a frozen file list)
+	// composes with it. Reject at the handshake, before any session state
+	// exists.
+	if spec.Follow && (req.FileUnits || resumable || req.Offset > 0) {
+		ferr := fmt.Errorf("dppnet: follow sessions are incompatible with file units and resume")
+		fail(spec.Table, ferr.Error(), ferr)
+		return
+	}
 	fingerprint := spec.Spec.Fingerprint()
 	filesHash := fileListHash(spec.Files)
 
@@ -483,6 +493,24 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 		retained     [][]byte
 	)
 	resumed := req.Token != "" || req.Offset > 0
+
+	// Follow plumbing: the session's tailer announces newly landed files
+	// through OnExtend, which runs on the tailer goroutine — so it only
+	// queues the notice under a mutex, and the serving loop (the
+	// connection's single writer) drains the queue as extend frames.
+	// followSess is the EndFollow target for the client's end-follow frame.
+	var (
+		followSess *dpp.Session
+		extMu      sync.Mutex
+		extPending []extendNotice
+	)
+	if spec.Follow {
+		spec.OnExtend = func(files []string) {
+			extMu.Lock()
+			extPending = append(extPending, extendNotice{Files: append([]string(nil), files...)})
+			extMu.Unlock()
+		}
+	}
 
 	if req.Token != "" {
 		entry, err = s.claimResume(req.Token, tenant, req.FileUnits, fingerprint, filesHash, req.Offset)
@@ -516,6 +544,9 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 				err = oerr
 			} else {
 				stream = newBatchWire(sess)
+				if spec.Follow {
+					followSess = sess
+				}
 			}
 		}
 		if err != nil {
@@ -647,6 +678,14 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 			case frameClose:
 				clientClosed.Store(true)
 				return
+			case frameEndFollow:
+				// End the tail but keep the conversation: the stream
+				// drains the already-announced files to a normal EOF,
+				// which the serving loop ships with stats as usual. A
+				// no-op on non-follow sessions.
+				if followSess != nil {
+					followSess.EndFollow()
+				}
 			default:
 				return
 			}
@@ -691,6 +730,29 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 			return false
 		}
 		s.drainNotices.Inc()
+		return true
+	}
+	// drainExtends writes the extend notices the Follow tailer has queued
+	// since the last drain. Only this loop writes them — the tailer's
+	// callback goroutine never touches the connection — and, like drain
+	// frames, they are advisory control chatter outside the chain hash.
+	// They are written right before the stream frame that follows them,
+	// so a tailing client learns which files landed before their batches
+	// arrive.
+	drainExtends := func() bool {
+		extMu.Lock()
+		pend := extPending
+		extPending = nil
+		extMu.Unlock()
+		for _, en := range pend {
+			payload, merr := json.Marshal(en)
+			if merr != nil {
+				continue // advisory; never fail the stream over it
+			}
+			if writeFrame(bw, frameExtend, payload) != nil {
+				return false
+			}
+		}
 		return true
 	}
 	// Resend the retained frames a claimed entry still owes the client —
@@ -780,6 +842,9 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 		payload, err := stream.next(connCtx)
 		if err == io.EOF {
 			outcome = "eof"
+			if !drainExtends() {
+				return
+			}
 			var enc bytes.Buffer
 			if err := encodeSessionStats(&enc, stream.stats()); err != nil {
 				outcome = "error: " + err.Error()
@@ -804,6 +869,10 @@ func (s *Server) serveStream(peer string, br *bufio.Reader, bw *bufio.Writer, re
 			}
 			outcome = "error: " + err.Error()
 			writeError(bw, err)
+			return
+		}
+		if !drainExtends() {
+			park = canPark()
 			return
 		}
 		werr := writeFrame(bw, ftype, payload)

@@ -28,6 +28,7 @@ type wireSpec struct {
 	Buffer     int      `json:"buffer,omitempty"`
 	Files      []string `json:"files,omitempty"`
 	ShareScans bool     `json:"share_scans,omitempty"`
+	Follow     bool     `json:"follow,omitempty"`
 }
 
 // wireTransform carries one transform by name plus the union of the
@@ -103,6 +104,7 @@ func encodeSpec(spec dpp.Spec) (*wireSpec, error) {
 		Buffer:               spec.Buffer,
 		Files:                spec.Files,
 		ShareScans:           spec.ShareScans,
+		Follow:               spec.Follow,
 	}
 	for _, tr := range spec.SparseTransforms {
 		wt, err := encodeSparseTransform(tr)
@@ -129,6 +131,7 @@ func decodeSpec(ws *wireSpec) (dpp.Spec, error) {
 		Buffer:     ws.Buffer,
 		Files:      ws.Files,
 		ShareScans: ws.ShareScans,
+		Follow:     ws.Follow,
 	}
 	spec.Table = ws.Table
 	spec.BatchSize = ws.BatchSize

@@ -73,6 +73,23 @@ func (c *ScanCache) Contains(file, fingerprint string) bool {
 	return c.core.Contains(scanKey{file: file, fingerprint: fingerprint})
 }
 
+// InvalidateFiles evicts every entry whose file half matches one of
+// paths, across all fingerprints — a file deleted by retention is gone
+// for every spec that ever decoded it. In-flight computes are doomed
+// (served to their waiters, not retained). Wired to the catalog's
+// InvalidationNotifier by Service; returns how many entries were
+// dropped.
+func (c *ScanCache) InvalidateFiles(paths []string) int {
+	if len(paths) == 0 {
+		return 0
+	}
+	dropped := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		dropped[p] = true
+	}
+	return c.core.RemoveIf(func(k scanKey) bool { return dropped[k.file] })
+}
+
 // ScanCacheStats is a snapshot of cache-wide accounting.
 type ScanCacheStats struct {
 	// Hits counts Gets served from a resident entry or coalesced onto
@@ -80,6 +97,9 @@ type ScanCacheStats struct {
 	Hits, Misses int64
 	// Evictions counts entries dropped to respect the byte budget.
 	Evictions int64
+	// Invalidations counts entries dropped because their file was deleted
+	// (retention coherence, not budget pressure).
+	Invalidations int64
 	// Entries and Bytes describe current occupancy (complete entries).
 	Entries int
 	Bytes   int64
@@ -89,11 +109,12 @@ type ScanCacheStats struct {
 func (c *ScanCache) Stats() ScanCacheStats {
 	st := c.core.Stats()
 	return ScanCacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		Entries:   st.Entries,
-		Bytes:     st.Bytes,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
 	}
 }
 

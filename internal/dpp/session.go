@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/reader"
+	"repro/internal/storage"
 )
 
 // ErrClosed is returned by Next after the session has been closed.
@@ -63,6 +64,26 @@ type Spec struct {
 	// single-flight dedup, and hit/miss accounting are identical to the
 	// inline (FillAhead == 0) path.
 	ShareScans bool
+	// Follow opts the session into tailing a live table: instead of EOF
+	// at end-of-catalog, the session parks, observes newly landed files
+	// via the catalog's generation counter, and emits them in landed
+	// (publish-sequence) order. The stream ends only after EndFollow: the
+	// remaining known files drain, the tail rows flush, and Next returns
+	// io.EOF — at which point the stream is byte-identical to a cold
+	// session opened on the frozen file prefix the tail observed.
+	//
+	// Follow requires the service catalog to implement
+	// storage.TailingCatalog and is incompatible with an explicit Files
+	// list (there is no catalog position to tail) and with ShareScans
+	// (the shared scan loop has no open-ended queue).
+	Follow bool
+	// OnExtend, when non-nil, is called from the session's tailer
+	// goroutine with each slice of newly observed files, after they join
+	// the scan plan. Serving-side hook (dppnet announces extensions to
+	// remote clients through it); never part of the wire spec. The
+	// callback must not block for long — the tail pauses while it runs —
+	// and must not call back into the session.
+	OnExtend func(files []string)
 }
 
 // DefaultReaders and DefaultBuffer are the execution-shape defaults
@@ -96,6 +117,12 @@ func (s Spec) validate() error {
 	}
 	if s.Buffer < 0 {
 		return fmt.Errorf("dpp: negative buffer %d", s.Buffer)
+	}
+	if s.Follow && s.ShareScans {
+		return fmt.Errorf("dpp: Follow and ShareScans are incompatible (the shared scan loop has no open-ended queue)")
+	}
+	if s.Follow && s.Files != nil {
+		return fmt.Errorf("dpp: Follow tails the catalog; an explicit Files list has no tail")
 	}
 	return s.Spec.Validate()
 }
@@ -143,6 +170,14 @@ type Session struct {
 	out   chan *reader.Batch
 	queue *reader.ScanQueue // nil for ShareScans sessions (single scan loop)
 
+	// Follow state: the tailer goroutine watches the catalog and extends
+	// the queue; EndFollow cancels it (followCancel), waits for it to
+	// exit (followDone), and then finishes the queue — so no Extend can
+	// race the Finish. All nil/zero for non-Follow sessions.
+	followCancel context.CancelFunc
+	followDone   chan struct{}
+	endFollow    sync.Once
+
 	wg sync.WaitGroup
 
 	// pmu guards the worker-pool shape. wg.Add for spawned workers
@@ -169,10 +204,21 @@ type Session struct {
 	done               bool
 }
 
+// tailState is the catalog position a Follow session starts tailing
+// from: the generation at snapshot time and the publish sequence of the
+// last file in the snapshot. Open captures it atomically enough (gen
+// before files) that a landing racing the snapshot is seen either in the
+// initial plan or by the first WaitChange, never missed.
+type tailState struct {
+	catalog storage.TailingCatalog
+	gen     uint64
+	cursor  uint64
+}
+
 // newSession plans the scan and starts the fill workers and the
 // assembler. Workers begin claiming and decoding files immediately;
-// nothing blocks on Open.
-func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []string) (*Session, error) {
+// nothing blocks on Open. tail is non-nil exactly for Follow sessions.
+func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []string, tail *tailState) (*Session, error) {
 	if spec.ShareScans && svc.cache == nil {
 		return nil, fmt.Errorf("dpp: spec requests ShareScans but the service's scan cache is disabled")
 	}
@@ -208,7 +254,11 @@ func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []
 		cancel()
 		return nil, err
 	}
-	s.queue = reader.NewScanQueue(files, queueWindow(spec, spec.Readers), s.clock.Now)
+	if tail != nil {
+		s.queue = reader.NewOpenScanQueue(files, queueWindow(spec, spec.Readers), s.clock.Now)
+	} else {
+		s.queue = reader.NewScanQueue(files, queueWindow(spec, spec.Readers), s.clock.Now)
+	}
 
 	// The queue blocks on condition variables, not channels; this watcher
 	// translates context teardown into an Abort that wakes every parked
@@ -220,6 +270,14 @@ func newSession(ctx context.Context, svc *Service, id int64, spec Spec, files []
 		<-s.ctx.Done()
 		s.queue.Abort()
 	}()
+
+	if tail != nil {
+		fctx, fcancel := context.WithCancel(sctx)
+		s.followCancel = fcancel
+		s.followDone = make(chan struct{})
+		s.wg.Add(1)
+		go s.runTailer(fctx, tail)
+	}
 
 	s.pmu.Lock()
 	s.target = spec.Readers
@@ -371,6 +429,70 @@ func (s *Session) Resize(n int) int {
 	return n
 }
 
+// runTailer is a Follow session's catalog watcher: it parks on the
+// catalog generation, pulls the files published past its cursor, and
+// extends the open scan queue with them in landed order. Exits when its
+// context is cancelled — by EndFollow (clean end of the tail) or by
+// session teardown.
+func (s *Session) runTailer(ctx context.Context, tail *tailState) {
+	defer s.wg.Done()
+	defer close(s.followDone)
+	gen, cursor := tail.gen, tail.cursor
+	for {
+		g, err := tail.catalog.WaitChange(ctx, gen)
+		if err != nil {
+			return
+		}
+		gen = g
+		pubs, err := tail.catalog.PublishedFiles(s.spec.Table, cursor)
+		if err != nil || len(pubs) == 0 {
+			// No news for this table (the mutation was another table's, a
+			// retention drop, or the table itself vanished): keep watching.
+			continue
+		}
+		files := make([]string, len(pubs))
+		for i, p := range pubs {
+			files[i] = p.Path
+		}
+		cursor = pubs[len(pubs)-1].Seq
+		s.queue.Extend(files)
+		s.svc.noteExtend(len(files))
+		if s.spec.OnExtend != nil {
+			s.spec.OnExtend(files)
+		}
+	}
+}
+
+// EndFollow ends a Follow session's tail: the catalog watcher stops, the
+// already-observed files drain, the final short batch (if any) flushes,
+// and Next returns io.EOF — the stream as a whole is then byte-identical
+// to a cold session over the frozen prefix the tail observed. Blocks
+// only until the watcher exits. Idempotent; a no-op on non-Follow
+// sessions.
+func (s *Session) EndFollow() {
+	if s.followCancel == nil {
+		return
+	}
+	s.endFollow.Do(func() {
+		s.followCancel()
+		<-s.followDone
+		s.queue.Finish()
+	})
+}
+
+// Following reports whether this session was opened with Follow.
+func (s *Session) Following() bool { return s.followCancel != nil }
+
+// FollowLag reports how many observed files the session has not yet
+// merged into its stream — the catalog-to-consumer lag the landing
+// metrics export. Zero for non-Follow sessions.
+func (s *Session) FollowLag() int {
+	if s.followCancel == nil || s.queue == nil {
+		return 0
+	}
+	return s.queue.Len() - s.queue.Pos()
+}
+
 // emitOut hands one batch to the consumer through the bounded output
 // buffer, charging time spent blocked to the consumer-starvation counter
 // — the "scale down" half of the autoscaling signal.
@@ -491,6 +613,7 @@ func (s *Session) scanShared(r *reader.Reader, fingerprint string, files []strin
 				cache.Hits++
 			} else {
 				cache.Misses++
+				s.svc.demoteRaw(f, fingerprint)
 			}
 			if err := checkSchema(f, scan.Keys); err != nil {
 				return err
@@ -604,6 +727,7 @@ func (s *Session) scanSharedPrefetch(r, producer *reader.Reader, fingerprint str
 						cache.Hits++
 					} else {
 						cache.Misses++
+						s.svc.demoteRaw(f, fingerprint)
 					}
 					item.scan, item.hit = scan, hit
 					carryLen = len(scan.Tail)

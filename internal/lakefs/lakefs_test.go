@@ -2,6 +2,7 @@ package lakefs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -239,5 +240,190 @@ func TestCatalogTables(t *testing.T) {
 	c.AddFile("a", 0, "a/f")
 	if got := c.Tables(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
 		t.Fatalf("Tables = %v", got)
+	}
+}
+
+// TestConcurrentLandingOrder pins the AddFile ordering fix: files landed
+// concurrently into one hour surface from Files/AllFiles in publish-
+// sequence order — the order AddFile returned — not in map-iteration or
+// arrival-race order, and every observer sees the same order.
+func TestConcurrentLandingOrder(t *testing.T) {
+	c := NewCatalog()
+	const writers, perWriter = 8, 16
+	type landed struct {
+		seq  uint64
+		path string
+	}
+	results := make([][]landed, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				p := fmt.Sprintf("tbl/hour=0/w%d-%03d.dwrf", w, i)
+				results[w] = append(results[w], landed{seq: c.AddFile("tbl", 0, p), path: p})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The publish sequence totally orders the landings; Files must agree.
+	bySeq := make(map[uint64]string, writers*perWriter)
+	for _, rs := range results {
+		for _, r := range rs {
+			if prev, dup := bySeq[r.seq]; dup {
+				t.Fatalf("sequence %d handed to both %q and %q", r.seq, prev, r.path)
+			}
+			bySeq[r.seq] = r.path
+		}
+	}
+	files, err := c.Files("tbl", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != writers*perWriter {
+		t.Fatalf("Files returned %d paths, want %d", len(files), writers*perWriter)
+	}
+	pubs, err := c.PublishedFiles("tbl", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.AllFiles("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pf := range pubs {
+		if i > 0 && pubs[i-1].Seq >= pf.Seq {
+			t.Fatalf("publish log out of order at %d: %d then %d", i, pubs[i-1].Seq, pf.Seq)
+		}
+		if want := bySeq[pf.Seq]; pf.Path != want || files[i] != want || all[i] != want {
+			t.Fatalf("index %d: log %q, Files %q, AllFiles %q, want %q (seq %d)",
+				i, pf.Path, files[i], all[i], want, pf.Seq)
+		}
+	}
+}
+
+// TestCatalogTailing: Generation moves on every mutation, WaitChange is
+// level-triggered, and PublishedFiles returns exactly the delta past a
+// cursor — with retention-dropped files never reappearing in it.
+func TestCatalogTailing(t *testing.T) {
+	s := NewStore()
+	c := NewCatalog()
+	g0 := c.Generation()
+	seal := func(hour int64, name string) {
+		path := fmt.Sprintf("tbl/hour=%d/%s", hour, name)
+		if err := s.Put(path, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		c.AddFile("tbl", hour, path)
+	}
+	seal(0, "a")
+	seal(0, "b")
+	if g := c.Generation(); g != g0+2 {
+		t.Fatalf("generation %d after two landings from %d", g, g0)
+	}
+	// Level-triggered: a stale cursor returns immediately.
+	gen, err := c.WaitChange(context.Background(), g0)
+	if err != nil || gen != g0+2 {
+		t.Fatalf("WaitChange(stale) = %d, %v", gen, err)
+	}
+	// Blocking wait observes the next landing.
+	type wake struct {
+		gen uint64
+		err error
+	}
+	woke := make(chan wake, 1)
+	go func() {
+		g, err := c.WaitChange(context.Background(), gen)
+		woke <- wake{g, err}
+	}()
+	seal(3600, "c")
+	w := <-woke
+	if w.err != nil || w.gen != gen+1 {
+		t.Fatalf("WaitChange woke with %d, %v; want %d", w.gen, w.err, gen+1)
+	}
+	// Delta query: everything past the second landing's sequence.
+	pubs, err := c.PublishedFiles("tbl", 2)
+	if err != nil || len(pubs) != 1 || pubs[0].Path != "tbl/hour=3600/c" {
+		t.Fatalf("PublishedFiles(2) = %+v, %v", pubs, err)
+	}
+	// Retention drops hour 0; the delta past cursor 0 holds only live files,
+	// and the generation moved again.
+	if _, err := c.DropPartition(s, "tbl", 0); err != nil {
+		t.Fatal(err)
+	}
+	pubs, err = c.PublishedFiles("tbl", 0)
+	if err != nil || len(pubs) != 1 || pubs[0].Path != "tbl/hour=3600/c" {
+		t.Fatalf("post-drop PublishedFiles(0) = %+v, %v", pubs, err)
+	}
+	if g := c.Generation(); g != gen+2 {
+		t.Fatalf("generation %d after drop, want %d", g, gen+2)
+	}
+	// A cancelled wait returns promptly with ctx.Err.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.WaitChange(ctx, c.Generation()); err == nil {
+		t.Fatal("WaitChange survived a cancelled context")
+	}
+}
+
+// TestDropPartitionInvalidation pins the stale-cache-after-retention fix
+// at the catalog layer: DropPartition deletes the blobs from the store
+// BEFORE notifying invalidation subscribers, and hands subscribers
+// exactly the dropped paths — so a cache tier that evicts on the
+// notification can never refill from a blob that still exists.
+func TestDropPartitionInvalidation(t *testing.T) {
+	s := NewStore()
+	c := NewCatalog()
+	for _, hour := range []int64{0, 3600} {
+		for i := 0; i < 3; i++ {
+			path := fmt.Sprintf("tbl/hour=%d/part-%d", hour, i)
+			if err := s.Put(path, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			c.AddFile("tbl", hour, path)
+		}
+	}
+	var mu sync.Mutex
+	var got [][]string
+	deletedFirst := true
+	c.OnInvalidate(func(paths []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, p := range paths {
+			if s.Exists(p) {
+				deletedFirst = false
+			}
+		}
+		got = append(got, append([]string(nil), paths...))
+	})
+	n, err := c.DropPartition(s, "tbl", 0)
+	if err != nil || n != 3 {
+		t.Fatalf("DropPartition = %d, %v", n, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("subscriber saw %v, want one notification of 3 paths", got)
+	}
+	for i, p := range got[0] {
+		if want := fmt.Sprintf("tbl/hour=0/part-%d", i); p != want {
+			t.Fatalf("notified path %q, want %q", p, want)
+		}
+	}
+	if !deletedFirst {
+		t.Fatal("subscriber ran while dropped blobs still existed in the store")
+	}
+	// The surviving partition is untouched and a second drop of the same
+	// hour is a clean no-op with no spurious notification.
+	if fs, err := c.Files("tbl", 3600); err != nil || len(fs) != 3 {
+		t.Fatalf("surviving partition: %v, %v", fs, err)
+	}
+	if n, err := c.DropPartition(s, "tbl", 0); err != nil || n != 0 {
+		t.Fatalf("re-drop = %d, %v", n, err)
+	}
+	if len(got) != 1 {
+		t.Fatal("empty drop notified subscribers")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
 	"repro/internal/dpp/front"
+	"repro/internal/dpp/landing"
 	"repro/internal/storage"
 )
 
@@ -57,6 +58,8 @@ func RegisterService(reg *Registry, labels Labels, svc *dpp.Service) {
 		func() float64 { return float64(svc.Stats().Cache.Misses) })
 	reg.Counter("recd_scancache_evictions_total", "ScanCache entries dropped to respect the byte budget.", labels,
 		func() float64 { return float64(svc.Stats().Cache.Evictions) })
+	reg.Counter("recd_scancache_invalidations_total", "ScanCache entries dropped because their file was deleted (retention coherence).", labels,
+		func() float64 { return float64(svc.Stats().Cache.Invalidations) })
 	reg.Gauge("recd_scancache_entries", "ScanCache resident entries.", labels,
 		func() float64 { return float64(svc.Stats().Cache.Entries) })
 	reg.Gauge("recd_scancache_bytes", "ScanCache resident bytes.", labels,
@@ -74,6 +77,33 @@ func RegisterService(reg *Registry, labels Labels, svc *dpp.Service) {
 	reg.Counter("recd_stall_seconds_total", "Session starvation by kind: worker (merge starved for fill workers) or consumer (output buffer full).",
 		withLabel(labels, "kind", "consumer"),
 		func() float64 { return svc.Stats().Scheduler.ConsumerStall.Seconds() })
+
+	reg.Gauge("recd_follow_sessions", "Follow (live-tail) sessions currently open.", labels,
+		func() float64 { return float64(svc.Stats().Follow.Sessions) })
+	reg.Gauge("recd_follow_lag_files", "Files observed from the catalog but not yet merged into open Follow streams.", labels,
+		func() float64 { return float64(svc.Stats().Follow.LagFiles) })
+	reg.Counter("recd_follow_extended_files_total", "Files extended into Follow scan plans since the service started.", labels,
+		func() float64 { return float64(svc.Stats().Follow.ExtendedFiles) })
+}
+
+// RegisterLanding registers a landing Writer's ingestion series from a
+// stats snapshot closure: sealed files, landed rows, and the flush mix.
+func RegisterLanding(reg *Registry, labels Labels, stats func() landing.WriterStats) {
+	reg.Counter("recd_landed_files_total", "Files sealed and published by the landing writer.", labels,
+		func() float64 { return float64(stats().FilesLanded) })
+	reg.Counter("recd_landed_rows_total", "Rows inside sealed landing files.", labels,
+		func() float64 { return float64(stats().RowsLanded) })
+	reg.Counter("recd_landing_flushes_total", "Landing seal events by trigger: timed (FlushInterval) or size (FlushRows, hour advance, explicit Flush/Close).",
+		withLabel(labels, "trigger", "timed"),
+		func() float64 { return float64(stats().TimedFlushes) })
+	reg.Counter("recd_landing_flushes_total", "Landing seal events by trigger: timed (FlushInterval) or size (FlushRows, hour advance, explicit Flush/Close).",
+		withLabel(labels, "trigger", "size"),
+		func() float64 {
+			st := stats()
+			return float64(st.Flushes - st.TimedFlushes)
+		})
+	reg.Gauge("recd_landing_buffered_rows", "Unsealed rows buffered in the landing writer.", labels,
+		func() float64 { return float64(stats().BufferedRows) })
 }
 
 // RegisterNetServer registers a dppnet.Server's transport series:
@@ -168,6 +198,8 @@ func RegisterStoreCache(reg *Registry, labels Labels, stats func() storage.Cache
 		func() float64 { return float64(stats().Misses) })
 	reg.Counter("recd_storecache_evictions_total", "Backend cache blobs dropped to respect the byte budget.", labels,
 		func() float64 { return float64(stats().Evictions) })
+	reg.Counter("recd_storecache_invalidations_total", "Backend cache blobs dropped for coherence: retention invalidations plus demotions to the decoded tier.", labels,
+		func() float64 { return float64(stats().Invalidations) })
 	reg.Gauge("recd_storecache_entries", "Backend cache resident blobs.", labels,
 		func() float64 { return float64(stats().Entries) })
 	reg.Gauge("recd_storecache_bytes", "Backend cache resident bytes.", labels,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dpp"
 	"repro/internal/dpp/dppnet"
 	"repro/internal/dpp/front"
+	"repro/internal/dpp/landing"
 	"repro/internal/dwrf"
 	"repro/internal/etl"
 	"repro/internal/lakefs"
@@ -86,6 +87,7 @@ func buildFullRegistry(t testing.TB) (*Registry, *AccessLog) {
 	RegisterGate(reg, nil, gate)
 	RegisterGovernor(reg, nil, gov, []string{"team-a", "team-b"})
 	RegisterStoreCache(reg, Labels{"shard": "0"}, func() storage.CacheStats { return storage.CacheStats{} })
+	RegisterLanding(reg, Labels{"shard": "0"}, func() landing.WriterStats { return landing.WriterStats{} })
 	RegisterAccessLog(reg, alog)
 	return reg, alog
 }

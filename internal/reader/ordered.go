@@ -37,6 +37,12 @@ type OrderedMerge[T any] struct {
 	window  int // producers may hold indices in [base, base+window)
 	results map[int]T
 	aborted bool
+	// open marks the merge open-ended: reaching the slot count is not the
+	// end of the stream, only the end of what has landed so far. Claim,
+	// WaitWindow, and Await park there until Extend adds slots or Finish
+	// closes the merge. This is the reader half of a Follow session: the
+	// file plan grows while the scan runs.
+	open bool
 
 	stall time.Duration // completed time Await spent blocked on missing deposits
 	// awaitSince is nonzero while Await is currently blocked; Stall folds
@@ -59,8 +65,55 @@ func NewOrderedMerge[T any](n, window int, now func() time.Time) *OrderedMerge[T
 	return m
 }
 
-// Len reports the slot count.
-func (m *OrderedMerge[T]) Len() int { return m.n }
+// NewOpenOrderedMerge builds an open-ended merge: the initial n slots
+// are only a prefix, and producers/consumer park at the end of the known
+// slots instead of finishing, until Extend appends more or Finish
+// declares the set complete.
+func NewOpenOrderedMerge[T any](n, window int, now func() time.Time) *OrderedMerge[T] {
+	m := NewOrderedMerge[T](n, window, now)
+	m.open = true
+	return m
+}
+
+// Len reports the current slot count (under Extend it grows; read it as
+// "slots known so far" on an open merge).
+func (m *OrderedMerge[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Pos reports the consumer's position: the next index Await will
+// deliver. Len() - Pos() is the backlog of slots not yet merged — on a
+// tailing scan, the landing-to-consumer lag.
+func (m *OrderedMerge[T]) Pos() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base
+}
+
+// Extend appends k slots to an open merge, waking producers and the
+// consumer parked at the old end. Returns the new slot count. Calling
+// Extend after Finish (or on a merge built closed) is a programmer
+// error but harmless: the slots are appended and consumed normally.
+func (m *OrderedMerge[T]) Extend(k int) int {
+	m.mu.Lock()
+	m.n += k
+	n := m.n
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	return n
+}
+
+// Finish closes an open merge: no further Extend is coming, so parked
+// producers and the consumer run out the remaining slots and then get
+// the ordinary end-of-set ok=false. Idempotent.
+func (m *OrderedMerge[T]) Finish() {
+	m.mu.Lock()
+	m.open = false
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
 
 // Claim hands the caller the next unclaimed index, blocking while the
 // window is full. ok is false once the indices are exhausted or the
@@ -71,8 +124,15 @@ func (m *OrderedMerge[T]) Claim() (idx int, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if m.aborted || m.next >= m.n {
+		if m.aborted {
 			return 0, false
+		}
+		if m.next >= m.n {
+			if !m.open {
+				return 0, false
+			}
+			m.cond.Wait() // open merge: park for Extend or Finish
+			continue
 		}
 		if m.next < m.base+m.window {
 			idx = m.next
@@ -93,8 +153,15 @@ func (m *OrderedMerge[T]) WaitWindow(idx int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if m.aborted || idx >= m.n {
+		if m.aborted {
 			return false
+		}
+		if idx >= m.n {
+			if !m.open {
+				return false
+			}
+			m.cond.Wait() // open merge: park for Extend or Finish
+			continue
 		}
 		if idx < m.base+m.window {
 			return true
@@ -119,15 +186,12 @@ func (m *OrderedMerge[T]) Deposit(idx int, v T) {
 func (m *OrderedMerge[T]) Await(idx int) (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if idx >= m.n {
-		var zero T
-		return zero, false
-	}
 	var blockedAt time.Time
 	settle := func() {
 		if !blockedAt.IsZero() {
 			m.stall += m.now().Sub(blockedAt)
 			m.awaitSince = time.Time{}
+			blockedAt = time.Time{}
 		}
 	}
 	for {
@@ -135,6 +199,20 @@ func (m *OrderedMerge[T]) Await(idx int) (v T, ok bool) {
 			settle()
 			var zero T
 			return zero, false
+		}
+		if idx >= m.n {
+			if !m.open {
+				settle()
+				var zero T
+				return zero, false
+			}
+			// Tail wait on an open merge: nothing has landed at idx yet.
+			// That is landing lag, not producer starvation — it must not
+			// feed the Stall counter the autoscaler reads, or a quiet
+			// landing path would look like a starved worker pool.
+			settle()
+			m.cond.Wait()
+			continue
 		}
 		if r, have := m.results[idx]; have {
 			settle()

@@ -2,6 +2,7 @@ package reader
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/datagen"
@@ -30,6 +31,7 @@ import (
 //
 // All methods are safe for concurrent use.
 type ScanQueue struct {
+	fmu   sync.RWMutex // guards files, which grows under Extend
 	files []string
 	m     *OrderedMerge[FileResult]
 }
@@ -51,8 +53,46 @@ func NewScanQueue(files []string, window int, now func() time.Time) *ScanQueue {
 	return &ScanQueue{files: files, m: NewOrderedMerge[FileResult](len(files), window, now)}
 }
 
-// Len reports the scan-set size.
+// NewOpenScanQueue builds an open-ended queue over an initial file
+// prefix: workers and the assembler park at the end of the known files
+// instead of finishing, until Extend appends newly landed files or
+// Finish declares the scan set complete. This is the queue shape of a
+// Follow session tailing a live partition.
+func NewOpenScanQueue(files []string, window int, now func() time.Time) *ScanQueue {
+	return &ScanQueue{files: files, m: NewOpenOrderedMerge[FileResult](len(files), window, now)}
+}
+
+// Extend appends newly landed files to an open queue, waking workers and
+// the assembler parked at the old end. Returns the new scan-set size.
+func (q *ScanQueue) Extend(files []string) int {
+	if len(files) == 0 {
+		return q.Len()
+	}
+	q.fmu.Lock()
+	q.files = append(q.files, files...)
+	q.fmu.Unlock()
+	return q.m.Extend(len(files))
+}
+
+// Finish closes an open queue: no further Extend is coming, so the scan
+// runs out the remaining files and ends normally (tail flush included).
+// Idempotent.
+func (q *ScanQueue) Finish() { q.m.Finish() }
+
+// Len reports the scan-set size known so far.
 func (q *ScanQueue) Len() int { return q.m.Len() }
+
+// Pos reports the assembler's position: the index of the next file it
+// will merge. Len() - Pos() is the not-yet-merged backlog.
+func (q *ScanQueue) Pos() int { return q.m.Pos() }
+
+// file returns the path at index i under the files lock; workers and the
+// assembler read through it because Extend grows the slice concurrently.
+func (q *ScanQueue) file(i int) string {
+	q.fmu.RLock()
+	defer q.fmu.RUnlock()
+	return q.files[i]
+}
 
 // Claim hands the caller the next unclaimed file index, blocking while
 // the claim window is full. ok is false once the scan set is exhausted or
@@ -64,7 +104,7 @@ func (q *ScanQueue) Claim() (idx int, file string, ok bool) {
 	if !ok {
 		return 0, "", false
 	}
-	return idx, q.files[idx], true
+	return idx, q.file(idx), true
 }
 
 // Deposit publishes a claimed file's fill result and wakes the assembler.
@@ -132,7 +172,7 @@ func (r *Reader) RunQueue(ctx context.Context, q *ScanQueue, emit func(*Batch) e
 		if !ok {
 			return fillResult{}, false
 		}
-		file := q.files[i]
+		file := q.file(i)
 		i++
 		return fillResult{file: file, samples: res.Samples, keys: res.Keys, dense: res.Dense, err: res.Err}, true
 	}, emit)

@@ -80,6 +80,31 @@ func (c *CachingBackend) ReadRange(path string, off, n int64) ([]byte, error) {
 	return data[off:end], nil
 }
 
+// InvalidateFiles evicts the named blobs from the cache, dooming
+// in-flight fetches so they are served but not retained. Wire it to a
+// catalog's InvalidationNotifier so retention drops cannot leave the raw
+// tier serving bytes the store deleted. Returns how many entries were
+// dropped.
+func (c *CachingBackend) InvalidateFiles(paths []string) int {
+	n := 0
+	for _, p := range paths {
+		if c.core.Remove(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Demote releases the cached blob for path without touching hit/miss
+// accounting of future lookups. The decoded tier calls this once it has
+// retained a file's scan: keeping the raw bytes too would charge the same
+// file to both budgets (the ROADMAP's double-caching item), and the
+// decoded form is the one sessions actually reuse. Reports whether a
+// resident or in-flight entry was released.
+func (c *CachingBackend) Demote(path string) bool {
+	return c.core.Remove(path)
+}
+
 // Size delegates to the inner backend.
 func (c *CachingBackend) Size(path string) (int64, error) { return c.inner.Size(path) }
 
@@ -97,6 +122,9 @@ type CacheStats struct {
 	Hits, Misses int64
 	// Evictions counts blobs dropped to respect the byte budget.
 	Evictions int64
+	// Invalidations counts blobs dropped for coherence: retention
+	// invalidations plus demotions to the decoded tier.
+	Invalidations int64
 	// Entries and Bytes describe current occupancy.
 	Entries int
 	Bytes   int64
@@ -106,10 +134,11 @@ type CacheStats struct {
 func (c *CachingBackend) Stats() CacheStats {
 	st := c.core.Stats()
 	return CacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		Entries:   st.Entries,
-		Bytes:     st.Bytes,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
 	}
 }

@@ -9,6 +9,8 @@
 // both interfaces are small enough that a test fake is a dozen lines.
 package storage
 
+import "context"
+
 // Backend is the read surface of a blob store holding immutable DWRF
 // files. Implementations must be safe for concurrent use: one Backend is
 // shared by every reader worker of every session.
@@ -33,4 +35,40 @@ type Catalog interface {
 	// AllFiles returns every file of every partition of the table, in
 	// deterministic scan order.
 	AllFiles(table string) ([]string, error)
+}
+
+// PublishedFile is one catalog entry of a live table: a file path, the
+// hourly partition it landed into, and its catalog-wide publish sequence
+// number. Sequence numbers are strictly increasing in landing order and
+// never reused, which is what makes them a stable tail cursor.
+type PublishedFile struct {
+	Path string
+	Hour int64
+	Seq  uint64
+}
+
+// TailingCatalog is the optional catalog extension a Follow session
+// needs: tables may grow (and shrink, under retention) while sessions
+// are open, and the catalog announces both. Implementations must be safe
+// for concurrent use.
+type TailingCatalog interface {
+	Catalog
+	// Generation returns a counter that moves on every catalog mutation.
+	Generation() uint64
+	// WaitChange blocks until the generation exceeds since or ctx is
+	// done, returning the generation observed (and ctx.Err() if done).
+	WaitChange(ctx context.Context, since uint64) (uint64, error)
+	// PublishedFiles returns the table's live files with publish sequence
+	// greater than afterSeq, in publish order.
+	PublishedFiles(table string, afterSeq uint64) ([]PublishedFile, error)
+}
+
+// InvalidationNotifier is the optional catalog extension cache tiers
+// subscribe to: fn is called with the paths of every file the catalog
+// deletes, after the blobs are gone from the backing store. A cache that
+// subscribes and evicts on notification cannot serve data retention
+// already destroyed — the stale-cache-after-retention bug this hook
+// exists to close.
+type InvalidationNotifier interface {
+	OnInvalidate(fn func(paths []string))
 }

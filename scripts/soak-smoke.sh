@@ -30,6 +30,11 @@
 #      notice; they fail over to the surviving shard with zero stream
 #      errors, the soak reports nonzero drain handoffs, and the drained
 #      server exits 0.
+#   7. Live tail: a -follow server hosts the landing writer while a
+#      -follow trainer tails the growing table in windows and drains the
+#      remainder after EndFollow. Gates: the trainer exits 0 with zero
+#      stream errors (any mid-stream error is fatal to it) and the
+#      server's final scrape shows nonzero recd_landed_files_total.
 #
 # Gates are deliberately loose (CI runners are slow shared machines);
 # tighten locally via the SOAK_* variables.
@@ -164,6 +169,41 @@ if [ "${handoffs:-0}" -lt 1 ]; then
     exit 1
 fi
 echo "soak-smoke: $handoffs stream(s) handed off across the shard drain"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+
+# Live tail: the server hosts the landing writer (-follow), the trainer
+# tails the growing table over the wire. The trainer treats any stream
+# error as fatal, so its exit code is the zero-stream-errors gate; the
+# sidecar's recd_landed_files_total proves the writer really landed.
+go build -o "$bin/recd-train" ./cmd/recd-train
+"$bin/recd-serve" -listen "$SOAK_SERVE_ADDR" "${TABLE_FLAGS[@]}" \
+    -follow -flush-interval 150ms -obs-listen "$SOAK_OBS_ADDR" >"$servelog" 2>&1 &
+serve_pid=$!
+for _ in $(seq 120); do
+    curl -sf "http://$SOAK_OBS_ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.25
+done
+taillog="$bin/train-tail.log"
+if ! "$bin/recd-train" -connect "$SOAK_SERVE_ADDR" -follow -epochs 2 >"$taillog" 2>&1; then
+    echo "soak-smoke: live-tail trainer hit a stream error" >&2
+    cat "$taillog" "$servelog" >&2
+    exit 1
+fi
+if ! grep -q "follow tail ended" "$taillog"; then
+    echo "soak-smoke: live-tail trainer never drained its tail" >&2
+    cat "$taillog" >&2
+    exit 1
+fi
+landed=$(curl -sf "http://$SOAK_OBS_ADDR/metrics" \
+    | awk '$1 ~ /^recd_landed_files_total/ {s+=$2} END {print s+0}')
+if [ "${landed%%.*}" -lt 1 ]; then
+    echo "soak-smoke: live-tail server landed no files (recd_landed_files_total=$landed)" >&2
+    cat "$servelog" >&2
+    exit 1
+fi
+cat "$taillog"
+echo "soak-smoke: live tail landed $landed file(s), zero stream errors"
 kill -TERM "$serve_pid"
 wait "$serve_pid" || true
 
